@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Figures 9-15, Tables 2-3, and the Section 7 traffic comparison),
+asserts its qualitative claims, and records the headline numbers in
+``benchmark.extra_info``. Run with ``pytest benchmarks/ --benchmark-only``;
+add ``-s`` to see the rendered tables.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "repro(paper_ref): marks which paper artifact a bench regenerates"
+    )
+
+
+@pytest.fixture
+def show():
+    """Print a rendered experiment table (visible with -s)."""
+
+    def _show(title, report):
+        print(f"\n===== {title} =====")
+        print(report)
+
+    return _show

@@ -1,0 +1,32 @@
+"""Bench: Figure 15 — communication cost model accuracy."""
+
+import pytest
+
+from repro.experiments import fig15_comm_model_accuracy, render_table
+
+
+@pytest.mark.repro("Figure 15")
+def test_fig15_comm_model_accuracy(benchmark, show):
+    rows = benchmark.pedantic(
+        fig15_comm_model_accuracy.run, rounds=1, iterations=1
+    )
+
+    # 8 FC layers: 4 per model (Section 5.3.2).
+    assert len(rows) == 8
+    error = fig15_comm_model_accuracy.average_error(rows)
+    # Paper: 5.1% average error on real hardware.
+    assert error < 0.15
+    # Skewed measurement can only exceed the synchronized estimate.
+    for row in rows:
+        assert row.measured_ms >= row.estimated_ms
+
+    benchmark.extra_info["average_error"] = round(error, 4)
+    benchmark.extra_info["paper_average_error"] = 0.051
+    show(
+        "Figure 15: comm model accuracy",
+        render_table(
+            ["model", "layer", "estimated (ms)", "measured (ms)", "error"],
+            [(r.model, r.layer, r.estimated_ms, r.measured_ms,
+              f"{r.error:.1%}") for r in rows],
+        ),
+    )

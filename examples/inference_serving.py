@@ -1,0 +1,93 @@
+"""Plan an LLM serving deployment with 2D TP (Section 6).
+
+Inference has two very different phases: the prefill pass is a
+training-like, compute-bound GeMM over all prompt tokens; the decode
+pass produces one token per sequence per step and is memory- and
+communication-bound. This example classifies both phases on the
+roofline, lets the autotuner adapt the slice count per phase, and
+reports per-layer and per-block latencies on a simulated TPUv4 mesh.
+
+Run:  python examples/inference_serving.py [chips] [batch]
+"""
+
+import dataclasses
+import sys
+
+from repro.algorithms import GeMMConfig, get_algorithm
+from repro.core.dataflow import Dataflow
+from repro.experiments import render_table, tuned_slices
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D, mesh_shapes
+from repro.models import GPT3_175B
+from repro.models.inference import (
+    InferenceWorkload,
+    arithmetic_intensity,
+    inference_gemms,
+    is_memory_bound,
+)
+from repro.sim import simulate
+
+
+def best_mesh_latency(shape, chips):
+    alg = get_algorithm("meshslice")
+    best = None
+    for mesh in mesh_shapes(chips, min_dim=2):
+        base = GeMMConfig(shape, mesh, Dataflow.OS, slices=1)
+        cfg = dataclasses.replace(base, slices=tuned_slices(base, TPUV4))
+        if not alg.supports(cfg):
+            continue
+        result = simulate(alg.build_program(cfg, TPUV4), TPUV4)
+        if best is None or result.makespan < best[0]:
+            best = (result.makespan, cfg)
+    return best
+
+
+def main(chips: int = 64, batch: int = 32) -> None:
+    model = GPT3_175B
+    ridge = TPUV4.effective_flops / TPUV4.hbm_bandwidth
+    print(f"{model.name} serving on {chips} chips, batch {batch}")
+    print(f"roofline ridge: {ridge:.0f} FLOP/byte\n")
+
+    rows = []
+    block_latency = {}
+    for phase in ("prefill", "decode"):
+        workload = InferenceWorkload(
+            model=model, batch=batch, prompt_len=1024, phase=phase
+        )
+        total = 0.0
+        for layer, shape in inference_gemms(workload):
+            found = best_mesh_latency(shape, chips)
+            latency, cfg = found
+            total += latency
+            rows.append(
+                (
+                    phase,
+                    layer,
+                    f"{arithmetic_intensity(shape):.0f}",
+                    "yes" if is_memory_bound(shape, TPUV4) else "no",
+                    str(cfg.mesh),
+                    cfg.slices,
+                    latency * 1e3,
+                )
+            )
+        block_latency[phase] = total
+
+    print(render_table(
+        ["phase", "layer", "FLOP/byte", "mem-bound", "mesh", "S",
+         "latency (ms)"],
+        rows,
+    ))
+    decode_step = model.num_layers * block_latency["decode"]
+    prefill_time = model.num_layers * block_latency["prefill"]
+    print(f"\nprefill FC time (1024-token prompts): {prefill_time * 1e3:8.1f} ms")
+    print(f"per-token decode FC latency:          {decode_step * 1e3:8.1f} ms")
+    print(
+        f"decode throughput: {batch / decode_step:,.0f} tokens/s across the "
+        "batch (FC layers only)"
+    )
+
+
+if __name__ == "__main__":
+    chips = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    main(chips, batch)

@@ -1,0 +1,94 @@
+"""Combine MeshSlice 2D TP with expert parallelism (Section 6).
+
+Builds an MoE variant of GPT-3 and sweeps how a fixed cluster splits
+between expert parallelism (EP groups, connected by all-to-all
+dispatch/combine) and 2D tensor parallelism inside each group (running
+the expert FFN GeMMs with MeshSlice). More EP means smaller per-group
+meshes (cheaper TP collectives, more parallel experts) but larger
+all-to-all exchanges — the trade-off the paper's discussion projects.
+
+Run:  python examples/moe_training.py [chips]
+"""
+
+import dataclasses
+import sys
+
+from repro.algorithms import GeMMConfig, get_algorithm
+from repro.core.dataflow import Dataflow
+from repro.experiments import render_table, tuned_slices
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D, mesh_shapes
+from repro.models import GPT3_175B
+from repro.models.moe import (
+    MoEConfig,
+    alltoall_seconds,
+    dispatch_bytes,
+    expert_ffn_gemms,
+)
+from repro.sim import simulate
+
+
+def expert_group_seconds(moe, tokens, group_chips):
+    """Best-mesh MeshSlice time of one expert's FFN GeMMs."""
+    alg = get_algorithm("meshslice")
+    best = None
+    for mesh in mesh_shapes(group_chips, min_dim=2):
+        total = 0.0
+        feasible = True
+        for _name, shape in expert_ffn_gemms(moe, tokens):
+            base = GeMMConfig(shape, mesh, Dataflow.OS, slices=1)
+            cfg = dataclasses.replace(base, slices=tuned_slices(base, TPUV4))
+            if not alg.supports(cfg):
+                feasible = False
+                break
+            total += simulate(alg.build_program(cfg, TPUV4), TPUV4).makespan
+        if feasible and (best is None or total < best):
+            best = total
+    return best
+
+
+def main(chips: int = 256) -> None:
+    moe = MoEConfig(GPT3_175B, num_experts=16, top_k=2)
+    tokens = GPT3_175B.tokens(chips // 2)
+    print(f"{moe.name}: {chips} chips, {tokens} tokens/step\n")
+
+    rows = []
+    ep = 1
+    while ep <= min(moe.num_experts, chips // 4):
+        group_chips = chips // ep
+        ffn = expert_group_seconds(moe, tokens, group_chips)
+        if ffn is None:
+            ep *= 2
+            continue
+        a2a = 2 * alltoall_seconds(  # dispatch + combine
+            dispatch_bytes(moe, tokens), groups=ep, chips=chips, hw=TPUV4
+        )
+        # Each group runs num_experts / ep experts sequentially.
+        experts_per_group = max(1, moe.num_experts // ep)
+        total = experts_per_group * ffn + a2a
+        rows.append(
+            (
+                ep,
+                f"{group_chips} chips/group",
+                experts_per_group,
+                ffn * 1e3,
+                a2a * 1e3,
+                total * 1e3,
+            )
+        )
+        ep *= 2
+
+    print(render_table(
+        ["EP", "TP group", "experts/group", "FFN (ms)", "all-to-all (ms)",
+         "MoE FFN total (ms)"],
+        rows,
+    ))
+    best = min(rows, key=lambda r: r[-1])
+    print(
+        f"\nbest split: EP={best[0]} with {best[1]} — expert parallelism "
+        "amortizes the expert FFNs until the all-to-all dominates."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 256)

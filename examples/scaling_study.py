@@ -1,0 +1,81 @@
+"""Weak- and strong-scaling study of 2D tensor parallelism.
+
+Sweeps cluster sizes for a chosen model and prints utilization curves
+as ASCII charts — the reproduction-side view of the paper's Figures 9
+and 12 and of the Section 2.2 argument for replacing 8-way 1D TP with
+wide 2D TP.
+
+Run:  python examples/scaling_study.py [gpt3-175b|megatron-nlg-530b]
+"""
+
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments import best_block_run, render_table, weak_scaling_batch
+from repro.hw import TPUV4
+from repro.models import get_model
+
+SIZES = (16, 32, 64, 128, 256)
+ALGORITHMS = ("meshslice", "wang", "collective", "1dtp")
+
+
+def sweep(model, strong_batch: Optional[int] = None) -> Dict[str, List]:
+    curves: Dict[str, List] = {alg: [] for alg in ALGORITHMS}
+    for chips in SIZES:
+        batch = strong_batch if strong_batch is not None else weak_scaling_batch(chips)
+        for alg in ALGORITHMS:
+            run = best_block_run(alg, model, batch, chips, TPUV4)
+            curves[alg].append(None if run is None else run.utilization(TPUV4))
+    return curves
+
+
+def ascii_chart(curves: Dict[str, List], width: int = 50) -> str:
+    """Horizontal-bar chart of utilization per (algorithm, size)."""
+    lines = []
+    for alg, values in curves.items():
+        lines.append(f"{alg}:")
+        for chips, value in zip(SIZES, values):
+            if value is None:
+                lines.append(f"  {chips:4d} | n/a")
+                continue
+            bar = "#" * int(round(value * width))
+            lines.append(f"  {chips:4d} |{bar:<{width}}| {value:.1%}")
+    return "\n".join(lines)
+
+
+def main(model_name: str = "gpt3-175b") -> None:
+    model = get_model(model_name)
+
+    print(f"=== Weak scaling (batch = chips / 2): {model.name} ===")
+    weak = sweep(model)
+    print(ascii_chart(weak))
+
+    print(f"\n=== Strong scaling (batch = 32): {model.name} ===")
+    strong = sweep(model, strong_batch=32)
+    print(ascii_chart(strong))
+
+    print("\n=== Summary ===")
+    rows = []
+    for alg in ALGORITHMS:
+        rows.append(
+            (
+                alg,
+                weak[alg][0],
+                weak[alg][-1],
+                strong[alg][-1],
+            )
+        )
+    print(
+        render_table(
+            ["algorithm", "weak @16", "weak @256", "strong @256"], rows
+        )
+    )
+    ms16, ms256 = weak["meshslice"][0], weak["meshslice"][-1]
+    print(
+        f"\nMeshSlice keeps {ms256 / ms16:.1%} of its 16-way efficiency at "
+        f"256-way 2D TP (paper: 83-94%)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gpt3-175b")

@@ -1,0 +1,76 @@
+"""Plan a GPT-3 training deployment with the MeshSlice LLM autotuner.
+
+Given a cluster size and batch, the autotuner (Section 3.2):
+
+1. picks the dataflow for each FC layer (largest matrix stationary,
+   Table 1) and derives the shardings,
+2. co-optimizes the torus mesh shape and the per-layer slice counts
+   with analytical cost models,
+
+and this script then cross-checks the chosen configuration with the
+cluster simulator and reports the expected training step time.
+
+Run:  python examples/train_gpt3_plan.py [chips] [batch]
+"""
+
+import sys
+
+from repro.autotuner import plan_model, tune
+from repro.experiments import end_to_end_step_seconds, render_table, run_block
+from repro.hw import TPUV4
+from repro.models import GPT3_175B
+
+
+def main(chips: int = 256, batch: int = 128) -> None:
+    model = GPT3_175B
+    tokens = model.tokens(batch)
+    print(f"Planning {model.name}: {chips} chips, batch {batch} "
+          f"({tokens} tokens/step)\n")
+
+    print("--- Phase 1: dataflows (largest matrix stationary) ---")
+    plans = plan_model(model, tokens)
+    rows = []
+    for plan in plans:
+        for pass_plan in plan.passes:
+            rows.append(
+                (
+                    plan.layer.name,
+                    pass_plan.pass_name,
+                    plan.stationary + "-stn",
+                    pass_plan.dataflow.name,
+                    str(pass_plan.shape),
+                )
+            )
+    print(render_table(["layer", "pass", "stationary", "dataflow", "GeMM"], rows))
+
+    print("\n--- Phase 2: mesh shape and slice counts ---")
+    result = tune(model, batch, chips, TPUV4)
+    ranking = sorted(result.per_mesh_seconds.items(), key=lambda kv: kv[1])
+    print(
+        render_table(
+            ["mesh", "estimated FC block (ms)"],
+            [(f"{r}x{c}", seconds * 1e3) for (r, c), seconds in ranking],
+        )
+    )
+    print(f"\nchosen mesh: {result.mesh}")
+    print(
+        render_table(
+            ["layer", "pass", "slice count S"],
+            [(t.layer_name, t.plan.pass_name, t.slices) for t in result.passes],
+        )
+    )
+
+    print("\n--- Cross-check with the cluster simulator ---")
+    block = run_block("meshslice", plans, result.mesh, TPUV4)
+    step = end_to_end_step_seconds(model, batch, chips, TPUV4, block.seconds)
+    print(f"simulated FC block time : {block.seconds * 1e3:8.2f} ms "
+          f"(autotuner estimate {result.block_seconds * 1e3:.2f} ms)")
+    print(f"FC FLOP utilization     : {block.utilization(TPUV4):8.1%}")
+    print(f"end-to-end step time    : {step:8.2f} s "
+          f"({model.num_layers} blocks incl. non-FC)")
+
+
+if __name__ == "__main__":
+    chips = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 128
+    main(chips, batch)

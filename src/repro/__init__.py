@@ -1,0 +1,68 @@
+"""MeshSlice: efficient 2D tensor parallelism for distributed DNN training.
+
+A from-scratch reproduction of the ISCA 2025 paper. The package is
+organized in two planes that share the same algorithm descriptions:
+
+* a **functional plane** (numpy, bit-exact) proving each distributed
+  GeMM algorithm computes the right answer using only legal per-chip
+  data movement, and
+* a **timing plane** (a fluid discrete-event simulator of TPUv4-like
+  clusters) reproducing the paper's performance evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Mesh2D, meshslice_os
+
+    a, b = np.random.rand(64, 96), np.random.rand(96, 128)
+    c = meshslice_os(a, b, Mesh2D(4, 2), slices=4)
+    assert np.allclose(c, a @ b)
+
+See ``README.md`` and ``docs/`` for the architecture, ``DESIGN.md`` for
+the system inventory, and ``EXPERIMENTS.md`` for the paper-vs-
+reproduction results.
+"""
+
+from repro.core import (
+    Dataflow,
+    GeMMShape,
+    meshslice_gemm,
+    meshslice_ls,
+    meshslice_os,
+    meshslice_rs,
+    slice_col,
+    slice_row,
+    valid_slice_counts,
+)
+from repro.hw import (
+    GPU_LOGICAL_MESH,
+    TPUV4,
+    TPUV4_CLOUD_4X4,
+    HardwareParams,
+    get_preset,
+)
+from repro.mesh import Mesh2D, MeshExecutor, Ring1D, mesh_shapes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataflow",
+    "GPU_LOGICAL_MESH",
+    "GeMMShape",
+    "HardwareParams",
+    "Mesh2D",
+    "MeshExecutor",
+    "Ring1D",
+    "TPUV4",
+    "TPUV4_CLOUD_4X4",
+    "get_preset",
+    "mesh_shapes",
+    "meshslice_gemm",
+    "meshslice_ls",
+    "meshslice_os",
+    "meshslice_rs",
+    "slice_col",
+    "slice_row",
+    "valid_slice_counts",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Distributed GeMM algorithms: MeshSlice plus the paper's baselines."""
+
+from repro.algorithms.base import (
+    DistributedGeMM,
+    GeMMConfig,
+    algorithm_names,
+    collective_local_dims,
+    effective_problem,
+    flow_ops,
+    get_algorithm,
+    matrix_bytes,
+    register,
+    sliced_local_dims,
+    traffic_seconds,
+)
+from repro.algorithms.cannon import CannonGeMM
+from repro.algorithms.collective import CollectiveGeMM
+from repro.algorithms.meshslice import MeshSliceGeMM
+from repro.algorithms.oned import FSDPGeMM, OneDTensorParallel
+from repro.algorithms.stacked import (
+    MeshSliceDPGeMM,
+    StackedConfig,
+    TwoPointFiveDGeMM,
+)
+from repro.algorithms.summa import SummaGeMM
+from repro.algorithms.wang import WangGeMM
+
+#: Names of the 2D algorithms compared in the paper's Figures 9-12.
+TWO_D_ALGORITHMS = ("cannon", "summa", "collective", "wang", "meshslice")
+
+#: Names of the 1D baselines (Section 4.3).
+ONE_D_ALGORITHMS = ("1dtp", "fsdp")
+
+__all__ = [
+    "CannonGeMM",
+    "CollectiveGeMM",
+    "DistributedGeMM",
+    "FSDPGeMM",
+    "GeMMConfig",
+    "MeshSliceDPGeMM",
+    "MeshSliceGeMM",
+    "ONE_D_ALGORITHMS",
+    "OneDTensorParallel",
+    "StackedConfig",
+    "SummaGeMM",
+    "TWO_D_ALGORITHMS",
+    "TwoPointFiveDGeMM",
+    "WangGeMM",
+    "algorithm_names",
+    "collective_local_dims",
+    "effective_problem",
+    "flow_ops",
+    "get_algorithm",
+    "matrix_bytes",
+    "register",
+    "sliced_local_dims",
+    "traffic_seconds",
+]

@@ -1,0 +1,239 @@
+"""Common abstractions for distributed GeMM algorithm implementations.
+
+Every algorithm provides two planes:
+
+* a **functional** execution over numpy shards (bit-exact, used to
+  verify correctness against local matmul), and
+* a **timed** execution: it builds a :class:`repro.sim.Program` for one
+  representative chip, which the simulator runs to produce the paper's
+  performance metrics.
+
+:func:`flow_ops` encodes which matrices flow in which torus direction
+under each dataflow, and with which collective (AllGather for inputs,
+ReduceScatter for outputs) — the information that determines an
+algorithm's traffic cost (Section 2.3.1).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.core.dataflow import Dataflow
+from repro.core.gemm import GeMMShape
+from repro.hw.params import HardwareParams
+from repro.mesh.topology import Mesh2D
+from repro.sim.program import Program
+
+
+@dataclasses.dataclass(frozen=True)
+class GeMMConfig:
+    """One distributed GeMM execution configuration.
+
+    Attributes:
+        shape: Logical problem ``C[M,N] = L[M,K] R[K,N]``.
+        mesh: The 2D chip mesh (1D algorithms use ``mesh.size`` chips
+            in a single ring).
+        dataflow: Which matrix stays stationary.
+        slices: Granularity knob: MeshSlice's slice count ``S``, and
+            the unrolled iteration count for SUMMA and Wang
+            (Section 4.2 sets those equal for fairness).
+        transposed: Use the transposed dataflow variant (Section 3.2.1):
+            all matrices transposed and the two flow directions flipped.
+    """
+
+    shape: GeMMShape
+    mesh: Mesh2D
+    dataflow: Dataflow = Dataflow.OS
+    slices: int = 1
+    transposed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slices < 1:
+            raise ValueError(f"slices must be >= 1, got {self.slices}")
+
+    @property
+    def chips(self) -> int:
+        return self.mesh.size
+
+    @property
+    def flops_per_chip(self) -> float:
+        return self.shape.flops / self.chips
+
+
+#: One flowing matrix in one torus direction: ("ag"|"rds", "a"|"b"|"c").
+FlowOp = Tuple[str, str]
+
+
+def flow_ops(dataflow: Dataflow, transposed: bool = False) -> Tuple[FlowOp, FlowOp]:
+    """The (inter-column, inter-row) communication of each dataflow.
+
+    Returns a pair of ``(collective, matrix)`` tuples: the first for the
+    inter-column direction (communication within row rings), the second
+    for the inter-row direction (within column rings). Inputs flow via
+    AllGather; outputs flow via ReduceScatter. The transposed variant
+    flips the two directions.
+    """
+    table = {
+        Dataflow.OS: (("ag", "a"), ("ag", "b")),
+        Dataflow.LS: (("rds", "c"), ("ag", "b")),
+        Dataflow.RS: (("ag", "a"), ("rds", "c")),
+    }
+    col_op, row_op = table[dataflow]
+    if transposed:
+        col_op, row_op = row_op, col_op
+    return col_op, row_op
+
+
+def matrix_bytes(shape: GeMMShape, matrix: str) -> float:
+    """Size of the logical matrix ``"a"``, ``"b"``, or ``"c"``."""
+    if matrix == "a":
+        return shape.a_bytes
+    if matrix == "b":
+        return shape.b_bytes
+    if matrix == "c":
+        return shape.c_bytes
+    raise ValueError(f"unknown matrix {matrix!r}")
+
+
+def traffic_seconds(cfg: GeMMConfig, hw: HardwareParams) -> Tuple[float, float]:
+    """Pure transfer-time lower bound per direction (Section 2.3.1).
+
+    Returns ``(inter_column, inter_row)`` times: for a matrix of size
+    ``sizeof(M)`` flowing among ``P_dir`` chips of a ring,
+    ``(P_dir - 1) * sizeof(M) / (P_r * P_c) / bw``.
+    """
+    (col_op, row_op) = flow_ops(cfg.dataflow, cfg.transposed)
+    chips = cfg.mesh.size
+    bw = hw.ring_bandwidth
+    col_time = (
+        (cfg.mesh.cols - 1) * matrix_bytes(cfg.shape, col_op[1]) / chips / bw
+    )
+    row_time = (
+        (cfg.mesh.rows - 1) * matrix_bytes(cfg.shape, row_op[1]) / chips / bw
+    )
+    return col_time, row_time
+
+
+class DistributedGeMM(abc.ABC):
+    """A distributed GeMM algorithm (timed plane plus optional functional).
+
+    Subclasses set ``name`` and implement :meth:`build_program`;
+    :meth:`check_support` reports configuration constraints (e.g.
+    Cannon's square-mesh requirement).
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build_program(self, cfg: GeMMConfig, hw: HardwareParams) -> Program:
+        """Build the representative-chip activity DAG for ``cfg``."""
+
+    def check_support(self, cfg: GeMMConfig) -> Optional[str]:
+        """Why ``cfg`` is unsupported, or ``None`` if it is supported."""
+        return None
+
+    def supports(self, cfg: GeMMConfig) -> bool:
+        return self.check_support(cfg) is None
+
+    def functional(
+        self, a: np.ndarray, b: np.ndarray, cfg: GeMMConfig
+    ) -> np.ndarray:
+        """Bit-exact numpy execution (optional; see each algorithm)."""
+        raise NotImplementedError(
+            f"{self.name} does not provide a functional implementation"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: Dict[str, Type[DistributedGeMM]] = {}
+
+
+def register(cls: Type[DistributedGeMM]) -> Type[DistributedGeMM]:
+    """Class decorator registering an algorithm under its ``name``."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"algorithm {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_algorithm(name: str) -> DistributedGeMM:
+    """Instantiate a registered algorithm by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}")
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    """Names of all registered algorithms."""
+    return tuple(sorted(_REGISTRY))
+
+
+def effective_problem(cfg: GeMMConfig) -> Tuple[GeMMShape, Dataflow]:
+    """The problem actually executed after applying transposition.
+
+    The transposed variant of a dataflow (Section 3.2.1) transposes all
+    matrices and flips the flow directions. Transposition maps OS to
+    itself and exchanges LS and RS (transposing ``C = A Bᵀ`` gives
+    ``Cᵀ = B Aᵀ``, a right-stationary form). The effective shape is the
+    transposed logical shape.
+    """
+    if not cfg.transposed:
+        return cfg.shape, cfg.dataflow
+    swapped = {
+        Dataflow.OS: Dataflow.OS,
+        Dataflow.LS: Dataflow.RS,
+        Dataflow.RS: Dataflow.LS,
+    }
+    return cfg.shape.transposed(), swapped[cfg.dataflow]
+
+
+def collective_local_dims(cfg: GeMMConfig) -> Tuple[int, int, int]:
+    """Local GeMM kernel dimensions of the Collective algorithm.
+
+    After the full AllGathers, each chip multiplies (per dataflow, with
+    ``(m, n, k)`` the effective problem dims and ``P_r x P_c`` the
+    mesh): OS ``(m/P_r, n/P_c, k)``, LS ``(m/P_r, n, k/P_c)``,
+    RS ``(m, n/P_c, k/P_r)``.
+    """
+    shape, dataflow = effective_problem(cfg)
+    rows, cols = cfg.mesh.rows, cfg.mesh.cols
+    m, n, k = shape.m, shape.n, shape.k
+    if dataflow is Dataflow.OS:
+        return (_div(m, rows), _div(n, cols), k)
+    if dataflow is Dataflow.LS:
+        return (_div(m, rows), n, _div(k, cols))
+    if dataflow is Dataflow.RS:
+        return (m, _div(n, cols), _div(k, rows))
+    raise ValueError(f"unknown dataflow {dataflow!r}")
+
+
+def sliced_local_dims(cfg: GeMMConfig, slices: int) -> Tuple[int, int, int]:
+    """Local kernel dimensions when the sliced dimension is split S ways.
+
+    MeshSlice, SUMMA (with unrolled iteration count S), and Wang all
+    partition the same logical dimension — the one the gathered inputs
+    or scattered outputs span (K for OS, N for LS, M for RS).
+    """
+    from repro.core.dataflow import sliced_dimension
+
+    shape, dataflow = effective_problem(cfg)
+    m, n, k = collective_local_dims(cfg)
+    dim = sliced_dimension(dataflow)
+    if dim == "k":
+        return (m, n, _div(k, slices))
+    if dim == "n":
+        return (m, _div(n, slices), k)
+    return (_div(m, slices), n, k)
+
+
+def _div(extent: int, parts: int) -> int:
+    """Integer division, rounding up so degenerate splits stay positive."""
+    return max(1, -(-extent // parts))

@@ -1,0 +1,118 @@
+"""Collective 2D GeMM baseline (Section 2.3.4, Figure 2b).
+
+One full AllGather per gathered direction, a single local GeMM, and a
+full ReduceScatter per scattered direction. The two collectives in
+different directions run in parallel (different links), but nothing
+overlaps with the GeMM computation — the algorithm's defining
+limitation. MeshSlice degenerates to this algorithm at slice count 1
+(minus the slicing copies).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    DistributedGeMM,
+    GeMMConfig,
+    collective_local_dims,
+    flow_ops,
+    matrix_bytes,
+    register,
+)
+from repro.comm.ops import ag_col, ag_row, rds_col, rds_row
+from repro.core.dataflow import Dataflow
+from repro.hw.params import HardwareParams
+from repro.mesh.sharding import gather_matrix, shard_matrix
+from repro.sim.engine import LINK_H, LINK_V
+from repro.sim.program import Program, ProgramBuilder
+
+
+@register
+class CollectiveGeMM(DistributedGeMM):
+    """AG/RdS 2D GeMM without communication-computation overlap."""
+
+    name = "collective"
+
+    def check_support(self, cfg: GeMMConfig) -> Optional[str]:
+        if cfg.slices != 1:
+            return "collective 2D GeMM has no granularity knob (slices must be 1)"
+        return None
+
+    def build_program(self, cfg: GeMMConfig, hw: HardwareParams) -> Program:
+        builder = ProgramBuilder(hw)
+        chips = cfg.mesh.size
+        (col_op, col_mat), (row_op, row_mat) = flow_ops(
+            cfg.dataflow, cfg.transposed
+        )
+        directions = [
+            (col_op, col_mat, LINK_H, cfg.mesh.cols),
+            (row_op, row_mat, LINK_V, cfg.mesh.rows),
+        ]
+        gemm_deps = []
+        for op, mat, link, ring in directions:
+            if op != "ag":
+                continue
+            shard_bytes = matrix_bytes(cfg.shape, mat) / chips
+            gemm_deps.append(
+                builder.allgather(f"ag_{mat}", ring, shard_bytes, link)
+            )
+        m, n, k = collective_local_dims(cfg)
+        gemm = builder.gemm("gemm", m, n, k, deps=gemm_deps)
+        for op, mat, link, ring in directions:
+            if op != "rds":
+                continue
+            shard_bytes = matrix_bytes(cfg.shape, mat) / chips
+            builder.reducescatter(f"rds_{mat}", ring, shard_bytes, link, deps=[gemm])
+        return builder.build(algorithm=self.name, config=cfg)
+
+    def functional(
+        self, a: np.ndarray, b: np.ndarray, cfg: GeMMConfig
+    ) -> np.ndarray:
+        """Figure 2b executed on numpy shards.
+
+        Same operand orientations as the MeshSlice functional plane:
+        OS computes ``A @ B``, LS computes ``A @ B.T`` with B stored
+        ``N x K``, RS computes ``A.T @ B`` with A stored ``K x M``.
+        """
+        if cfg.transposed:
+            raise NotImplementedError(
+                "functional plane covers non-transposed variants"
+            )
+        mesh = cfg.mesh
+        a_sh = shard_matrix(a, mesh)
+        b_sh = shard_matrix(b, mesh)
+        if cfg.dataflow is Dataflow.OS:
+            a_full = ag_col(a_sh.shards, mesh, axis=1)
+            b_full = ag_row(b_sh.shards, mesh, axis=0)
+            out = {
+                coord: a_full[coord] @ b_full[coord] for coord in mesh.coords()
+            }
+            return _assemble(out, mesh, (a.shape[0], b.shape[1]))
+        if cfg.dataflow is Dataflow.LS:
+            b_full = ag_row(b_sh.shards, mesh, axis=0)
+            partial = {
+                coord: a_sh.shard(coord) @ b_full[coord].T
+                for coord in mesh.coords()
+            }
+            out = rds_col(partial, mesh, axis=1)
+            return _assemble(out, mesh, (a.shape[0], b.shape[0]))
+        if cfg.dataflow is Dataflow.RS:
+            a_full = ag_col(a_sh.shards, mesh, axis=1)
+            partial = {
+                coord: a_full[coord].T @ b_sh.shard(coord)
+                for coord in mesh.coords()
+            }
+            out = rds_row(partial, mesh, axis=0)
+            return _assemble(out, mesh, (a.shape[1], b.shape[1]))
+        raise ValueError(f"unknown dataflow {cfg.dataflow!r}")
+
+
+def _assemble(shards, mesh, global_shape) -> np.ndarray:
+    from repro.mesh.sharding import ShardedMatrix
+
+    return gather_matrix(
+        ShardedMatrix(mesh=mesh, shards=shards, global_shape=global_shape)
+    )

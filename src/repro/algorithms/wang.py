@@ -1,0 +1,191 @@
+"""Wang et al. decomposition baseline (Section 2.3.4, [34]).
+
+Wang's algorithm partitions the collective communication of *one*
+torus direction into point-to-point SendRecv transfers that are
+software-pipelined with partial GeMMs; the collective in the other
+direction remains a blocking prologue (for a gathered input) or
+epilogue (for scattered outputs). This overlaps roughly half of the
+communication — the gap to MeshSlice, which partitions both directions.
+
+The decomposed direction is chosen as the one with the larger traffic
+cost (the profitable one to overlap). Loop unrolling (Section 4.2)
+merges the natural ``P - 1`` pipeline steps into ``min(S, P)`` larger
+GeMM groups, matching MeshSlice's granularity for fairness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import (
+    DistributedGeMM,
+    GeMMConfig,
+    collective_local_dims,
+    effective_problem,
+    flow_ops,
+    matrix_bytes,
+    register,
+)
+from repro.comm.ops import ag_row, shift_col
+from repro.core.dataflow import Dataflow, sliced_dimension
+from repro.hw.params import HardwareParams
+from repro.mesh.sharding import gather_matrix, shard_matrix, zeros_like_sharded
+from repro.sim.engine import LINK_H, LINK_V
+from repro.sim.program import Program, ProgramBuilder
+
+
+@register
+class WangGeMM(DistributedGeMM):
+    """Single-direction SendRecv decomposition of Collective 2D GeMM."""
+
+    name = "wang"
+
+    def build_program(self, cfg: GeMMConfig, hw: HardwareParams) -> Program:
+        builder = ProgramBuilder(hw)
+        chips = cfg.mesh.size
+        (col_op, col_mat), (row_op, row_mat) = flow_ops(
+            cfg.dataflow, cfg.transposed
+        )
+        directions = [
+            (col_op, col_mat, LINK_H, cfg.mesh.cols),
+            (row_op, row_mat, LINK_V, cfg.mesh.rows),
+        ]
+
+        def traffic(direction) -> float:
+            op, mat, _link, ring = direction
+            return (ring - 1) * matrix_bytes(cfg.shape, mat) / chips
+
+        decomposed = max(directions, key=traffic)
+        blocking = directions[1 - directions.index(decomposed)]
+
+        # Blocking collective of the non-decomposed direction.
+        prologue: List[int] = []
+        if blocking[3] > 1:
+            op, mat, link, ring = blocking
+            shard_bytes = matrix_bytes(cfg.shape, mat) / chips
+            if op == "ag":
+                prologue.append(
+                    builder.allgather(f"ag_{mat}", ring, shard_bytes, link)
+                )
+        dec_op, dec_mat, dec_link, dec_ring = decomposed
+        step_bytes = matrix_bytes(cfg.shape, dec_mat) / chips
+        groups = max(1, min(cfg.slices, dec_ring))
+        bounds = [g * dec_ring // groups for g in range(groups + 1)]
+
+        _shape, eff_dataflow = effective_problem(cfg)
+        full_dims = collective_local_dims(cfg)
+        split_dim = {"m": 0, "n": 1, "k": 2}[sliced_dimension(eff_dataflow)]
+
+        def group_dims(size: int):
+            dims = list(full_dims)
+            dims[split_dim] = max(1, dims[split_dim] * size // dec_ring)
+            return tuple(dims)
+
+        if dec_op == "ag":
+            # SendRecv pipeline delivers shard h at hop h (shard 0 is
+            # local); GeMM group g needs every shard below bounds[g+1].
+            hops: List[int] = []
+            prev = None
+            for h in range(1, dec_ring):
+                prev = builder.sendrecv(
+                    f"sendrecv_{dec_mat}[{h}]",
+                    step_bytes,
+                    dec_link,
+                    deps=[prev] if prev is not None else [],
+                )
+                hops.append(prev)
+            gemm = None
+            for g in range(groups):
+                size = bounds[g + 1] - bounds[g]
+                if size <= 0:
+                    continue
+                deps = list(prologue)
+                last_shard = bounds[g + 1] - 1
+                if last_shard >= 1:
+                    deps.append(hops[last_shard - 1])
+                if gemm is not None:
+                    deps.append(gemm)
+                m, n, k = group_dims(size)
+                gemm = builder.gemm(f"gemm[{g}]", m, n, k, deps=deps)
+            self._blocking_epilogue(builder, cfg, blocking, [gemm])
+        else:
+            # Decomposed ReduceScatter: partial GeMMs feed a chain of
+            # accumulate-and-forward SendRecvs; the tail of the chain is
+            # the non-overlapped epilogue.
+            total_hops = dec_ring - 1
+            hop_bounds = [g * total_hops // groups for g in range(groups + 1)]
+            prev_hop = None
+            gemm = None
+            for g in range(groups):
+                size = bounds[g + 1] - bounds[g]
+                if size <= 0:
+                    continue
+                deps = list(prologue)
+                if gemm is not None:
+                    deps.append(gemm)
+                m, n, k = group_dims(size)
+                gemm = builder.gemm(f"gemm[{g}]", m, n, k, deps=deps)
+                for h in range(hop_bounds[g], hop_bounds[g + 1]):
+                    hop_deps = [gemm]
+                    if prev_hop is not None:
+                        hop_deps.append(prev_hop)
+                    prev_hop = builder.sendrecv(
+                        f"sendrecv_{dec_mat}[{h}]",
+                        step_bytes,
+                        dec_link,
+                        deps=hop_deps,
+                    )
+            self._blocking_epilogue(builder, cfg, blocking, [gemm])
+        return builder.build(algorithm=self.name, config=cfg)
+
+    @staticmethod
+    def _blocking_epilogue(
+        builder: ProgramBuilder, cfg: GeMMConfig, blocking, deps: List[Optional[int]]
+    ) -> None:
+        op, mat, link, ring = blocking
+        if op != "rds" or ring <= 1:
+            return
+        shard_bytes = matrix_bytes(cfg.shape, mat) / cfg.mesh.size
+        builder.reducescatter(
+            f"rds_{mat}", ring, shard_bytes, link,
+            deps=[d for d in deps if d is not None],
+        )
+
+    # ------------------------------------------------------------ functional
+
+    def functional(
+        self, a: np.ndarray, b: np.ndarray, cfg: GeMMConfig
+    ) -> np.ndarray:
+        """OS-dataflow reference: ``C = A @ B``.
+
+        All-gathers ``B`` within column rings up front, then circulates
+        the local ``A`` shards around each row ring, accumulating the
+        partial product that matches the currently-held shard — the
+        SendRecv decomposition of the ``A`` AllGather.
+        """
+        if cfg.dataflow is not Dataflow.OS or cfg.transposed:
+            raise NotImplementedError(
+                "functional Wang reference covers the OS dataflow"
+            )
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"contraction mismatch: A {a.shape} vs B {b.shape}")
+        mesh = cfg.mesh
+        k = a.shape[1]
+        block_k = k // mesh.cols
+        a_sh = shard_matrix(a, mesh)
+        b_sh = shard_matrix(b, mesh)
+        b_full = ag_row(b_sh.shards, mesh, axis=0)
+        c_sh = zeros_like_sharded(
+            (a.shape[0], b.shape[1]), mesh, dtype=np.result_type(a, b)
+        )
+        a_cur = dict(a_sh.shards)
+        for step in range(mesh.cols):
+            for i, j in mesh.coords():
+                src_col = (j + step) % mesh.cols
+                rows = slice(src_col * block_k, (src_col + 1) * block_k)
+                c_sh.shards[(i, j)] += a_cur[(i, j)] @ b_full[(i, j)][rows, :]
+            if step < mesh.cols - 1:
+                a_cur = shift_col(a_cur, mesh, 1)
+        return gather_matrix(c_sh)

@@ -1,0 +1,40 @@
+"""The MeshSlice LLM autotuner (Section 3.2)."""
+
+from repro.autotuner.costmodel import (
+    CostEstimate,
+    best_slice_count,
+    collective_estimate,
+    meshslice_estimate,
+    valid_slice_counts_for,
+)
+from repro.autotuner.dataflow import (
+    PASSES,
+    STATIONARY_CHOICES,
+    LayerPlan,
+    PassPlan,
+    choose_stationary,
+    pass_plans,
+    plan_layer,
+    plan_model,
+)
+from repro.autotuner.search import TunedPass, TuningResult, tune, tune_mesh
+
+__all__ = [
+    "CostEstimate",
+    "LayerPlan",
+    "PASSES",
+    "PassPlan",
+    "STATIONARY_CHOICES",
+    "TunedPass",
+    "TuningResult",
+    "best_slice_count",
+    "choose_stationary",
+    "collective_estimate",
+    "meshslice_estimate",
+    "pass_plans",
+    "plan_layer",
+    "plan_model",
+    "tune",
+    "tune_mesh",
+    "valid_slice_counts_for",
+]

@@ -1,0 +1,199 @@
+"""Autotuner Phase 2 cost models (Section 3.2.2).
+
+Closed-form estimates of MeshSlice execution time, built from the
+linear communication model
+
+    ``cost_op = t_launch + (P - 1) * (t_sync + sizeof(shard) / bw)``
+
+and the analytical compute model (local FLOPs over effective
+throughput). The per-layer execution time follows the paper's
+three-part decomposition::
+
+    total = prologue + (S - 1) * steady_state + epilogue
+
+where the prologue is the first iteration's communication that software
+pipelining cannot hide (the longest of the leading AllGathers), the
+steady state is the longest of the per-iteration operations (the
+partial GeMM on the core, or either direction's collective on its
+link), and the epilogue is the last iteration's trailing work (the
+partial GeMM, plus the final ReduceScatter for LS/RS dataflows).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Tuple
+
+from repro.algorithms.base import (
+    GeMMConfig,
+    effective_problem,
+    flow_ops,
+    matrix_bytes,
+    sliced_local_dims,
+)
+from repro.comm.cost import CommCostModel
+from repro.core.dataflow import sliced_extent
+from repro.hw.params import HardwareParams
+from repro.mesh.topology import divisors
+from repro.sim.chip import gemm_cost, slice_cost
+
+
+@dataclasses.dataclass(frozen=True)
+class CostEstimate:
+    """Analytical execution-time estimate of one distributed GeMM."""
+
+    prologue: float
+    steady: float
+    epilogue: float
+    slices: int
+    flops_per_chip: float
+
+    @property
+    def total(self) -> float:
+        return self.prologue + max(self.slices - 1, 0) * self.steady + self.epilogue
+
+    def flop_utilization(self, hw: HardwareParams) -> float:
+        if self.total <= 0:
+            return 0.0
+        return self.flops_per_chip / (self.total * hw.peak_flops)
+
+
+def meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
+    """Estimate the MeshSlice program of ``cfg`` without simulating it."""
+    costs = CommCostModel(hw)
+    chips = cfg.mesh.size
+    slices = cfg.slices
+    (col_op, col_mat), (row_op, row_mat) = flow_ops(cfg.dataflow, cfg.transposed)
+    directions = [
+        (col_op, col_mat, cfg.mesh.cols),
+        (row_op, row_mat, cfg.mesh.rows),
+    ]
+
+    ag_costs = []
+    rds_costs = []
+    core_extra = 0.0
+    comm_hbm_bytes = 0.0
+    comm_transfer = 0.0
+    for op, mat, ring in directions:
+        shard_bytes = matrix_bytes(cfg.shape, mat) / (chips * slices)
+        if slices > 1:
+            core_extra += slice_cost(shard_bytes, hw).seconds
+        if ring <= 1:
+            continue
+        if op == "ag":
+            cost = costs.allgather(ring, shard_bytes)
+            ag_costs.append(cost)
+        else:
+            cost = costs.reducescatter(ring, shard_bytes)
+            rds_costs.append(cost)
+        comm_hbm_bytes += cost.hbm_bytes
+        comm_transfer += cost.transfer
+
+    def contended_total(cost) -> float:
+        """Op duration with the logical-mesh NIC bound (Section 6).
+
+        While the directions' transfers overlap they share the NIC, so
+        an op's transfer cannot beat the work-conserving time of the
+        *combined* wire traffic; synchronization and launch remain
+        per-op serial terms.
+        """
+        if not hw.has_shared_nic:
+            return cost.total
+        contended = max(
+            cost.transfer,
+            comm_transfer * hw.ring_bandwidth / hw.nic_bandwidth,
+        )
+        return cost.launch + cost.sync + contended
+
+    ag_times = [contended_total(c) for c in ag_costs]
+    rds_times = [contended_total(c) for c in rds_costs]
+
+    m, n, k = sliced_local_dims(cfg, slices)
+    gemm = gemm_cost(m, n, k, hw)
+    core_iter = gemm.seconds + core_extra
+
+    if hw.overlap_collectives:
+        prologue = max(ag_times, default=0.0)
+        # HBM roofline of one overlapped iteration: the NIC's collective
+        # traffic and the GeMM's tile traffic share the HBM, so a
+        # steady-state iteration can take no less time than moving all
+        # of those bytes. Dominates for memory-bound (inference-decode)
+        # GeMMs, where slicing therefore stops paying off (Section 6).
+        hbm_iter = (gemm.hbm_bytes + comm_hbm_bytes) / hw.hbm_bandwidth
+        steady = max([core_iter, hbm_iter] + ag_times + rds_times)
+        epilogue = core_iter + sum(rds_times)
+    else:
+        # Without overlap every iteration serializes its operations.
+        iteration = sum(ag_times) + core_iter + sum(rds_times)
+        prologue = 0.0
+        steady = iteration
+        epilogue = iteration
+    return CostEstimate(
+        prologue=prologue,
+        steady=steady,
+        epilogue=epilogue,
+        slices=slices,
+        flops_per_chip=cfg.shape.flops / chips,
+    )
+
+
+def collective_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
+    """Estimate the Collective 2D GeMM (the S = 1 degenerate case)."""
+    base = dataclasses.replace(cfg, slices=1)
+    costs = CommCostModel(hw)
+    chips = cfg.mesh.size
+    (col_op, col_mat), (row_op, row_mat) = flow_ops(cfg.dataflow, cfg.transposed)
+    ag_times, rds_times = [], []
+    for op, mat, ring in (
+        (col_op, col_mat, cfg.mesh.cols),
+        (row_op, row_mat, cfg.mesh.rows),
+    ):
+        if ring <= 1:
+            continue
+        shard_bytes = matrix_bytes(cfg.shape, mat) / chips
+        if op == "ag":
+            ag_times.append(costs.allgather(ring, shard_bytes).total)
+        else:
+            rds_times.append(costs.reducescatter(ring, shard_bytes).total)
+    from repro.algorithms.base import collective_local_dims
+
+    m, n, k = collective_local_dims(base)
+    gemm = gemm_cost(m, n, k, hw)
+    return CostEstimate(
+        prologue=max(ag_times, default=0.0),
+        steady=0.0,
+        epilogue=gemm.seconds + max(rds_times, default=0.0),
+        slices=1,
+        flops_per_chip=cfg.shape.flops / chips,
+    )
+
+
+def valid_slice_counts_for(
+    cfg: GeMMConfig, max_slices: int = 64
+) -> List[int]:
+    """Slice counts compatible with ``cfg``'s mesh and sliced dimension.
+
+    ``S`` must divide the sliced dimension's local extent on both the
+    row and the column partitioning (Section 3.1.2); the search is
+    capped at ``max_slices`` since larger counts only add overhead.
+    """
+    shape, dataflow = effective_problem(cfg)
+    extent = sliced_extent(shape, dataflow)
+    if extent % cfg.mesh.rows != 0 or extent % cfg.mesh.cols != 0:
+        return [1]
+    g = math.gcd(extent // cfg.mesh.rows, extent // cfg.mesh.cols)
+    return [s for s in divisors(g) if s <= max_slices] or [1]
+
+
+def best_slice_count(
+    cfg: GeMMConfig, hw: HardwareParams, max_slices: int = 64
+) -> Tuple[int, CostEstimate]:
+    """Exhaustively pick the S minimizing the analytical estimate."""
+    best: Tuple[int, CostEstimate] = (1, None)
+    for s in valid_slice_counts_for(cfg, max_slices):
+        candidate = dataclasses.replace(cfg, slices=s)
+        estimate = meshslice_estimate(candidate, hw)
+        if best[1] is None or estimate.total < best[1].total:
+            best = (s, estimate)
+    return best

@@ -1,0 +1,215 @@
+"""Autotuner Phase 1: dataflow and sharding selection (Section 3.2.1).
+
+For each FC layer ``Y = X W`` the autotuner keeps the *largest* of the
+three matrices stationary across all three training GeMMs, which picks
+one row of the paper's Table 1:
+
+=========  ==================  =====================  =====================
+Dataflow   Forward             Backward data          Backward weight
+=========  ==================  =====================  =====================
+Y-stn      ``Y = OS(X, W)``    ``X' = LS(Y', W)``     ``W' = RS(X, Y')``
+X-stn      ``Y = LS(X, Wᵀ)``   ``X' = OS(Y', Wᵀ)``    ``W'ᵀ = RS(Y', X)``
+W-stn      ``Y = RS(Xᵀ, W)``   ``X'ᵀ = LS(W, Y')``    ``W' = OS(Xᵀ, Y')``
+=========  ==================  =====================  =====================
+
+Each row guarantees that (1) the largest matrix never moves, (2) a
+matrix and its gradient flow in the same direction in all three
+computations, and (3) no runtime transpositions are needed. The
+shardings follow mechanically: matrix rows are sharded over mesh rows
+and matrix columns over mesh columns.
+
+A per-layer *transposed* variant (all matrices transposed, flow
+directions flipped) exists for every row; :func:`plan_model` applies
+the paper's heuristic — use the non-transposed variant unless the
+layer's input would need a transposition — by tracking the orientation
+of the activations flowing between layers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataflow import Dataflow
+from repro.core.gemm import GeMMShape
+from repro.models.config import LLMConfig
+from repro.models.layers import FCLayer, fc_layers
+
+#: Stationary-matrix choices (rows of Table 1).
+STATIONARY_CHOICES = ("Y", "X", "W")
+
+#: The three training computations of one FC layer.
+PASSES = ("fwd", "bwd_data", "bwd_weight")
+
+
+@dataclasses.dataclass(frozen=True)
+class PassPlan:
+    """The execution plan of one training GeMM of one FC layer.
+
+    Attributes:
+        pass_name: ``"fwd"``, ``"bwd_data"``, or ``"bwd_weight"``.
+        shape: The logical GeMM actually computed (already oriented so
+            that no runtime transposition is needed).
+        dataflow: The 2D dataflow that keeps the chosen matrix
+            stationary for this pass.
+        transposed: Whether this is the transposed dataflow variant.
+    """
+
+    pass_name: str
+    shape: GeMMShape
+    dataflow: Dataflow
+    transposed: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerPlan:
+    """Phase-1 output for one FC layer."""
+
+    layer: FCLayer
+    stationary: str
+    passes: Tuple[PassPlan, ...]
+
+    def pass_plan(self, pass_name: str) -> PassPlan:
+        for plan in self.passes:
+            if plan.pass_name == pass_name:
+                return plan
+        raise KeyError(f"no pass {pass_name!r} in plan for {self.layer.name}")
+
+
+def choose_stationary(tokens: int, in_dim: int, out_dim: int) -> str:
+    """Pick the stationary matrix: the largest of X, W, Y.
+
+    Ties break toward ``Y`` (the transpose-free default), then ``X``.
+    """
+    sizes = {
+        "Y": tokens * out_dim,
+        "X": tokens * in_dim,
+        "W": in_dim * out_dim,
+    }
+    return max(STATIONARY_CHOICES[::-1], key=lambda s: (sizes[s], s == "Y", s == "X"))
+
+
+def pass_plans(
+    stationary: str,
+    tokens: int,
+    in_dim: int,
+    out_dim: int,
+    dtype_bytes: int = 2,
+    transposed: bool = False,
+) -> Tuple[PassPlan, ...]:
+    """The Table 1 row for one stationary choice.
+
+    Shapes are given in the orientation actually computed, e.g. the
+    X-stationary backward-weight computes ``W'ᵀ = Y'ᵀ X`` as an
+    ``(N, K, M)`` product.
+    """
+    if stationary not in STATIONARY_CHOICES:
+        raise ValueError(f"unknown stationary choice {stationary!r}")
+    m, n, k = tokens, out_dim, in_dim
+    table: Dict[str, List[Tuple[str, Dataflow, Tuple[int, int, int]]]] = {
+        "Y": [
+            ("fwd", Dataflow.OS, (m, n, k)),
+            ("bwd_data", Dataflow.LS, (m, k, n)),
+            ("bwd_weight", Dataflow.RS, (k, n, m)),
+        ],
+        "X": [
+            ("fwd", Dataflow.LS, (m, n, k)),
+            ("bwd_data", Dataflow.OS, (m, k, n)),
+            ("bwd_weight", Dataflow.RS, (n, k, m)),
+        ],
+        "W": [
+            ("fwd", Dataflow.RS, (m, n, k)),
+            ("bwd_data", Dataflow.LS, (k, m, n)),
+            ("bwd_weight", Dataflow.OS, (k, n, m)),
+        ],
+    }
+    plans = []
+    for pass_name, dataflow, dims in table[stationary]:
+        shape = GeMMShape(*dims, dtype_bytes=dtype_bytes)
+        if transposed:
+            shape = shape.transposed()
+        plans.append(
+            PassPlan(
+                pass_name=pass_name,
+                shape=shape,
+                dataflow=dataflow,
+                transposed=transposed,
+            )
+        )
+    return tuple(plans)
+
+
+def _variant_orientation(stationary: str, transposed: bool) -> Tuple[str, str]:
+    """(consumed, produced) activation orientation of a variant.
+
+    The non-transposed Y-stn and X-stn rows consume and produce
+    activations in normal orientation; the non-transposed W-stn row
+    consumes a transposed input (``Y = RS(Xᵀ, W)``) but produces a
+    normal output. Transposing a variant flips both.
+    """
+    consumed, produced = ("T", "N") if stationary == "W" else ("N", "N")
+    if transposed:
+        flip = {"N": "T", "T": "N"}
+        consumed, produced = flip[consumed], flip[produced]
+    return consumed, produced
+
+
+def plan_layer(
+    layer: FCLayer,
+    tokens: int,
+    stationary: Optional[str] = None,
+    dtype_bytes: int = 2,
+    input_orientation: str = "N",
+) -> Tuple[LayerPlan, str]:
+    """Plan one layer; returns the plan and the output orientation.
+
+    Applies the transposition heuristic: defaults to the non-transposed
+    variant, switching to the transposed variant only when the layer's
+    input arrives in the orientation the non-transposed variant cannot
+    consume.
+    """
+    if stationary is None:
+        stationary = choose_stationary(tokens, layer.in_dim, layer.out_dim)
+    consumed, produced = _variant_orientation(stationary, transposed=False)
+    transposed = consumed != input_orientation
+    if transposed:
+        consumed, produced = _variant_orientation(stationary, transposed=True)
+    plan = LayerPlan(
+        layer=layer,
+        stationary=stationary,
+        passes=pass_plans(
+            stationary,
+            tokens,
+            layer.in_dim,
+            layer.out_dim,
+            dtype_bytes=dtype_bytes,
+            transposed=transposed,
+        ),
+    )
+    return plan, produced
+
+
+def plan_model(
+    model: LLMConfig,
+    tokens: int,
+    optimize_dataflow: bool = True,
+    dtype_bytes: int = 2,
+) -> List[LayerPlan]:
+    """Phase-1 plans for the four FC layers of one transformer block.
+
+    With ``optimize_dataflow=False`` every layer uses the Y-stationary
+    default (the transpose-free baseline of Table 2).
+    """
+    plans = []
+    orientation = "N"
+    for layer in fc_layers(model):
+        stationary = None if optimize_dataflow else "Y"
+        plan, orientation = plan_layer(
+            layer,
+            tokens,
+            stationary=stationary,
+            dtype_bytes=dtype_bytes,
+            input_orientation=orientation,
+        )
+        plans.append(plan)
+    return plans

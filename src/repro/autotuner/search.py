@@ -1,0 +1,145 @@
+"""Autotuner Phase 2: mesh shape and slice count co-optimization.
+
+For every candidate mesh shape of the cluster, the autotuner tunes the
+slice count ``S_i`` of each FC-layer training GeMM independently (their
+optima do not interact, Section 3.2.2) using the analytical cost
+models, then picks the mesh shape with the shortest total FC execution
+time. The search space is small — a handful of integer factorizations
+times a handful of divisors — so tuning completes in well under a
+second.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import GeMMConfig
+from repro.autotuner.costmodel import CostEstimate, best_slice_count
+from repro.autotuner.dataflow import LayerPlan, PassPlan, plan_model
+from repro.hw.params import HardwareParams
+from repro.mesh.topology import Mesh2D, mesh_shapes
+from repro.models.config import LLMConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class TunedPass:
+    """A tuned configuration for one training GeMM of one layer."""
+
+    layer_name: str
+    plan: PassPlan
+    slices: int
+    estimate: CostEstimate
+
+    def config(self, mesh: Mesh2D) -> GeMMConfig:
+        return GeMMConfig(
+            shape=self.plan.shape,
+            mesh=mesh,
+            dataflow=self.plan.dataflow,
+            slices=self.slices,
+            transposed=self.plan.transposed,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Output of the full autotuner run.
+
+    Attributes:
+        mesh: The selected mesh shape.
+        passes: Tuned per-layer, per-pass configurations (one block).
+        block_seconds: Estimated FC execution time of one block.
+        per_mesh_seconds: Estimated block time of every candidate shape
+            (for reporting the shape sensitivity of Figure 13).
+    """
+
+    mesh: Mesh2D
+    passes: Tuple[TunedPass, ...]
+    block_seconds: float
+    per_mesh_seconds: Dict[Tuple[int, int], float]
+
+    def slices_for(self, layer_name: str, pass_name: str) -> int:
+        for tuned in self.passes:
+            if (
+                tuned.layer_name == layer_name
+                and tuned.plan.pass_name == pass_name
+            ):
+                return tuned.slices
+        raise KeyError(f"no tuned pass {layer_name}/{pass_name}")
+
+
+def tune_mesh(
+    plans: Sequence[LayerPlan],
+    mesh: Mesh2D,
+    hw: HardwareParams,
+    max_slices: int = 64,
+) -> Tuple[List[TunedPass], float]:
+    """Tune every pass's slice count for one fixed mesh shape."""
+    tuned: List[TunedPass] = []
+    total = 0.0
+    for plan in plans:
+        for pass_plan in plan.passes:
+            cfg = GeMMConfig(
+                shape=pass_plan.shape,
+                mesh=mesh,
+                dataflow=pass_plan.dataflow,
+                slices=1,
+                transposed=pass_plan.transposed,
+            )
+            slices, estimate = best_slice_count(cfg, hw, max_slices)
+            tuned.append(
+                TunedPass(
+                    layer_name=plan.layer.name,
+                    plan=pass_plan,
+                    slices=slices,
+                    estimate=estimate,
+                )
+            )
+            total += estimate.total
+    return tuned, total
+
+
+def tune(
+    model: LLMConfig,
+    batch_size: int,
+    chips: int,
+    hw: HardwareParams,
+    optimize_dataflow: bool = True,
+    mesh_candidates: Optional[Sequence[Mesh2D]] = None,
+    min_mesh_dim: int = 2,
+    max_slices: int = 64,
+) -> TuningResult:
+    """Run both autotuner phases for an LLM training configuration.
+
+    Args:
+        model: The LLM architecture.
+        batch_size: Global batch size (sequences).
+        chips: Cluster size (number of accelerator chips).
+        hw: Hardware parameters.
+        optimize_dataflow: Phase-1 on/off (Table 2's comparison).
+        mesh_candidates: Candidate torus shapes; defaults to all
+            factorizations of ``chips`` with both dims >= ``min_mesh_dim``.
+        max_slices: Upper bound of the slice-count search.
+    """
+    tokens = model.tokens(batch_size)
+    plans = plan_model(model, tokens, optimize_dataflow=optimize_dataflow)
+    if mesh_candidates is not None:
+        candidates = list(mesh_candidates)
+    else:
+        candidates = mesh_shapes(chips, min_dim=min_mesh_dim)
+    if not candidates:
+        raise ValueError(f"no candidate mesh shapes for {chips} chips")
+
+    best: Optional[TuningResult] = None
+    per_mesh: Dict[Tuple[int, int], float] = {}
+    for mesh in candidates:
+        tuned, total = tune_mesh(plans, mesh, hw, max_slices)
+        per_mesh[mesh.shape] = total
+        if best is None or total < best.block_seconds:
+            best = TuningResult(
+                mesh=mesh,
+                passes=tuple(tuned),
+                block_seconds=total,
+                per_mesh_seconds={},
+            )
+    return dataclasses.replace(best, per_mesh_seconds=per_mesh)

@@ -1,0 +1,186 @@
+"""Command-line interface: ``meshslice <command>``.
+
+Experiment reproduction::
+
+    meshslice list                 # enumerate experiments
+    meshslice fig9                 # run one (any name from `list`)
+    meshslice all                  # run everything
+
+Deployment planning and introspection::
+
+    meshslice tune gpt3-175b --chips 256 --batch 128 [--hw tpuv4-sim]
+    meshslice models               # model zoo
+    meshslice presets              # hardware presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="meshslice",
+        description="MeshSlice (ISCA 2025) reproduction toolkit",
+    )
+    parser.add_argument(
+        "command",
+        help=(
+            "an experiment name ('list' to enumerate, 'all' for every "
+            "experiment), or one of: tune, models, presets"
+        ),
+    )
+    parser.add_argument(
+        "model", nargs="?", default=None,
+        help="model name for the 'tune' command",
+    )
+    parser.add_argument(
+        "--chips", type=int, default=256, help="cluster size for 'tune'"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None,
+        help="global batch for 'tune' (default: chips / 2)",
+    )
+    parser.add_argument(
+        "--hw", default="tpuv4-sim",
+        help="hardware preset name for 'tune' (see 'presets')",
+    )
+    return parser
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment module's main() and return its report."""
+    try:
+        module = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    return module.main()
+
+
+def _cmd_list() -> int:
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"{name:22s} {doc}")
+    return 0
+
+
+def _cmd_models() -> int:
+    from repro.experiments.common import render_table
+    from repro.models import get_model, model_names
+
+    rows = []
+    for name in model_names():
+        model = get_model(name)
+        rows.append(
+            (
+                name,
+                model.num_layers,
+                model.hidden,
+                model.ffn_dim,
+                f"{model.approx_params / 1e9:.0f}B (FC)",
+            )
+        )
+    print(render_table(["model", "layers", "hidden", "ffn", "params"], rows))
+    return 0
+
+
+def _cmd_presets() -> int:
+    from repro.experiments.common import render_table
+    from repro.hw import get_preset, preset_names
+
+    rows = []
+    for name in preset_names():
+        hw = get_preset(name)
+        rows.append(
+            (
+                name,
+                f"{hw.peak_flops / 1e12:.0f} TF",
+                f"{hw.link_bandwidth / 1e9:.0f} GB/s x{hw.links_per_direction}",
+                hw.network,
+                "yes" if hw.overlap_collectives else "no",
+            )
+        )
+    print(
+        render_table(
+            ["preset", "peak", "link bw", "network", "AG/RdS overlap"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.autotuner import tune
+    from repro.experiments.common import render_table
+    from repro.hw import get_preset
+    from repro.models import get_model
+
+    if args.model is None:
+        print("usage: meshslice tune <model> [--chips N] [--batch B] [--hw P]",
+              file=sys.stderr)
+        return 2
+    try:
+        model = get_model(args.model)
+        hw = get_preset(args.hw)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    batch = args.batch if args.batch is not None else max(1, args.chips // 2)
+    result = tune(model, batch, args.chips, hw)
+    print(
+        f"{model.name}: {args.chips} chips ({hw.name}), batch {batch}\n"
+        f"chosen mesh: {result.mesh}; estimated FC block "
+        f"{result.block_seconds * 1e3:.2f} ms\n"
+    )
+    print(
+        render_table(
+            ["layer", "pass", "dataflow", "S"],
+            [
+                (t.layer_name, t.plan.pass_name, t.plan.dataflow.name, t.slices)
+                for t in result.passes
+            ],
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "list":
+        return _cmd_list()
+    if command == "models":
+        return _cmd_models()
+    if command == "presets":
+        return _cmd_presets()
+    if command == "tune":
+        return _cmd_tune(args)
+    names = sorted(EXPERIMENTS) if command == "all" else [command]
+    for name in names:
+        start = time.time()
+        try:
+            report = run_experiment(name)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(f"=== {name} " + "=" * max(0, 70 - len(name)))
+        print(report)
+        print(f"--- {name} done in {time.time() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

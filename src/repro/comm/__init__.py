@@ -1,0 +1,35 @@
+"""Collective communication: functional ring collectives and cost models."""
+
+from repro.comm.cost import ZERO_COST, CommCost, CommCostModel
+from repro.comm.ops import (
+    ring_allgather,
+    ring_reducescatter,
+    ag_col,
+    ag_row,
+    bcast_col,
+    bcast_row,
+    rds_col,
+    rds_row,
+    reduce_col,
+    reduce_row,
+    shift_col,
+    shift_row,
+)
+
+__all__ = [
+    "ring_allgather",
+    "ring_reducescatter",
+    "CommCost",
+    "CommCostModel",
+    "ZERO_COST",
+    "ag_col",
+    "ag_row",
+    "bcast_col",
+    "bcast_row",
+    "rds_col",
+    "rds_row",
+    "reduce_col",
+    "reduce_row",
+    "shift_col",
+    "shift_row",
+]

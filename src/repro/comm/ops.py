@@ -1,0 +1,242 @@
+"""Functional ring collectives over sharded matrices.
+
+These are the communication primitives used by every distributed GeMM
+algorithm in the paper, implemented over per-chip numpy arrays so the
+algorithms can be verified bit-exactly against local matmul.
+
+Naming follows the paper's Figure 2: a ``col`` subscript denotes
+*inter-column* communication among the chips of the same row (the
+horizontal/row ring), and a ``row`` subscript denotes *inter-row*
+communication among the chips of the same column (the vertical/column
+ring). Example: ``ag_col`` all-gathers each chip's shard from all chips
+in its row.
+
+All collectives are implemented with explicit ring steps (each chip only
+ever exchanges data with its ring neighbours), mirroring how a 2D torus
+executes them, rather than by assembling the result from global state.
+This keeps the functional plane honest: an algorithm cannot accidentally
+read data its chips never received.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.mesh.topology import Coord, Mesh2D
+
+Shards = Dict[Coord, np.ndarray]
+
+
+def _check_mesh_shards(shards: Shards, mesh: Mesh2D) -> None:
+    missing = [c for c in mesh.coords() if c not in shards]
+    if missing:
+        raise ValueError(f"shards missing for chips {missing[:4]} of mesh {mesh}")
+
+
+def ring_allgather(chunks: List[np.ndarray], axis: int) -> List[np.ndarray]:
+    """Ring AllGather over one ring.
+
+    ``chunks[r]`` is rank ``r``'s local chunk. Executes the standard
+    P-1 step ring algorithm (Figure 3, right): at every step each rank
+    forwards the chunk it received in the previous step to its next
+    neighbour. Returns the gathered array per rank (identical on all
+    ranks, assembled in global rank order).
+    """
+    p = len(chunks)
+    # Per-rank collection, indexed by source rank.
+    have: List[Dict[int, np.ndarray]] = [{r: chunks[r]} for r in range(p)]
+    # in_flight[r] is the chunk rank r forwards in the current step.
+    in_flight = list(range(p))
+    for _step in range(p - 1):
+        received = []
+        for r in range(p):
+            src_rank = in_flight[(r - 1) % p]
+            received.append(src_rank)
+            have[r][src_rank] = chunks[src_rank]
+        in_flight = received
+    gathered = []
+    for r in range(p):
+        if len(have[r]) != p:
+            raise AssertionError("ring allgather did not deliver all chunks")
+        gathered.append(np.concatenate([have[r][s] for s in range(p)], axis=axis))
+    return gathered
+
+
+def ring_reducescatter(parts: List[np.ndarray], axis: int) -> List[np.ndarray]:
+    """Ring ReduceScatter over one ring.
+
+    ``parts[r]`` is rank ``r``'s full-size partial result. Splits every
+    partial into P chunks along ``axis``; rank ``r`` ends with the sum
+    of chunk ``r`` over all ranks. Executes the P-1 step ring algorithm
+    where partial sums travel around the ring accumulating local
+    contributions.
+    """
+    p = len(parts)
+    split = [np.array_split(part, p, axis=axis) for part in parts]
+    for chunks in split:
+        sizes = {c.shape[axis] for c in chunks}
+        if len(sizes) != 1:
+            raise ValueError(
+                f"reduce-scatter axis {axis} does not divide evenly into {p} parts"
+            )
+    # acc[r] is the partial sum currently held by rank r; it is destined
+    # for chunk index dest[r]. The partial for chunk c starts at rank
+    # c+1 and travels P-1 hops forward, arriving at rank c.
+    acc = [split[r][(r - 1) % p].copy() for r in range(p)]
+    dest = [(r - 1) % p for r in range(p)]
+    for _step in range(p - 1):
+        new_acc, new_dest = [], []
+        for r in range(p):
+            prev = (r - 1) % p
+            incoming, chunk_idx = acc[prev], dest[prev]
+            new_acc.append(incoming + split[r][chunk_idx])
+            new_dest.append(chunk_idx)
+        acc, dest = new_acc, new_dest
+    result = [None] * p
+    for r in range(p):
+        if dest[r] != r:
+            raise AssertionError("ring reduce-scatter routed a chunk incorrectly")
+        result[r] = acc[r]
+    return result
+
+
+def ag_col(shards: Shards, mesh: Mesh2D, axis: int = 1) -> Shards:
+    """AllGather within each row ring (inter-column communication).
+
+    Every chip ``(i, j)`` receives the concatenation, along ``axis``, of
+    the shards of all chips in row ``i`` (in column order).
+    """
+    _check_mesh_shards(shards, mesh)
+    out: Shards = {}
+    for i in range(mesh.rows):
+        gathered = ring_allgather([shards[(i, j)] for j in range(mesh.cols)], axis)
+        for j in range(mesh.cols):
+            out[(i, j)] = gathered[j]
+    return out
+
+
+def ag_row(shards: Shards, mesh: Mesh2D, axis: int = 0) -> Shards:
+    """AllGather within each column ring (inter-row communication)."""
+    _check_mesh_shards(shards, mesh)
+    out: Shards = {}
+    for j in range(mesh.cols):
+        gathered = ring_allgather([shards[(i, j)] for i in range(mesh.rows)], axis)
+        for i in range(mesh.rows):
+            out[(i, j)] = gathered[i]
+    return out
+
+
+def rds_col(partials: Shards, mesh: Mesh2D, axis: int = 1) -> Shards:
+    """ReduceScatter within each row ring (inter-column communication).
+
+    Sums the full-size partials of the chips in each row and scatters
+    the sum along ``axis``: chip ``(i, j)`` receives the ``j``-th chunk.
+    """
+    _check_mesh_shards(partials, mesh)
+    out: Shards = {}
+    for i in range(mesh.rows):
+        scattered = ring_reducescatter(
+            [partials[(i, j)] for j in range(mesh.cols)], axis
+        )
+        for j in range(mesh.cols):
+            out[(i, j)] = scattered[j]
+    return out
+
+
+def rds_row(partials: Shards, mesh: Mesh2D, axis: int = 0) -> Shards:
+    """ReduceScatter within each column ring (inter-row communication)."""
+    _check_mesh_shards(partials, mesh)
+    out: Shards = {}
+    for j in range(mesh.cols):
+        scattered = ring_reducescatter(
+            [partials[(i, j)] for i in range(mesh.rows)], axis
+        )
+        for i in range(mesh.rows):
+            out[(i, j)] = scattered[i]
+    return out
+
+
+def bcast_col(shards: Shards, mesh: Mesh2D, root_col: int) -> Shards:
+    """Broadcast within each row ring from the chip in ``root_col``.
+
+    SUMMA's per-iteration one-to-all primitive: every chip of row ``i``
+    receives a copy of the shard held by chip ``(i, root_col)``. Only
+    the root chips' entries of ``shards`` are read.
+    """
+    mesh._check_col(root_col)
+    out: Shards = {}
+    for i in range(mesh.rows):
+        payload = shards[(i, root_col)]
+        for j in range(mesh.cols):
+            out[(i, j)] = payload.copy()
+    return out
+
+
+def bcast_row(shards: Shards, mesh: Mesh2D, root_row: int) -> Shards:
+    """Broadcast within each column ring from the chip in ``root_row``.
+
+    Only the root chips' entries of ``shards`` are read.
+    """
+    mesh._check_row(root_row)
+    out: Shards = {}
+    for j in range(mesh.cols):
+        payload = shards[(root_row, j)]
+        for i in range(mesh.rows):
+            out[(i, j)] = payload.copy()
+    return out
+
+
+def reduce_col(partials: Shards, mesh: Mesh2D, root_col: int) -> Shards:
+    """All-to-one sum within each row ring, landing at ``root_col``.
+
+    SUMMA's per-iteration reduce: chip ``(i, root_col)`` receives the
+    sum of the partials of row ``i``; other chips receive nothing
+    (absent from the result).
+    """
+    _check_mesh_shards(partials, mesh)
+    mesh._check_col(root_col)
+    out: Shards = {}
+    for i in range(mesh.rows):
+        total = sum(partials[(i, j)] for j in range(mesh.cols))
+        out[(i, root_col)] = total
+    return out
+
+
+def reduce_row(partials: Shards, mesh: Mesh2D, root_row: int) -> Shards:
+    """All-to-one sum within each column ring, landing at ``root_row``."""
+    _check_mesh_shards(partials, mesh)
+    mesh._check_row(root_row)
+    out: Shards = {}
+    for j in range(mesh.cols):
+        total = sum(partials[(i, j)] for i in range(mesh.rows))
+        out[(root_row, j)] = total
+    return out
+
+
+def shift_col(shards: Shards, mesh: Mesh2D, hops: int = 1) -> Shards:
+    """Cyclic shift within each row ring (Cannon's SendRecv).
+
+    Each chip's shard moves ``hops`` chips to the *left* (toward lower
+    column index), wrapping around the torus: chip ``(i, j)`` ends up
+    holding the shard previously at ``(i, j + hops)``.
+    """
+    _check_mesh_shards(shards, mesh)
+    return {
+        (i, j): shards[(i, (j + hops) % mesh.cols)]
+        for i, j in mesh.coords()
+    }
+
+
+def shift_row(shards: Shards, mesh: Mesh2D, hops: int = 1) -> Shards:
+    """Cyclic shift within each column ring.
+
+    Each chip's shard moves ``hops`` chips *up*: chip ``(i, j)`` ends up
+    holding the shard previously at ``(i + hops, j)``.
+    """
+    _check_mesh_shards(shards, mesh)
+    return {
+        (i, j): shards[((i + hops) % mesh.rows, j)]
+        for i, j in mesh.coords()
+    }

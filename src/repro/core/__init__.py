@@ -1,0 +1,45 @@
+"""The MeshSlice algorithm: slicing, dataflows, and functional GeMM."""
+
+from repro.core.dataflow import (
+    Dataflow,
+    flowing_bytes,
+    operand_shapes,
+    sliced_dimension,
+    sliced_extent,
+)
+from repro.core.gemm import GeMMShape
+from repro.core.meshslice import (
+    meshslice_gemm,
+    meshslice_ls,
+    meshslice_os,
+    meshslice_rs,
+)
+from repro.core.slicing import (
+    set_slice_col,
+    set_slice_row,
+    slice_col,
+    slice_row,
+    unslice_col,
+    unslice_row,
+    valid_slice_counts,
+)
+
+__all__ = [
+    "Dataflow",
+    "GeMMShape",
+    "flowing_bytes",
+    "meshslice_gemm",
+    "meshslice_ls",
+    "meshslice_os",
+    "meshslice_rs",
+    "operand_shapes",
+    "set_slice_col",
+    "set_slice_row",
+    "slice_col",
+    "slice_row",
+    "sliced_dimension",
+    "sliced_extent",
+    "unslice_col",
+    "unslice_row",
+    "valid_slice_counts",
+]

@@ -1,0 +1,96 @@
+"""2D GeMM dataflows (Section 2.3.1, Figure 1).
+
+A 2D GeMM keeps one of the three matrices stationary in its chips and
+moves the other two, one per torus direction:
+
+* **OS** (output-stationary): computes ``C = A B``. ``A`` flows
+  inter-column (within row rings, gathered by ``AG_col``), ``B`` flows
+  inter-row (within column rings, ``AG_row``).
+* **LS** (left-stationary): computes ``C = A Bᵀ``. ``B`` flows
+  inter-row (``AG_row``) and the partial outputs flow inter-column
+  (``RdS_col``).
+* **RS** (right-stationary): computes ``C = Aᵀ B``. ``A`` flows
+  inter-column (``AG_col``) and partial outputs flow inter-row
+  (``RdS_row``).
+
+The logical problem is always ``C[M,N] = L[M,K] R[K,N]``; LS physically
+stores the right operand transposed (``N x K``) and RS stores the left
+operand transposed (``K x M``), which is exactly how the autotuner's
+Table 1 avoids runtime transpositions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.core.gemm import GeMMShape
+
+
+class Dataflow(enum.Enum):
+    """The three 2D GeMM dataflows."""
+
+    OS = "output-stationary"
+    LS = "left-stationary"
+    RS = "right-stationary"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def operand_shapes(
+    shape: GeMMShape, dataflow: Dataflow
+) -> Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int]]:
+    """Physical (rows, cols) of the stored A, B, and C operands.
+
+    For the logical product ``C[M,N] = L[M,K] R[K,N]``:
+
+    * OS stores ``A = L`` as ``M x K`` and ``B = R`` as ``K x N``.
+    * LS stores ``A = L`` as ``M x K`` and ``B = Rᵀ`` as ``N x K``.
+    * RS stores ``A = Lᵀ`` as ``K x M`` and ``B = R`` as ``K x N``.
+    """
+    m, n, k = shape.m, shape.n, shape.k
+    if dataflow is Dataflow.OS:
+        return (m, k), (k, n), (m, n)
+    if dataflow is Dataflow.LS:
+        return (m, k), (n, k), (m, n)
+    if dataflow is Dataflow.RS:
+        return (k, m), (k, n), (m, n)
+    raise ValueError(f"unknown dataflow {dataflow!r}")
+
+
+def flowing_bytes(shape: GeMMShape, dataflow: Dataflow) -> Tuple[float, float]:
+    """Sizes of the matrices that flow (inter-column, inter-row), in bytes.
+
+    The inter-column matrix is communicated within row rings (``col``
+    subscript in the paper) and the inter-row matrix within column
+    rings. These sizes drive the traffic-cost mesh-shape optimization
+    of Section 2.3.1.
+    """
+    if dataflow is Dataflow.OS:
+        return shape.a_bytes, shape.b_bytes
+    if dataflow is Dataflow.LS:
+        return shape.c_bytes, shape.b_bytes
+    if dataflow is Dataflow.RS:
+        return shape.a_bytes, shape.c_bytes
+    raise ValueError(f"unknown dataflow {dataflow!r}")
+
+
+def sliced_dimension(dataflow: Dataflow) -> str:
+    """Which logical GeMM dimension MeshSlice slices for this dataflow.
+
+    OS slices the contraction dimension ``K``; LS slices ``N`` (the
+    gathered ``B`` rows and scattered ``C`` columns); RS slices ``M``.
+    """
+    if dataflow is Dataflow.OS:
+        return "k"
+    if dataflow is Dataflow.LS:
+        return "n"
+    if dataflow is Dataflow.RS:
+        return "m"
+    raise ValueError(f"unknown dataflow {dataflow!r}")
+
+
+def sliced_extent(shape: GeMMShape, dataflow: Dataflow) -> int:
+    """Extent of the dimension MeshSlice slices for this dataflow."""
+    return getattr(shape, sliced_dimension(dataflow))

@@ -1,0 +1,156 @@
+"""MeshSlice's blocked shard slicing (Section 3.1.2, Algorithm 2).
+
+``slice_col(X, S, s)`` extracts the ``s``-th of ``S`` interleaved
+sub-shards of ``X`` along its column dimension: every ``S``-th block of
+``B`` contiguous columns, where ``B`` is an architecture-dependent block
+size chosen for contiguous memory access (TPUs access memory in 128x8
+chunks, so the paper uses B = 8). ``slice_row`` is the symmetric
+operation on rows.
+
+The interleaved (strided) selection — rather than contiguous chunking —
+is what makes the partial AllGathers of different chips' sub-shards
+line up into matching global index sets (the proof in Section 3.1.2):
+for every chip the local selection is "columns whose index mod S*B
+falls in block s", so the gathered sequences select the same global
+indices on the A side and the B side.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mesh.topology import divisors
+
+
+def valid_slice_counts(local_extent: int, block: int) -> List[int]:
+    """Slice counts ``S`` usable for a shard dimension of ``local_extent``.
+
+    The user can choose any ``S`` from the divisors of ``C / B``
+    (Algorithm 2), where ``C`` is the local shard extent and ``B`` the
+    block size.
+
+    Raises:
+        ValueError: if ``block`` does not divide ``local_extent``.
+    """
+    if local_extent % block != 0:
+        raise ValueError(
+            f"block size {block} does not divide shard extent {local_extent}"
+        )
+    return divisors(local_extent // block)
+
+
+def _check_sliceable(extent: int, slices: int, s: int, block: int) -> None:
+    if slices < 1:
+        raise ValueError(f"slice count must be >= 1, got {slices}")
+    if not 0 <= s < slices:
+        raise ValueError(f"slice index {s} out of range for S={slices}")
+    if block < 1:
+        raise ValueError(f"block size must be >= 1, got {block}")
+    if extent % (slices * block) != 0:
+        raise ValueError(
+            f"extent {extent} is not divisible by S*B = {slices}*{block}; "
+            f"choose S from valid_slice_counts()"
+        )
+
+
+def slice_col(x: np.ndarray, slices: int, s: int, block: int = 8) -> np.ndarray:
+    """Extract the ``s``-th column sub-shard of ``x`` (Algorithm 2).
+
+    Args:
+        x: Local shard of shape ``(R, C)``.
+        slices: Total slice count ``S``.
+        s: Sub-shard index in ``[0, S)``.
+        block: Contiguity block size ``B``.
+
+    Returns:
+        Array of shape ``(R, C / S)`` holding every ``S``-th block of
+        ``B`` columns, starting at block ``s``.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"expected 2D shard, got shape {x.shape}")
+    rows, cols = x.shape
+    _check_sliceable(cols, slices, s, block)
+    grouped = x.reshape(rows, cols // (slices * block), slices, block)
+    return np.ascontiguousarray(grouped[:, :, s, :].reshape(rows, cols // slices))
+
+
+def slice_row(x: np.ndarray, slices: int, s: int, block: int = 8) -> np.ndarray:
+    """Extract the ``s``-th row sub-shard of ``x``.
+
+    Symmetric to :func:`slice_col`: every ``S``-th block of ``B`` rows.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"expected 2D shard, got shape {x.shape}")
+    rows, cols = x.shape
+    _check_sliceable(rows, slices, s, block)
+    grouped = x.reshape(rows // (slices * block), slices, block, cols)
+    return np.ascontiguousarray(grouped[:, s, :, :].reshape(rows // slices, cols))
+
+
+def set_slice_col(
+    x: np.ndarray, slices: int, s: int, value: np.ndarray, block: int = 8
+) -> None:
+    """Write ``value`` into the positions of column sub-shard ``s`` of ``x``.
+
+    The in-place inverse of :func:`slice_col`, used by the LS/RS
+    dataflows to store each iteration's ReduceScatter result back into
+    the stationary output shard.
+    """
+    rows, cols = x.shape
+    _check_sliceable(cols, slices, s, block)
+    expected = (rows, cols // slices)
+    if value.shape != expected:
+        raise ValueError(f"value shape {value.shape} != sub-shard shape {expected}")
+    view = x.reshape(rows, cols // (slices * block), slices, block)
+    view[:, :, s, :] = value.reshape(rows, cols // (slices * block), block)
+
+
+def set_slice_row(
+    x: np.ndarray, slices: int, s: int, value: np.ndarray, block: int = 8
+) -> None:
+    """Write ``value`` into the positions of row sub-shard ``s`` of ``x``."""
+    rows, cols = x.shape
+    _check_sliceable(rows, slices, s, block)
+    expected = (rows // slices, cols)
+    if value.shape != expected:
+        raise ValueError(f"value shape {value.shape} != sub-shard shape {expected}")
+    view = x.reshape(rows // (slices * block), slices, block, cols)
+    view[:, s, :, :] = value.reshape(rows // (slices * block), block, cols)
+
+
+def unslice_col(
+    sub_shards: List[np.ndarray], block: int = 8
+) -> np.ndarray:
+    """Reassemble a shard from all of its ``S`` column sub-shards.
+
+    Inverse of applying :func:`slice_col` for every ``s``; useful for
+    round-trip testing and for assembling gathered results.
+    """
+    slices = len(sub_shards)
+    if slices == 0:
+        raise ValueError("need at least one sub-shard")
+    rows, sub_cols = sub_shards[0].shape
+    out = np.empty((rows, sub_cols * slices), dtype=sub_shards[0].dtype)
+    for s, sub in enumerate(sub_shards):
+        if sub.shape != (rows, sub_cols):
+            raise ValueError("sub-shards must all have the same shape")
+        set_slice_col(out, slices, s, sub, block=block)
+    return out
+
+
+def unslice_row(
+    sub_shards: List[np.ndarray], block: int = 8
+) -> np.ndarray:
+    """Reassemble a shard from all of its ``S`` row sub-shards."""
+    slices = len(sub_shards)
+    if slices == 0:
+        raise ValueError("need at least one sub-shard")
+    sub_rows, cols = sub_shards[0].shape
+    out = np.empty((sub_rows * slices, cols), dtype=sub_shards[0].dtype)
+    for s, sub in enumerate(sub_shards):
+        if sub.shape != (sub_rows, cols):
+            raise ValueError("sub-shards must all have the same shape")
+        set_slice_row(out, slices, s, sub, block=block)
+    return out

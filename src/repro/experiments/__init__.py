@@ -1,0 +1,70 @@
+"""Reproductions of the paper's evaluation (Section 5 + Section 7).
+
+One module per figure/table; each exposes ``run()`` returning typed
+rows and ``main()`` rendering a text table with paper reference points.
+"""
+
+from repro.experiments import (
+    ablation_25d,
+    ablation_3d,
+    ablation_inference,
+    ablation_logical_mesh,
+    ablation_unrolling,
+    fig04_timelines,
+    fig09_weak_scaling,
+    fig10_comm_breakdown,
+    fig11_matrix_shapes,
+    fig12_strong_scaling,
+    fig13_mesh_shapes,
+    fig14_slice_counts,
+    fig15_comm_model_accuracy,
+    table2_dataflow_opt,
+    table3_real_hw,
+)
+from repro.experiments.common import (
+    ALL_ALGORITHMS,
+    CLUSTER_SIZES,
+    BlockRun,
+    best_block_run,
+    candidate_meshes,
+    end_to_end_step_seconds,
+    pass_config,
+    render_table,
+    run_block,
+    tuned_slices,
+    weak_scaling_batch,
+)
+
+#: Experiment registry for the CLI: name -> module (must expose main()).
+EXPERIMENTS = {
+    "fig4": fig04_timelines,
+    "fig9": fig09_weak_scaling,
+    "fig10": fig10_comm_breakdown,
+    "fig11": fig11_matrix_shapes,
+    "fig12": fig12_strong_scaling,
+    "fig13": fig13_mesh_shapes,
+    "fig14": fig14_slice_counts,
+    "fig15": fig15_comm_model_accuracy,
+    "table2": table2_dataflow_opt,
+    "table3": table3_real_hw,
+    "ablation-2.5d": ablation_25d,
+    "ablation-3d": ablation_3d,
+    "ablation-inference": ablation_inference,
+    "ablation-logical-mesh": ablation_logical_mesh,
+    "ablation-unrolling": ablation_unrolling,
+}
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "CLUSTER_SIZES",
+    "BlockRun",
+    "EXPERIMENTS",
+    "best_block_run",
+    "candidate_meshes",
+    "end_to_end_step_seconds",
+    "pass_config",
+    "render_table",
+    "run_block",
+    "tuned_slices",
+    "weak_scaling_batch",
+]

@@ -1,0 +1,21 @@
+"""Hardware models: chip, memory, and interconnect parameters."""
+
+from repro.hw.params import HardwareParams
+from repro.hw.presets import (
+    GPU_LOGICAL_MESH,
+    TPUV4,
+    TPUV4_CLOUD_4X4,
+    TPUV4_CLOUD_4X4_OVERLAP,
+    get_preset,
+    preset_names,
+)
+
+__all__ = [
+    "GPU_LOGICAL_MESH",
+    "HardwareParams",
+    "TPUV4",
+    "TPUV4_CLOUD_4X4",
+    "TPUV4_CLOUD_4X4_OVERLAP",
+    "get_preset",
+    "preset_names",
+]

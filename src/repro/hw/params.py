@@ -1,0 +1,146 @@
+"""Hardware parameter descriptions for simulated accelerator clusters.
+
+The paper evaluates MeshSlice on simulated TPUv4 clusters (Section 4.1).
+This module defines the knobs that the simulator, the analytical cost
+models, and the autotuner all read: compute throughput, memory system,
+inter-chip interconnect (ICI) characteristics, and the per-operation
+latencies (synchronization and launch) that the paper measures offline
+on real hardware (Section 4.5).
+
+All times are seconds, all sizes are bytes, and all rates are per-second.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareParams:
+    """Parameters of one accelerator chip and its network links.
+
+    The defaults are placeholders; use the presets in
+    :mod:`repro.hw.presets` for calibrated configurations.
+
+    Attributes:
+        name: Human-readable preset name.
+        peak_flops: Peak matrix-multiply throughput of one chip
+            (FLOP/s). The paper uses 272 TFLOPS per TPUv4 as the
+            utilization denominator.
+        mxu_dim: Side length of one systolic array (TPUv4: 128).
+        num_mxus: Number of systolic arrays per chip (TPUv4: 4 per core
+            times 2 cores = 8; the paper's Figure 8 shows 4 per core).
+        hbm_bandwidth: Shared HBM bandwidth of the chip (bytes/s).
+        hbm_capacity: HBM capacity (bytes), used for feasibility checks.
+        scratchpad_bytes: Per-core scratchpad (TPUv4: 64 MiB per core).
+        link_bandwidth: Usable bandwidth of one ICI link in one
+            direction (bytes/s).
+        links_per_direction: Number of ICI links a ring collective in a
+            mesh axis can use. 2 when bidirectional ring algorithms are
+            allowed (the +axis and -axis links), 1 when the cluster only
+            exposes unidirectional bandwidth (the real 4x4 cloud slice
+            in Section 5.3 "only utilize[s] the uni-directional
+            bandwidth").
+        t_sync: Per-step synchronization latency of a ring collective
+            (seconds). Every ring step of an AllGather/ReduceScatter and
+            every pipeline stage of a bcast/reduce pays this cost.
+        t_launch: Cost of launching one communication operation from the
+            host (seconds).
+        t_kernel: Cost of launching one compute kernel (a GeMM or a
+            slicing copy) on the chip (seconds). This is what makes very
+            fine-grain partial GeMMs inefficient (Section 5.3.1).
+        dtype_bytes: Bytes per matrix element (2 for bf16 training).
+        memory_block: Architecture block size ``B`` for MeshSlice's
+            blocked slicing (Algorithm 2). TPUs access memory in
+            128x8 chunks, so the paper sets B = 8.
+        overlap_collectives: Whether AG/RdS collectives may execute
+            concurrently with GeMM computation. ``False`` models current
+            TPUv4 clusters where only SendRecv is asynchronous
+            (Section 5.3).
+        overlap_sendrecv: Whether SendRecv operations may execute
+            concurrently with computation.
+        sendrecv_overlap_fraction: Fraction of SendRecv communication
+            that actually overlaps with computation. The paper observes
+            that the JAX compiler creates dependencies that prevent most
+            of Wang's SendRecv overlap on real hardware; 1.0 means the
+            idealized simulator behaviour.
+        network: Physical network kind. ``"torus"`` gives every mesh
+            direction its own contention-free links (TPU ICI,
+            Section 2.2). ``"shared-nic"`` models a *logical* mesh on
+            top of a switched network (GPU clusters, Section 6): all of
+            a chip's ring traffic shares one NIC, so concurrent
+            collectives in different directions contend.
+        nic_bandwidth: Total NIC bandwidth per chip (bytes/s) when
+            ``network == "shared-nic"``. Ignored for a torus.
+        compute_efficiency: Fraction of ``peak_flops`` a large,
+            well-tiled GeMM achieves (captures tiling and pipeline
+            overheads that the paper's cycle-level core model produces).
+        slicing_overhead: Relative compute-time overhead of one blocked
+            slicing operation (the paper measures ~1.3% total from
+            slicing on real hardware; per-slice this is small).
+    """
+
+    name: str = "generic"
+    peak_flops: float = 272e12
+    mxu_dim: int = 128
+    num_mxus: int = 8
+    hbm_bandwidth: float = 1.2e12
+    hbm_capacity: float = 32e9
+    scratchpad_bytes: float = 128e6
+    link_bandwidth: float = 50e9
+    links_per_direction: int = 2
+    t_sync: float = 4e-6
+    t_launch: float = 8e-6
+    t_kernel: float = 4e-6
+    dtype_bytes: int = 2
+    memory_block: int = 8
+    overlap_collectives: bool = True
+    overlap_sendrecv: bool = True
+    sendrecv_overlap_fraction: float = 1.0
+    network: str = "torus"
+    nic_bandwidth: float = 0.0
+    compute_efficiency: float = 0.86
+    slicing_overhead: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ValueError("peak_flops must be positive")
+        if self.hbm_bandwidth <= 0:
+            raise ValueError("hbm_bandwidth must be positive")
+        if self.link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if self.links_per_direction not in (1, 2):
+            raise ValueError("links_per_direction must be 1 or 2")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        if self.memory_block <= 0:
+            raise ValueError("memory_block must be positive")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0.0 <= self.sendrecv_overlap_fraction <= 1.0:
+            raise ValueError("sendrecv_overlap_fraction must be in [0, 1]")
+        if self.network not in ("torus", "shared-nic"):
+            raise ValueError(
+                f"network must be 'torus' or 'shared-nic', got {self.network!r}"
+            )
+        if self.network == "shared-nic" and self.nic_bandwidth <= 0:
+            raise ValueError("shared-nic network requires nic_bandwidth > 0")
+
+    @property
+    def has_shared_nic(self) -> bool:
+        """Whether ring traffic contends for a single NIC (Section 6)."""
+        return self.network == "shared-nic"
+
+    @property
+    def ring_bandwidth(self) -> float:
+        """Effective bandwidth of a ring collective along one mesh axis."""
+        return self.link_bandwidth * self.links_per_direction
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained GeMM throughput of one chip (FLOP/s)."""
+        return self.peak_flops * self.compute_efficiency
+
+    def with_overrides(self, **changes: object) -> "HardwareParams":
+        """Return a copy with selected fields replaced."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,97 @@
+"""Calibrated hardware presets.
+
+``TPUV4`` models the simulated clusters of Section 4.1 (bidirectional
+torus links, idealized async collectives). ``TPUV4_CLOUD_4X4`` models
+the real Google Cloud 4x4 TPUv4 slice of Section 5.3, where only
+unidirectional link bandwidth is available, AG/RdS collectives cannot
+overlap with computation, and compiler-inserted dependencies defeat
+most of Wang's SendRecv overlap.
+"""
+
+from __future__ import annotations
+
+from repro.hw.params import HardwareParams
+
+#: Simulated TPUv4 (Section 4.1). Peak 272 TFLOPS bf16 (the utilization
+#: denominator the paper reports), 1.2 TB/s HBM, 50 GB/s/direction ICI
+#: links with bidirectional ring collectives. Sync/launch latencies are
+#: the offline-measured microsecond-scale constants of Section 4.5.
+TPUV4 = HardwareParams(
+    name="tpuv4-sim",
+    peak_flops=272e12,
+    mxu_dim=128,
+    num_mxus=8,
+    hbm_bandwidth=1.2e12,
+    hbm_capacity=32e9,
+    scratchpad_bytes=128e6,
+    link_bandwidth=50e9,
+    links_per_direction=2,
+    t_sync=4e-6,
+    t_launch=8e-6,
+    t_kernel=4e-6,
+    dtype_bytes=2,
+    memory_block=8,
+    overlap_collectives=True,
+    overlap_sendrecv=True,
+    sendrecv_overlap_fraction=1.0,
+    compute_efficiency=0.86,
+    slicing_overhead=0.004,
+)
+
+#: Real 4x4 Google Cloud TPUv4 slice (Section 5.3). Only unidirectional
+#: ICI bandwidth is usable, AG/RdS do not overlap with compute, and the
+#: JAX compiler prevents most SendRecv overlap for Wang's algorithm.
+TPUV4_CLOUD_4X4 = TPUV4.with_overrides(
+    name="tpuv4-cloud-4x4",
+    links_per_direction=1,
+    overlap_collectives=False,
+    overlap_sendrecv=True,
+    sendrecv_overlap_fraction=0.15,
+)
+
+#: Hypothetical TPUv4 cloud with async collectives enabled, used for the
+#: "MeshSlice Overlap (Estim.)" column of Table 3.
+TPUV4_CLOUD_4X4_OVERLAP = TPUV4_CLOUD_4X4.with_overrides(
+    name="tpuv4-cloud-4x4-overlap",
+    overlap_collectives=True,
+    sendrecv_overlap_fraction=1.0,
+)
+
+#: A *logical* 2D mesh constructed on top of a switched GPU-style
+#: network (Section 6). Same per-ring bandwidth as the TPUv4 torus, but
+#: all of a chip's ring traffic shares one NIC, so collectives in the
+#: two mesh directions contend (NIC oversubscription ~1.7x when both
+#: rings are busy), and switched-fabric synchronization and launch
+#: latencies are higher.
+GPU_LOGICAL_MESH = TPUV4.with_overrides(
+    name="gpu-logical-mesh",
+    network="shared-nic",
+    nic_bandwidth=120e9,
+    t_sync=6e-6,
+    t_launch=12e-6,
+)
+
+_PRESETS = {
+    TPUV4.name: TPUV4,
+    TPUV4_CLOUD_4X4.name: TPUV4_CLOUD_4X4,
+    TPUV4_CLOUD_4X4_OVERLAP.name: TPUV4_CLOUD_4X4_OVERLAP,
+    GPU_LOGICAL_MESH.name: GPU_LOGICAL_MESH,
+}
+
+
+def get_preset(name: str) -> HardwareParams:
+    """Look up a preset by its ``name`` field.
+
+    Raises:
+        KeyError: if no preset with that name exists.
+    """
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise KeyError(f"unknown hardware preset {name!r}; known: {known}")
+
+
+def preset_names() -> list:
+    """Names of all registered presets."""
+    return sorted(_PRESETS)

@@ -1,0 +1,41 @@
+"""Topologies (2D torus, 1D ring) and matrix sharding."""
+
+from repro.mesh.sharding import (
+    ShardedMatrix,
+    gather_matrix,
+    shard_cols,
+    shard_matrix,
+    shard_rows,
+    shardable,
+    zeros_like_sharded,
+)
+from repro.mesh.executor import ChipRuntime, DeadlockError, MeshExecutor
+from repro.mesh.topology import (
+    Coord,
+    Mesh2D,
+    Ring1D,
+    divisors,
+    factor_pairs,
+    mesh_shapes,
+    square_mesh,
+)
+
+__all__ = [
+    "ChipRuntime",
+    "Coord",
+    "DeadlockError",
+    "MeshExecutor",
+    "Mesh2D",
+    "Ring1D",
+    "ShardedMatrix",
+    "divisors",
+    "factor_pairs",
+    "gather_matrix",
+    "mesh_shapes",
+    "shard_cols",
+    "shard_matrix",
+    "shard_rows",
+    "shardable",
+    "square_mesh",
+    "zeros_like_sharded",
+]

@@ -1,0 +1,132 @@
+"""Sharding global matrices onto a 2D mesh of chips.
+
+In 2D TP every matrix is partitioned along both dimensions
+(Section 2.3.1): on a mesh of ``P_r x P_c`` chips, matrix ``A`` is split
+into shards ``A_ij`` and shard ``A_ij`` lives on chip ``(i, j)``. This
+module provides the functional (numpy) representation of such sharded
+matrices, used by the bit-exact algorithm implementations and the tests
+that pin them to ``numpy.matmul``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.mesh.topology import Coord, Mesh2D
+
+
+@dataclasses.dataclass
+class ShardedMatrix:
+    """A global matrix distributed block-wise over a :class:`Mesh2D`.
+
+    Attributes:
+        mesh: The mesh the matrix is distributed on.
+        shards: Mapping from chip coordinate to its local block.
+        global_shape: Shape of the assembled matrix.
+    """
+
+    mesh: Mesh2D
+    shards: Dict[Coord, np.ndarray]
+    global_shape: Tuple[int, int]
+
+    @property
+    def shard_shape(self) -> Tuple[int, int]:
+        """Shape of each local shard."""
+        rows, cols = self.global_shape
+        return (rows // self.mesh.rows, cols // self.mesh.cols)
+
+    def shard(self, coord: Coord) -> np.ndarray:
+        """The local block of chip ``coord``."""
+        return self.shards[coord]
+
+    def copy(self) -> "ShardedMatrix":
+        """Deep copy (shards are copied, mesh is shared)."""
+        return ShardedMatrix(
+            mesh=self.mesh,
+            shards={c: s.copy() for c, s in self.shards.items()},
+            global_shape=self.global_shape,
+        )
+
+
+def shardable(shape: Tuple[int, int], mesh: Mesh2D) -> bool:
+    """Whether a matrix of ``shape`` divides evenly over ``mesh``."""
+    rows, cols = shape
+    return rows % mesh.rows == 0 and cols % mesh.cols == 0
+
+
+def shard_matrix(matrix: np.ndarray, mesh: Mesh2D) -> ShardedMatrix:
+    """Partition ``matrix`` block-wise onto ``mesh``.
+
+    Row blocks go to mesh rows and column blocks to mesh columns, the
+    paper's "partition the two outermost dimensions" sharding rule
+    (Section 3.2.1).
+
+    Raises:
+        ValueError: if the matrix does not divide evenly.
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2D matrix, got shape {matrix.shape}")
+    if not shardable(matrix.shape, mesh):
+        raise ValueError(
+            f"matrix of shape {matrix.shape} does not divide over mesh {mesh}"
+        )
+    block_r = matrix.shape[0] // mesh.rows
+    block_c = matrix.shape[1] // mesh.cols
+    shards = {}
+    for i, j in mesh.coords():
+        block = matrix[i * block_r:(i + 1) * block_r, j * block_c:(j + 1) * block_c]
+        shards[(i, j)] = np.ascontiguousarray(block)
+    return ShardedMatrix(mesh=mesh, shards=shards, global_shape=matrix.shape)
+
+
+def gather_matrix(sharded: ShardedMatrix) -> np.ndarray:
+    """Reassemble the global matrix from its shards."""
+    mesh = sharded.mesh
+    row_blocks = []
+    for i in range(mesh.rows):
+        row_blocks.append(
+            np.concatenate([sharded.shard((i, j)) for j in range(mesh.cols)], axis=1)
+        )
+    return np.concatenate(row_blocks, axis=0)
+
+
+def zeros_like_sharded(
+    global_shape: Tuple[int, int], mesh: Mesh2D, dtype: np.dtype = np.float64
+) -> ShardedMatrix:
+    """A sharded all-zeros matrix of ``global_shape`` on ``mesh``."""
+    if not shardable(global_shape, mesh):
+        raise ValueError(
+            f"shape {global_shape} does not divide over mesh {mesh}"
+        )
+    block = (global_shape[0] // mesh.rows, global_shape[1] // mesh.cols)
+    shards = {coord: np.zeros(block, dtype=dtype) for coord in mesh.coords()}
+    return ShardedMatrix(mesh=mesh, shards=shards, global_shape=global_shape)
+
+
+def shard_rows(matrix: np.ndarray, parts: int) -> Dict[int, np.ndarray]:
+    """1D row-sharding of ``matrix`` into ``parts`` blocks (ring baselines)."""
+    if matrix.shape[0] % parts != 0:
+        raise ValueError(
+            f"{matrix.shape[0]} rows do not divide into {parts} parts"
+        )
+    block = matrix.shape[0] // parts
+    return {
+        r: np.ascontiguousarray(matrix[r * block:(r + 1) * block])
+        for r in range(parts)
+    }
+
+
+def shard_cols(matrix: np.ndarray, parts: int) -> Dict[int, np.ndarray]:
+    """1D column-sharding of ``matrix`` into ``parts`` blocks."""
+    if matrix.shape[1] % parts != 0:
+        raise ValueError(
+            f"{matrix.shape[1]} columns do not divide into {parts} parts"
+        )
+    block = matrix.shape[1] // parts
+    return {
+        r: np.ascontiguousarray(matrix[:, r * block:(r + 1) * block])
+        for r in range(parts)
+    }

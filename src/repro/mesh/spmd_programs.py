@@ -1,0 +1,161 @@
+"""Per-chip SPMD programs for the mesh executor.
+
+These re-express the paper's Figure 5 pseudocode as literal per-chip
+programs over :class:`repro.mesh.executor.ChipRuntime` — each chip sees
+only its own shards and communicates exclusively through neighbour
+sends — providing an execution path independent of the dictionary-based
+functional plane. The tests check all three against each other and
+against local matmul.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.slicing import (
+    set_slice_col,
+    set_slice_row,
+    slice_col,
+    slice_row,
+)
+from repro.mesh.executor import ChipRuntime, MeshExecutor
+from repro.mesh.sharding import gather_matrix, shard_matrix, ShardedMatrix
+from repro.mesh.topology import Coord, Mesh2D
+
+
+def meshslice_os_program(slices: int, block: int = 1):
+    """Figure 5 (left): the output-stationary MeshSlice chip program.
+
+    The chip input is a ``(A_ij, B_ij)`` pair; the output is the local
+    ``C_ij`` shard.
+    """
+
+    def program(chip: ChipRuntime, local):
+        a_shard, b_shard = local
+        c_shard = np.zeros(
+            (a_shard.shape[0], b_shard.shape[1]),
+            dtype=np.result_type(a_shard, b_shard),
+        )
+        for s in range(slices):
+            a_sub = slice_col(a_shard, slices, s, block)
+            b_sub = slice_row(b_shard, slices, s, block)
+            a_full = yield chip.ring_allgather(
+                "row", a_sub, concat_axis=1, tag=f"a{s}"
+            )
+            b_full = yield chip.ring_allgather(
+                "col", b_sub, concat_axis=0, tag=f"b{s}"
+            )
+            c_shard += a_full @ b_full
+        return c_shard
+
+    return program
+
+
+def meshslice_ls_program(slices: int, block: int = 1):
+    """Figure 5 (center): the left-stationary MeshSlice chip program.
+
+    Computes ``C = A @ B.T`` with ``B`` stored ``N x K``.
+    """
+
+    def program(chip: ChipRuntime, local):
+        a_shard, b_shard = local
+        # Local C shard is (M / P_r) x (N / P_c); B is sharded N over
+        # mesh rows, so C's local column extent follows from the mesh.
+        n_local = b_shard.shape[0] * chip.mesh.rows // chip.mesh.cols
+        c_shard = np.zeros(
+            (a_shard.shape[0], n_local),
+            dtype=np.result_type(a_shard, b_shard),
+        )
+        for s in range(slices):
+            b_sub = slice_row(b_shard, slices, s, block)
+            b_full = yield chip.ring_allgather(
+                "col", b_sub, concat_axis=0, tag=f"b{s}"
+            )
+            partial = a_shard @ b_full.T
+            c_sub = yield chip.ring_reducescatter(
+                "row", partial, split_axis=1, tag=f"c{s}"
+            )
+            set_slice_col(c_shard, slices, s, c_sub, block=block)
+        return c_shard
+
+    return program
+
+
+def meshslice_rs_program(slices: int, block: int = 1):
+    """Figure 5 (right): the right-stationary MeshSlice chip program.
+
+    Computes ``C = A.T @ B`` with ``A`` stored ``K x M``.
+    """
+
+    def program(chip: ChipRuntime, local):
+        a_shard, b_shard = local
+        m_local = a_shard.shape[1] * chip.mesh.cols // chip.mesh.rows
+        c_shard = np.zeros(
+            (m_local, b_shard.shape[1]),
+            dtype=np.result_type(a_shard, b_shard),
+        )
+        for s in range(slices):
+            a_sub = slice_col(a_shard, slices, s, block)
+            a_full = yield chip.ring_allgather(
+                "row", a_sub, concat_axis=1, tag=f"a{s}"
+            )
+            partial = a_full.T @ b_shard
+            c_sub = yield chip.ring_reducescatter(
+                "col", partial, split_axis=0, tag=f"c{s}"
+            )
+            set_slice_row(c_shard, slices, s, c_sub, block=block)
+        return c_shard
+
+    return program
+
+
+def cannon_program():
+    """Cannon's algorithm as a per-chip program (square meshes).
+
+    Skew and shifts are explicit multi-hop SendRecvs — the executor
+    variant of :class:`repro.algorithms.cannon.CannonGeMM`.
+    """
+
+    def program(chip: ChipRuntime, local):
+        a_shard, b_shard = local
+        i, j = chip.coord
+        side = chip.mesh.rows
+        # Skew: shift A left by i hops, B up by j hops.
+        for hop in range(i):
+            a_shard = yield chip.send_recv("left", a_shard, tag=f"skew_a{hop}")
+        for hop in range(j):
+            b_shard = yield chip.send_recv("up", b_shard, tag=f"skew_b{hop}")
+        c_shard = np.zeros(
+            (a_shard.shape[0], b_shard.shape[1]),
+            dtype=np.result_type(a_shard, b_shard),
+        )
+        for step in range(side):
+            c_shard += a_shard @ b_shard
+            if step < side - 1:
+                a_shard = yield chip.send_recv("left", a_shard, tag=f"sa{step}")
+                b_shard = yield chip.send_recv("up", b_shard, tag=f"sb{step}")
+        return c_shard
+
+    return program
+
+
+def run_spmd_gemm(
+    program_factory,
+    a: np.ndarray,
+    b: np.ndarray,
+    mesh: Mesh2D,
+    c_shape,
+) -> np.ndarray:
+    """Shard inputs, execute a chip program, gather the output."""
+    executor = MeshExecutor(mesh)
+    a_sh = shard_matrix(a, mesh)
+    b_sh = shard_matrix(b, mesh)
+    inputs: Dict[Coord, object] = {
+        coord: (a_sh.shard(coord), b_sh.shard(coord))
+        for coord in mesh.coords()
+    }
+    outputs = executor.run(program_factory, inputs)
+    sharded = ShardedMatrix(mesh=mesh, shards=outputs, global_shape=c_shape)
+    return gather_matrix(sharded)

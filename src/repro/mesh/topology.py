@@ -1,0 +1,215 @@
+"""2D torus and 1D ring topologies of accelerator chips.
+
+A 2D tensor-parallel cluster is a mesh of ``rows x cols`` chips connected
+as a 2D torus (Section 2.2): every row of chips forms a ring over the
+horizontal ICI links and every column forms a ring over the vertical
+links. 1D baselines (1D TP, FSDP) run on a single ring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterator, List, Tuple
+
+Coord = Tuple[int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class Mesh2D:
+    """A 2D torus of ``rows x cols`` chips.
+
+    Chip ``(i, j)`` sits at row ``i`` (0-based, top) and column ``j``.
+    Rings: row ``i`` is the ring of chips ``(i, 0) .. (i, cols-1)``
+    connected over inter-column (horizontal) links; column ``j`` is the
+    ring of chips ``(0, j) .. (rows-1, j)`` connected over inter-row
+    (vertical) links.
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"mesh must be at least 1x1, got {self.rows}x{self.cols}")
+
+    @property
+    def size(self) -> int:
+        """Total number of chips in the mesh."""
+        return self.rows * self.cols
+
+    @property
+    def is_square(self) -> bool:
+        """Whether the mesh is square (required by Cannon's algorithm)."""
+        return self.rows == self.cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def transposed(self) -> "Mesh2D":
+        """The mesh with rows and columns exchanged."""
+        return Mesh2D(self.cols, self.rows)
+
+    def coords(self) -> Iterator[Coord]:
+        """Iterate over all chip coordinates in row-major order."""
+        for i in range(self.rows):
+            for j in range(self.cols):
+                yield (i, j)
+
+    def contains(self, coord: Coord) -> bool:
+        i, j = coord
+        return 0 <= i < self.rows and 0 <= j < self.cols
+
+    def row_ring(self, i: int) -> List[Coord]:
+        """Chips of row ``i`` in ring order (horizontal ring)."""
+        self._check_row(i)
+        return [(i, j) for j in range(self.cols)]
+
+    def col_ring(self, j: int) -> List[Coord]:
+        """Chips of column ``j`` in ring order (vertical ring)."""
+        self._check_col(j)
+        return [(i, j) for i in range(self.rows)]
+
+    def right_neighbor(self, coord: Coord) -> Coord:
+        """Next chip in the row ring (wraps around the torus)."""
+        i, j = self._check_coord(coord)
+        return (i, (j + 1) % self.cols)
+
+    def left_neighbor(self, coord: Coord) -> Coord:
+        i, j = self._check_coord(coord)
+        return (i, (j - 1) % self.cols)
+
+    def down_neighbor(self, coord: Coord) -> Coord:
+        """Next chip in the column ring (wraps around the torus)."""
+        i, j = self._check_coord(coord)
+        return ((i + 1) % self.rows, j)
+
+    def up_neighbor(self, coord: Coord) -> Coord:
+        i, j = self._check_coord(coord)
+        return ((i - 1) % self.rows, j)
+
+    def ring_distance_row(self, src: Coord, dst: Coord) -> int:
+        """Minimum hop count between two chips of the same row ring."""
+        (si, sj), (di, dj) = self._check_coord(src), self._check_coord(dst)
+        if si != di:
+            raise ValueError(f"{src} and {dst} are not in the same row")
+        forward = (dj - sj) % self.cols
+        return min(forward, self.cols - forward)
+
+    def ring_distance_col(self, src: Coord, dst: Coord) -> int:
+        """Minimum hop count between two chips of the same column ring."""
+        (si, sj), (di, dj) = self._check_coord(src), self._check_coord(dst)
+        if sj != dj:
+            raise ValueError(f"{src} and {dst} are not in the same column")
+        forward = (di - si) % self.rows
+        return min(forward, self.rows - forward)
+
+    def _check_row(self, i: int) -> int:
+        if not 0 <= i < self.rows:
+            raise IndexError(f"row {i} out of range for {self}")
+        return i
+
+    def _check_col(self, j: int) -> int:
+        if not 0 <= j < self.cols:
+            raise IndexError(f"column {j} out of range for {self}")
+        return j
+
+    def _check_coord(self, coord: Coord) -> Coord:
+        if not self.contains(coord):
+            raise IndexError(f"coordinate {coord} out of range for {self}")
+        return coord
+
+    def __str__(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Ring1D:
+    """A 1D ring of chips, used by the 1D TP and FSDP baselines.
+
+    In a physical torus a 1D ring only reaches two of a chip's four ICI
+    links, which is why the paper's 1D baselines see half the bandwidth
+    of a 2D mesh (Section 4.3).
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"ring must have at least 1 chip, got {self.size}")
+
+    def next_chip(self, rank: int) -> int:
+        return (self._check(rank) + 1) % self.size
+
+    def prev_chip(self, rank: int) -> int:
+        return (self._check(rank) - 1) % self.size
+
+    def ranks(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+    def _check(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range for ring of {self.size}")
+        return rank
+
+    def __str__(self) -> str:
+        return f"ring-{self.size}"
+
+
+def factor_pairs(n: int) -> List[Tuple[int, int]]:
+    """All ordered factorizations ``(rows, cols)`` of ``n``.
+
+    These are the candidate mesh shapes the autotuner searches
+    (Section 3.2.2). Includes the degenerate 1-row and 1-column shapes.
+    """
+    if n < 1:
+        raise ValueError(f"cannot factor non-positive size {n}")
+    pairs = []
+    for rows in range(1, n + 1):
+        if n % rows == 0:
+            pairs.append((rows, n // rows))
+    return pairs
+
+
+def mesh_shapes(n: int, min_dim: int = 1) -> List[Mesh2D]:
+    """Candidate :class:`Mesh2D` shapes for an ``n``-chip cluster.
+
+    Args:
+        n: Cluster size.
+        min_dim: Minimum rows and columns (use 2 to exclude the
+            degenerate 1D shapes, which a torus cannot realize as two
+            distinct rings).
+    """
+    return [
+        Mesh2D(r, c)
+        for r, c in factor_pairs(n)
+        if r >= min_dim and c >= min_dim
+    ]
+
+
+def square_mesh(n: int) -> Mesh2D:
+    """The square mesh for ``n`` chips (Cannon's requirement).
+
+    Raises:
+        ValueError: if ``n`` is not a perfect square.
+    """
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ValueError(f"Cannon's algorithm needs a square chip count, got {n}")
+    return Mesh2D(side, side)
+
+
+def divisors(n: int) -> List[int]:
+    """Positive divisors of ``n`` in ascending order."""
+    if n < 1:
+        raise ValueError(f"divisors of non-positive {n} undefined")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]

@@ -1,0 +1,76 @@
+"""LLM architecture descriptions (Section 4.4).
+
+Transformer LLMs are stacks of identical blocks; each block has four FC
+layers (two in multi-head attention, two in the feed-forward network),
+which are the only communicating layers under tensor parallelism and
+therefore the ones the distributed GeMM algorithms implement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class LLMConfig:
+    """A decoder-only transformer configuration.
+
+    Attributes:
+        name: Model name.
+        num_layers: Number of transformer blocks.
+        hidden: Model (embedding) dimension ``H``.
+        heads: Number of attention heads.
+        head_dim: Per-head dimension ``D`` (``heads * head_dim`` may
+            exceed ``hidden`` in some configs; the FC shapes follow
+            ``hidden``).
+        ffn_mult: Feed-forward expansion factor (4 for GPT-style FFNs).
+        seq_len: Training sequence length ``S``.
+        ffn_dim_override: Explicit feed-forward inner dimension for
+            architectures whose FFN is not an integer multiple of the
+            hidden size (e.g. LLaMA's SwiGLU FFNs).
+    """
+
+    name: str
+    num_layers: int
+    hidden: int
+    heads: int
+    head_dim: int
+    ffn_mult: int = 4
+    seq_len: int = 2048
+    ffn_dim_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if min(self.num_layers, self.hidden, self.heads, self.head_dim) < 1:
+            raise ValueError(f"invalid LLM config {self}")
+        if self.ffn_mult < 1 or self.seq_len < 1:
+            raise ValueError(f"invalid LLM config {self}")
+        if self.ffn_dim_override is not None and self.ffn_dim_override < 1:
+            raise ValueError(f"invalid LLM config {self}")
+
+    @property
+    def ffn_dim(self) -> int:
+        """Feed-forward inner dimension."""
+        if self.ffn_dim_override is not None:
+            return self.ffn_dim_override
+        return self.ffn_mult * self.hidden
+
+    @property
+    def approx_params(self) -> float:
+        """Approximate parameter count of the FC layers (the bulk).
+
+        Per block: QKV projection ``H x 3H``, attention output
+        ``H x H``, and the two FFN matrices ``H x 4H`` and ``4H x H``.
+        """
+        per_block = (
+            self.hidden * 3 * self.hidden
+            + self.hidden * self.hidden
+            + 2 * self.hidden * self.ffn_dim
+        )
+        return float(self.num_layers * per_block)
+
+    def tokens(self, batch_size: int) -> int:
+        """Global token count of one training step."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return batch_size * self.seq_len

@@ -1,0 +1,147 @@
+"""Convolutions as distributed GeMMs (Section 6).
+
+The paper notes MeshSlice applies beyond FC layers: a convolution can
+be lowered to a GeMM via im2col [6]. This module performs the lowering
+— both the shape bookkeeping (so conv layers can be fed to the timing
+plane and the autotuner) and the actual numpy im2col transformation
+(so the functional plane can verify a distributed convolution
+end-to-end against a direct implementation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.gemm import GeMMShape
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvLayer:
+    """A 2D convolution layer (NCHW, square kernel).
+
+    Attributes:
+        in_channels: Input channels.
+        out_channels: Output channels (filters).
+        kernel: Kernel side length.
+        stride: Stride.
+        padding: Zero padding on each side.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel) < 1:
+            raise ValueError(f"invalid conv layer {self}")
+        if self.stride < 1 or self.padding < 0:
+            raise ValueError(f"invalid conv layer {self}")
+
+    def output_size(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output size for an input of ``height x width``."""
+        out_h = (height + 2 * self.padding - self.kernel) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel) // self.stride + 1
+        if out_h < 1 or out_w < 1:
+            raise ValueError(
+                f"kernel {self.kernel} does not fit input {height}x{width}"
+            )
+        return out_h, out_w
+
+    def gemm_shape(
+        self, batch: int, height: int, width: int, dtype_bytes: int = 2
+    ) -> GeMMShape:
+        """The im2col-lowered GeMM: patches x filters.
+
+        ``M = batch * out_h * out_w`` patch rows, ``K = C_in * k^2``
+        patch features, ``N = C_out`` filters.
+        """
+        out_h, out_w = self.output_size(height, width)
+        return GeMMShape(
+            m=batch * out_h * out_w,
+            n=self.out_channels,
+            k=self.in_channels * self.kernel * self.kernel,
+            dtype_bytes=dtype_bytes,
+        )
+
+
+def im2col(x: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Lower an NCHW input to the patch matrix of the lowered GeMM.
+
+    Returns an array of shape ``(N * out_h * out_w, C_in * k * k)``
+    whose rows are the flattened receptive fields.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    if c != layer.in_channels:
+        raise ValueError(f"input has {c} channels, layer expects {layer.in_channels}")
+    out_h, out_w = layer.output_size(h, w)
+    k, s, p = layer.kernel, layer.stride, layer.padding
+    padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+    rows = np.empty((n * out_h * out_w, c * k * k), dtype=x.dtype)
+    idx = 0
+    for image in range(n):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                patch = padded[
+                    image, :, oy * s:oy * s + k, ox * s:ox * s + k
+                ]
+                rows[idx] = patch.reshape(-1)
+                idx += 1
+    return rows
+
+
+def conv2d_via_gemm(
+    x: np.ndarray, weights: np.ndarray, layer: ConvLayer, gemm=None
+) -> np.ndarray:
+    """Compute a convolution through the lowered GeMM.
+
+    Args:
+        x: NCHW input.
+        weights: Filters of shape ``(C_out, C_in, k, k)``.
+        layer: The convolution description.
+        gemm: Matmul implementation ``f(A, B) -> C``; defaults to
+            numpy. Pass a distributed GeMM's functional form to run the
+            convolution on the simulated mesh.
+
+    Returns:
+        NCHW output of shape ``(N, C_out, out_h, out_w)``.
+    """
+    if weights.shape != (
+        layer.out_channels, layer.in_channels, layer.kernel, layer.kernel
+    ):
+        raise ValueError(f"weights shape {weights.shape} does not match {layer}")
+    n = x.shape[0]
+    out_h, out_w = layer.output_size(x.shape[2], x.shape[3])
+    patches = im2col(x, layer)
+    filters = weights.reshape(layer.out_channels, -1).T
+    product = (gemm or np.matmul)(patches, filters)
+    return (
+        product.reshape(n, out_h, out_w, layer.out_channels)
+        .transpose(0, 3, 1, 2)
+    )
+
+
+def conv2d_direct(
+    x: np.ndarray, weights: np.ndarray, layer: ConvLayer
+) -> np.ndarray:
+    """Naive direct convolution, the reference for the lowering tests."""
+    n = x.shape[0]
+    out_h, out_w = layer.output_size(x.shape[2], x.shape[3])
+    k, s, p = layer.kernel, layer.stride, layer.padding
+    padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+    out = np.zeros((n, layer.out_channels, out_h, out_w), dtype=x.dtype)
+    for image in range(n):
+        for f in range(layer.out_channels):
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    window = padded[
+                        image, :, oy * s:oy * s + k, ox * s:ox * s + k
+                    ]
+                    out[image, f, oy, ox] = np.sum(window * weights[f])
+    return out

@@ -1,0 +1,79 @@
+"""LLM inference workloads for 2D TP (Section 6).
+
+The paper notes MeshSlice can also serve inference — Wang's algorithm
+already runs in LLM inference clusters [21] — but inference GeMMs are
+more likely to be *memory bound*: in the autoregressive decode phase
+each step processes one token per sequence, so ``M`` equals the decode
+batch (tiny) while the weights still must stream from HBM. This module
+enumerates the prefill- and decode-phase FC GeMMs so the algorithms
+and the autotuner can be evaluated on them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.core.gemm import GeMMShape
+from repro.hw.params import HardwareParams
+from repro.models.config import LLMConfig
+from repro.models.layers import fc_layers
+
+
+@dataclasses.dataclass(frozen=True)
+class InferenceWorkload:
+    """One inference serving configuration.
+
+    Attributes:
+        model: The LLM.
+        batch: Concurrent sequences.
+        prompt_len: Prefill length (prefill GeMMs see
+            ``batch * prompt_len`` rows).
+        phase: ``"prefill"`` or ``"decode"`` (decode GeMMs see ``batch``
+            rows — one new token per sequence).
+    """
+
+    model: LLMConfig
+    batch: int
+    prompt_len: int = 1024
+    phase: str = "decode"
+
+    def __post_init__(self) -> None:
+        if self.batch < 1 or self.prompt_len < 1:
+            raise ValueError("batch and prompt_len must be >= 1")
+        if self.phase not in ("prefill", "decode"):
+            raise ValueError(f"unknown phase {self.phase!r}")
+
+    @property
+    def rows(self) -> int:
+        """``M`` of the phase's FC GeMMs."""
+        if self.phase == "prefill":
+            return self.batch * self.prompt_len
+        return self.batch
+
+
+def inference_gemms(
+    workload: InferenceWorkload, dtype_bytes: int = 2
+) -> List[Tuple[str, GeMMShape]]:
+    """The forward FC GeMMs of one block for ``workload``."""
+    return [
+        (layer.name, layer.forward_shape(workload.rows, dtype_bytes))
+        for layer in fc_layers(workload.model)
+    ]
+
+
+def arithmetic_intensity(shape: GeMMShape) -> float:
+    """FLOPs per byte touched — the roofline position of a GeMM."""
+    return shape.flops / shape.total_bytes
+
+
+def is_memory_bound(shape: GeMMShape, hw: HardwareParams) -> bool:
+    """Whether the GeMM sits below the chip's roofline ridge point.
+
+    The ridge is ``effective_flops / hbm_bandwidth`` FLOPs per byte;
+    decode-phase GeMMs (tiny M) fall far below it, prefill GeMMs far
+    above — the distinction Section 6 says the autotuner must learn for
+    inference.
+    """
+    ridge = hw.effective_flops / hw.hbm_bandwidth
+    return arithmetic_intensity(shape) < ridge

@@ -1,0 +1,95 @@
+"""FC layers of a transformer block and their training GeMMs.
+
+Each transformer block has four FC layers (Section 4.4): the QKV
+projection and the attention output projection in multi-head attention,
+and the two feed-forward matrices. Training one FC layer ``Y = X W``
+runs three GeMMs — forward, backward-data (``X' = Y' Wᵀ``), and
+backward-weight (``W' = Xᵀ Y'``) — whose dataflows are linked by the
+stationary-matrix choice of the paper's Table 1 (implemented in
+:mod:`repro.autotuner.dataflow`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.core.gemm import GeMMShape
+from repro.models.config import LLMConfig
+
+#: The three computations of one training step of one FC layer.
+PASSES = ("fwd", "bwd_data", "bwd_weight")
+
+
+@dataclasses.dataclass(frozen=True)
+class FCLayer:
+    """One fully-connected layer ``Y[T, out] = X[T, in] W[in, out]``."""
+
+    name: str
+    in_dim: int
+    out_dim: int
+
+    def __post_init__(self) -> None:
+        if self.in_dim < 1 or self.out_dim < 1:
+            raise ValueError(f"invalid FC layer {self}")
+
+    def forward_shape(self, tokens: int, dtype_bytes: int = 2) -> GeMMShape:
+        """The logical forward GeMM for ``tokens`` input rows."""
+        return GeMMShape(
+            m=tokens, n=self.out_dim, k=self.in_dim, dtype_bytes=dtype_bytes
+        )
+
+    def weight_bytes(self, dtype_bytes: int = 2) -> float:
+        return float(self.in_dim * self.out_dim * dtype_bytes)
+
+
+def fc_layers(model: LLMConfig) -> List[FCLayer]:
+    """The four FC layers of one transformer block of ``model``."""
+    h = model.hidden
+    f = model.ffn_dim
+    return [
+        FCLayer("qkv", h, 3 * h),
+        FCLayer("attn_out", h, h),
+        FCLayer("ffn_in", h, f),
+        FCLayer("ffn_out", f, h),
+    ]
+
+
+def distinct_gemm_shapes(
+    model: LLMConfig, tokens: int, dtype_bytes: int = 2
+) -> List[Tuple[str, GeMMShape]]:
+    """The distinct (M, N, K) training GeMM shapes of one block.
+
+    The 4 FC layers x 3 passes give 12 GeMMs. Shapes that coincide
+    (e.g. the FFN output forward equals the FFN input backward-data)
+    or are transposes of one another (identical compute and traffic,
+    ``C`` vs ``Cᵀ``) collapse to the 8 distinct shapes per model that
+    Figure 11 evaluates. Labels name one representative
+    ``layer/pass`` per shape.
+    """
+    seen = {}
+    for layer in fc_layers(model):
+        fwd = layer.forward_shape(tokens, dtype_bytes)
+        shapes = {
+            "fwd": fwd,
+            "bwd_data": GeMMShape(fwd.m, fwd.k, fwd.n, dtype_bytes),
+            "bwd_weight": GeMMShape(fwd.k, fwd.n, fwd.m, dtype_bytes),
+        }
+        for pass_name, shape in shapes.items():
+            key = (min(shape.m, shape.n), max(shape.m, shape.n), shape.k)
+            if key not in seen:
+                seen[key] = (f"{layer.name}/{pass_name}", shape)
+    return list(seen.values())
+
+
+def block_fc_flops(model: LLMConfig, tokens: int) -> float:
+    """Total training FLOPs of the FC layers of one block.
+
+    Forward, backward-data, and backward-weight each perform
+    ``2 M N K`` FLOPs for each layer (Section 3.2.1: their compute
+    demands are almost identical).
+    """
+    total = 0.0
+    for layer in fc_layers(model):
+        total += 3 * layer.forward_shape(tokens).flops
+    return total

@@ -1,0 +1,152 @@
+"""Per-chip memory footprint of distributed training.
+
+Section 2.1: tensor parallelism partitions *all* matrices of a layer,
+so it has the smallest per-chip memory footprint of the three
+parallelism types — and Section 2.2's weak-scaling argument rests on
+the extra memory that more chips provide. This module estimates the
+per-chip HBM footprint of a 2D-TP training configuration so the
+autotuner can reject infeasible mesh/batch combinations.
+
+Components (bytes per chip):
+
+* **weights**: FC parameters sharded over the whole mesh.
+* **gradients**: same sharding as the weights.
+* **optimizer state**: Adam keeps two fp32 moments plus an fp32 master
+  copy per parameter (the default ``optimizer_factor`` of 6 relative
+  to bf16 weights).
+* **activations**: each block stores its FC inputs for the backward
+  pass; batch rows shard over mesh rows and feature columns over mesh
+  columns.
+* **communication buffers**: the gathered sub-shards MeshSlice holds
+  per iteration (two directions, double-buffered).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.hw.params import HardwareParams
+from repro.mesh.topology import Mesh2D
+from repro.models.config import LLMConfig
+from repro.models.layers import fc_layers
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryEstimate:
+    """Per-chip memory footprint breakdown (bytes)."""
+
+    weights: float
+    gradients: float
+    optimizer: float
+    activations: float
+    comm_buffers: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.weights
+            + self.gradients
+            + self.optimizer
+            + self.activations
+            + self.comm_buffers
+        )
+
+    def fits(self, hw: HardwareParams, reserve_fraction: float = 0.1) -> bool:
+        """Whether the footprint fits the chip's HBM with headroom."""
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        return self.total <= hw.hbm_capacity * (1.0 - reserve_fraction)
+
+
+def training_memory(
+    model: LLMConfig,
+    batch_size: int,
+    mesh: Mesh2D,
+    slices: int = 8,
+    dtype_bytes: int = 2,
+    optimizer_factor: float = 6.0,
+    stored_activations_per_block: int = 2,
+) -> MemoryEstimate:
+    """Estimate the per-chip footprint of 2D-TP training.
+
+    Args:
+        model: The LLM.
+        batch_size: Global batch (sequences); the whole model's layers
+            are resident (no pipeline parallelism assumed here — divide
+            externally for DP/PP hybrids).
+        mesh: The TP mesh; all matrices shard over it.
+        slices: MeshSlice slice count (sizes the gathered sub-shard
+            buffers).
+        dtype_bytes: Training dtype (2 for bf16).
+        optimizer_factor: Optimizer bytes per weight byte.
+        stored_activations_per_block: How many tokens x hidden tensors
+            each block keeps for backward (2 = block input + FFN input;
+            activation recomputation lowers this).
+    """
+    if slices < 1:
+        raise ValueError("slices must be >= 1")
+    chips = mesh.size
+    tokens = model.tokens(batch_size)
+
+    weight_bytes = sum(
+        layer.weight_bytes(dtype_bytes) for layer in fc_layers(model)
+    ) * model.num_layers
+    weights = weight_bytes / chips
+    gradients = weights
+    optimizer = optimizer_factor * weights
+
+    act_elems = stored_activations_per_block * tokens * model.hidden
+    activations = model.num_layers * act_elems * dtype_bytes / chips
+
+    # MeshSlice per-iteration gathered buffers: for the largest layer,
+    # the two gathered operands are flowing_bytes / (chips * S) * ring,
+    # double-buffered for software pipelining.
+    largest = max(
+        fc_layers(model), key=lambda layer: layer.in_dim * layer.out_dim
+    )
+    input_bytes = tokens * largest.in_dim * dtype_bytes
+    weight_bytes_layer = largest.weight_bytes(dtype_bytes)
+    gathered_col = input_bytes / chips / slices * mesh.cols
+    gathered_row = weight_bytes_layer / chips / slices * mesh.rows
+    comm_buffers = 2.0 * (gathered_col + gathered_row)
+
+    return MemoryEstimate(
+        weights=weights,
+        gradients=gradients,
+        optimizer=optimizer,
+        activations=activations,
+        comm_buffers=comm_buffers,
+    )
+
+
+def max_feasible_batch(
+    model: LLMConfig,
+    mesh: Mesh2D,
+    hw: HardwareParams,
+    slices: int = 8,
+    reserve_fraction: float = 0.1,
+    limit: int = 1 << 16,
+) -> Optional[int]:
+    """Largest batch whose footprint fits the chip's HBM.
+
+    Binary-searches the monotone footprint; returns ``None`` when even
+    batch 1 does not fit (the model is too large for this mesh).
+    """
+    def fits(batch: int) -> bool:
+        return training_memory(model, batch, mesh, slices).fits(
+            hw, reserve_fraction
+        )
+
+    if not fits(1):
+        return None
+    lo, hi = 1, 2
+    while hi < limit and fits(hi):
+        lo, hi = hi, hi * 2
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

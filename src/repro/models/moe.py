@@ -1,0 +1,102 @@
+"""Mixture-of-experts extension (Section 6).
+
+The paper suggests combining MeshSlice 2D TP with expert parallelism
+(EP): an MoE layer replaces the dense FFN with ``num_experts`` expert
+FFNs of which each token visits ``top_k``; EP places experts on
+different chip groups and routes tokens with all-to-all dispatch and
+combine exchanges. This module models the resulting per-block workload:
+the attention FC layers run exactly as in the dense model (2D TP over
+the full mesh), while each expert's FFN GeMMs run 2D TP over the
+``chips / ep`` chips of its group, with the two all-to-alls added.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.core.gemm import GeMMShape
+from repro.hw.params import HardwareParams
+from repro.models.config import LLMConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class MoEConfig:
+    """An MoE variant of a dense transformer.
+
+    Attributes:
+        base: The dense architecture (attention dims, layer count).
+        num_experts: Experts per MoE layer.
+        top_k: Experts each token is routed to.
+        capacity_factor: Per-expert buffer slack over the mean load.
+    """
+
+    base: LLMConfig
+    num_experts: int
+    top_k: int = 2
+    capacity_factor: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.num_experts < 1:
+            raise ValueError("num_experts must be >= 1")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        if self.capacity_factor < 1.0:
+            raise ValueError("capacity_factor must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}-moe{self.num_experts}x{self.top_k}"
+
+    def expert_tokens(self, tokens: int) -> int:
+        """Tokens each expert processes (with capacity slack)."""
+        mean = tokens * self.top_k / self.num_experts
+        return max(1, int(mean * self.capacity_factor))
+
+
+def expert_ffn_gemms(
+    cfg: MoEConfig, tokens: int, dtype_bytes: int = 2
+) -> List[Tuple[str, GeMMShape]]:
+    """The forward FFN GeMMs of one expert for a global token count."""
+    rows = cfg.expert_tokens(tokens)
+    h, f = cfg.base.hidden, cfg.base.ffn_dim
+    return [
+        ("expert_ffn_in", GeMMShape(rows, f, h, dtype_bytes)),
+        ("expert_ffn_out", GeMMShape(rows, h, f, dtype_bytes)),
+    ]
+
+
+def dispatch_bytes(cfg: MoEConfig, tokens: int, dtype_bytes: int = 2) -> float:
+    """Total bytes of one all-to-all dispatch (or combine) exchange.
+
+    Each routed token moves its ``hidden``-sized activation to its
+    expert's group; ``top_k`` routes per token.
+    """
+    return float(tokens * cfg.top_k * cfg.base.hidden * dtype_bytes)
+
+
+def alltoall_seconds(
+    total_bytes: float, groups: int, chips: int, hw: HardwareParams
+) -> float:
+    """Ring-based all-to-all among ``groups`` expert groups.
+
+    Each chip exchanges its share of the dispatch volume with the other
+    groups; on a ring embedding this costs
+    ``(groups - 1) / groups * total_bytes / chips / bw`` plus per-step
+    synchronization.
+    """
+    if groups < 1 or chips < 1:
+        raise ValueError("groups and chips must be >= 1")
+    if groups == 1:
+        return 0.0
+    transfer = (groups - 1) / groups * total_bytes / chips / hw.ring_bandwidth
+    return hw.t_launch + (groups - 1) * hw.t_sync + transfer
+
+
+def moe_block_flops(cfg: MoEConfig, tokens: int) -> float:
+    """Forward FC FLOPs of one MoE block (attention + routed experts)."""
+    h, f = cfg.base.hidden, cfg.base.ffn_dim
+    attention = 2.0 * tokens * h * (3 * h) + 2.0 * tokens * h * h
+    expert_rows = cfg.num_experts * cfg.expert_tokens(tokens)
+    experts = 2.0 * expert_rows * h * f + 2.0 * expert_rows * f * h
+    return attention + experts

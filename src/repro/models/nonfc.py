@@ -1,0 +1,70 @@
+"""Non-FC layer execution time estimate.
+
+The paper benchmarks the non-FC layers (attention score/context
+matmuls, softmax, layer norms, residuals, activation functions) on a
+single real TPUv4, because under tensor parallelism they run
+independently per chip with no communication (Section 4.4). Without
+that hardware we substitute an analytical roofline estimate per chip:
+matmul-shaped work is bounded by compute throughput, elementwise work
+by HBM bandwidth. The estimate only shifts the end-to-end percentages
+(Figure 9's 12.0%/23.4% speedups); the FC-layer comparison between
+algorithms is unaffected. DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from repro.hw.params import HardwareParams
+from repro.models.config import LLMConfig
+
+
+def attention_flops(model: LLMConfig, tokens: int) -> float:
+    """FLOPs of the score (``Q Kᵀ``) and context (``A V``) matmuls.
+
+    Per block: ``2 * tokens * seq_len * hidden`` each.
+    """
+    return 2 * (2.0 * tokens * model.seq_len * model.hidden)
+
+
+def elementwise_bytes(model: LLMConfig, tokens: int) -> float:
+    """HBM bytes of the memory-bound non-FC operations of one block.
+
+    Counts, with read+write round trips at 2 bytes/element:
+
+    * softmax over the ``heads x S x S`` score tensor (~3 passes),
+    * two layer norms over ``tokens x hidden`` (~3 passes each),
+    * two residual adds (~3 passes), and
+    * the FFN activation over ``tokens x ffn_dim`` (~2 passes).
+    """
+    dtype = 2
+    score_elems = tokens * model.seq_len * model.heads
+    hidden_elems = tokens * model.hidden
+    ffn_elems = tokens * model.ffn_dim
+    softmax = 3 * score_elems
+    norms = 2 * 3 * hidden_elems
+    residuals = 2 * 3 * hidden_elems
+    activation = 2 * ffn_elems
+    return float(dtype * (softmax + norms + residuals + activation))
+
+
+def nonfc_block_seconds(
+    model: LLMConfig, tokens: int, chips: int, hw: HardwareParams
+) -> float:
+    """Per-chip time of one block's non-FC work, forward plus backward.
+
+    The backward pass roughly doubles both the matmul and the
+    elementwise work (standard 2x rule for recomputation-free
+    training).
+    """
+    if chips < 1:
+        raise ValueError("chips must be >= 1")
+    matmul_seconds = attention_flops(model, tokens) / chips / hw.effective_flops
+    memory_seconds = elementwise_bytes(model, tokens) / chips / hw.hbm_bandwidth
+    forward = matmul_seconds + memory_seconds
+    return 3.0 * forward  # fwd + ~2x bwd
+
+
+def nonfc_model_seconds(
+    model: LLMConfig, tokens: int, chips: int, hw: HardwareParams
+) -> float:
+    """Per-chip non-FC time of the whole model for one training step."""
+    return model.num_layers * nonfc_block_seconds(model, tokens, chips, hw)

@@ -1,0 +1,74 @@
+"""The two LLMs the paper evaluates (Section 4.4)."""
+
+from __future__ import annotations
+
+from repro.models.config import LLMConfig
+
+#: OpenAI GPT-3, 175B parameters [3].
+GPT3_175B = LLMConfig(
+    name="gpt3-175b",
+    num_layers=96,
+    hidden=12288,
+    heads=96,
+    head_dim=128,
+    ffn_mult=4,
+    seq_len=2048,
+)
+
+#: NVIDIA/Microsoft Megatron-Turing NLG, 530B parameters [27].
+MEGATRON_NLG_530B = LLMConfig(
+    name="megatron-nlg-530b",
+    num_layers=105,
+    hidden=20480,
+    heads=128,
+    head_dim=160,
+    ffn_mult=4,
+    seq_len=2048,
+)
+
+#: Meta's Llama 2 70B [29] — the Section 2.2 discussion's example of a
+#: model trained with narrow (8-way) 1D TP. SwiGLU FFN of 28672.
+LLAMA2_70B = LLMConfig(
+    name="llama2-70b",
+    num_layers=80,
+    hidden=8192,
+    heads=64,
+    head_dim=128,
+    seq_len=4096,
+    ffn_dim_override=28672,
+)
+
+#: Google PaLM 540B — a second very-large dense model for scaling
+#: studies beyond the paper's two targets.
+PALM_540B = LLMConfig(
+    name="palm-540b",
+    num_layers=118,
+    hidden=18432,
+    heads=48,
+    head_dim=256,
+    ffn_mult=4,
+    seq_len=2048,
+)
+
+_MODELS = {
+    m.name: m
+    for m in (GPT3_175B, MEGATRON_NLG_530B, LLAMA2_70B, PALM_540B)
+}
+
+
+def get_model(name: str) -> LLMConfig:
+    """Look up a model by name.
+
+    Raises:
+        KeyError: if no model with that name exists.
+    """
+    try:
+        return _MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(_MODELS))
+        raise KeyError(f"unknown model {name!r}; known: {known}")
+
+
+def model_names() -> list:
+    """Names of all registered models."""
+    return sorted(_MODELS)

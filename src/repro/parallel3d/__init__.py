@@ -1,0 +1,17 @@
+"""3D (DP x PP x TP) training cluster composition (Section 2.2)."""
+
+from repro.parallel3d.config import Parallel3DConfig
+from repro.parallel3d.model import (
+    StepBreakdown,
+    dp_allreduce_traffic_bytes,
+    estimate_step,
+    per_chip_weight_bytes,
+)
+
+__all__ = [
+    "Parallel3DConfig",
+    "StepBreakdown",
+    "dp_allreduce_traffic_bytes",
+    "estimate_step",
+    "per_chip_weight_bytes",
+]

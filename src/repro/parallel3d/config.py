@@ -1,0 +1,101 @@
+"""3D training cluster configurations (Section 2.2).
+
+Contemporary LLM training composes data parallelism (DP), pipeline
+parallelism (PP), and tensor parallelism (TP) into a 3D cluster. The
+paper's Section 2.2 argues that widening TP from 8-way 1D to, e.g.,
+128-way 2D both scales the cluster and *shrinks per-chip DP traffic*,
+because every chip then holds a smaller weight shard. This subpackage
+models those compositions quantitatively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.mesh.topology import Mesh2D
+from repro.models.config import LLMConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class Parallel3DConfig:
+    """One DP x PP x TP decomposition of a training cluster.
+
+    Attributes:
+        model: The LLM being trained.
+        dp: Data-parallel degree (weight replicas).
+        pp: Pipeline-parallel degree (layer stages).
+        tp_mesh: The tensor-parallel mesh. ``Mesh2D(1, t)`` denotes
+            1D TP over a ring of ``t`` chips.
+        global_batch: Global batch size (sequences per step).
+        microbatches: Pipeline microbatch count (defaults to ``dp``-
+            normalized batch, at least ``pp`` to fill the pipeline).
+    """
+
+    model: LLMConfig
+    dp: int
+    pp: int
+    tp_mesh: Mesh2D
+    global_batch: int
+    microbatches: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if min(self.dp, self.pp) < 1:
+            raise ValueError(f"dp and pp must be >= 1, got {self.dp}/{self.pp}")
+        if self.global_batch < self.dp:
+            raise ValueError(
+                f"global batch {self.global_batch} smaller than dp {self.dp}"
+            )
+        if self.model.num_layers % self.pp != 0:
+            raise ValueError(
+                f"{self.model.num_layers} layers do not divide into "
+                f"{self.pp} pipeline stages"
+            )
+        if self.microbatches is not None and self.microbatches < 1:
+            raise ValueError("microbatches must be >= 1")
+
+    @property
+    def tp(self) -> int:
+        """Tensor-parallel degree."""
+        return self.tp_mesh.size
+
+    @property
+    def is_2d_tp(self) -> bool:
+        return self.tp_mesh.rows > 1 and self.tp_mesh.cols > 1
+
+    @property
+    def chips(self) -> int:
+        """Total cluster size."""
+        return self.dp * self.pp * self.tp
+
+    @property
+    def layers_per_stage(self) -> int:
+        return self.model.num_layers // self.pp
+
+    @property
+    def batch_per_replica(self) -> int:
+        if self.global_batch % self.dp != 0:
+            raise ValueError(
+                f"global batch {self.global_batch} does not divide over "
+                f"dp={self.dp}"
+            )
+        return self.global_batch // self.dp
+
+    @property
+    def num_microbatches(self) -> int:
+        """Microbatch count: explicit, or enough to fill the pipeline."""
+        if self.microbatches is not None:
+            return self.microbatches
+        return max(self.pp, min(self.batch_per_replica, 4 * self.pp))
+
+    @property
+    def microbatch_size(self) -> int:
+        size = max(1, self.batch_per_replica // self.num_microbatches)
+        return size
+
+    def describe(self) -> str:
+        kind = "2D" if self.is_2d_tp else "1D"
+        return (
+            f"dp={self.dp} x pp={self.pp} x tp={self.tp}({kind} "
+            f"{self.tp_mesh}) = {self.chips} chips"
+        )

@@ -1,0 +1,137 @@
+"""Performance model of a 3D (DP x PP x TP) training cluster.
+
+Combines the reproduction's existing pieces into a training-step
+estimate:
+
+* **TP**: the simulated FC-block time of the chosen distributed GeMM
+  algorithm on the TP mesh (plus the analytical non-FC time) gives the
+  per-microbatch stage time.
+* **PP**: the standard 1F1B/GPipe occupancy model — a step takes
+  ``(microbatches + pp - 1)`` stage slots, so the pipeline *bubble
+  fraction* is ``(pp - 1) / (microbatches + pp - 1)``.
+* **DP**: the gradient all-reduce moves ``2 (dp-1)/dp`` of each chip's
+  weight-shard bytes; it overlaps the backward pass, so only the excess
+  over the overlap window is exposed.
+
+This is the machinery behind the paper's Section 2.2 argument: widening
+TP shrinks each chip's weight shard, which shrinks DP traffic and (at
+fixed cluster size) lets DP and PP degrees drop, cutting bubbles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.experiments.common import run_block
+from repro.autotuner.dataflow import plan_model
+from repro.hw.params import HardwareParams
+from repro.models.layers import fc_layers
+from repro.models.nonfc import nonfc_block_seconds
+from repro.parallel3d.config import Parallel3DConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class StepBreakdown:
+    """Training-step time decomposition for one 3D configuration.
+
+    All times are seconds per training step; traffic is bytes per chip.
+    """
+
+    config_desc: str
+    chips: int
+    stage_seconds: float
+    pipeline_seconds: float
+    bubble_fraction: float
+    dp_traffic_bytes: float
+    dp_exposed_seconds: float
+    step_seconds: float
+    flop_utilization: float
+
+
+def per_chip_weight_bytes(cfg: Parallel3DConfig) -> float:
+    """Bytes of FC weights each chip holds.
+
+    TP shards every weight matrix over all TP chips; PP divides the
+    layers among stages. This is the quantity Section 2.2 tracks: 128-
+    way TP leaves each chip 1/16th the shard of 8-way TP.
+    """
+    stage_weights = sum(
+        layer.weight_bytes() for layer in fc_layers(cfg.model)
+    ) * cfg.layers_per_stage
+    return stage_weights / cfg.tp
+
+
+def dp_allreduce_traffic_bytes(cfg: Parallel3DConfig) -> float:
+    """Per-chip gradient all-reduce traffic per step.
+
+    Ring all-reduce moves ``2 (dp - 1) / dp`` times the local gradient
+    bytes.
+    """
+    if cfg.dp == 1:
+        return 0.0
+    return 2.0 * (cfg.dp - 1) / cfg.dp * per_chip_weight_bytes(cfg)
+
+
+def estimate_step(
+    cfg: Parallel3DConfig,
+    hw: HardwareParams,
+    algorithm: Optional[str] = None,
+    dp_overlap_fraction: float = 0.8,
+) -> StepBreakdown:
+    """Estimate one training step of a 3D configuration.
+
+    Args:
+        cfg: The DP x PP x TP decomposition.
+        hw: Hardware parameters.
+        algorithm: Distributed GeMM algorithm for the TP plane; default
+            MeshSlice for 2D meshes and 1D TP for rings.
+        dp_overlap_fraction: Fraction of the DP all-reduce hidden under
+            the backward pass (DP communication of one layer overlaps
+            compute of another, Section 2.1).
+    """
+    if not 0.0 <= dp_overlap_fraction <= 1.0:
+        raise ValueError("dp_overlap_fraction must be in [0, 1]")
+    if algorithm is None:
+        algorithm = "meshslice" if cfg.is_2d_tp else "1dtp"
+
+    # Per-microbatch, per-stage time: FC block sims + non-FC estimate.
+    micro_tokens = cfg.microbatch_size * cfg.model.seq_len
+    plans = plan_model(cfg.model, micro_tokens)
+    block = run_block(algorithm, plans, cfg.tp_mesh, hw)
+    nonfc = nonfc_block_seconds(cfg.model, micro_tokens, cfg.tp, hw)
+    stage_seconds = cfg.layers_per_stage * (block.seconds + nonfc)
+
+    # Pipeline occupancy: (microbatches + pp - 1) stage slots.
+    slots = cfg.num_microbatches + cfg.pp - 1
+    pipeline_seconds = slots * stage_seconds
+    bubble_fraction = (cfg.pp - 1) / slots
+
+    # DP all-reduce, partially hidden under the backward pass.
+    traffic = dp_allreduce_traffic_bytes(cfg)
+    dp_seconds = traffic / hw.ring_bandwidth
+    dp_exposed = dp_seconds * (1.0 - dp_overlap_fraction)
+
+    step_seconds = pipeline_seconds + dp_exposed
+
+    # Utilization: useful FC FLOPs over cluster peak. One step
+    # processes num_microbatches * microbatch tokens per replica.
+    from repro.models.layers import block_fc_flops
+
+    replica_tokens = cfg.num_microbatches * micro_tokens
+    useful_flops = (
+        cfg.dp * cfg.model.num_layers * block_fc_flops(cfg.model, replica_tokens)
+    )
+    utilization = useful_flops / (step_seconds * hw.peak_flops * cfg.chips)
+
+    return StepBreakdown(
+        config_desc=cfg.describe(),
+        chips=cfg.chips,
+        stage_seconds=stage_seconds,
+        pipeline_seconds=pipeline_seconds,
+        bubble_fraction=bubble_fraction,
+        dp_traffic_bytes=traffic,
+        dp_exposed_seconds=dp_exposed,
+        step_seconds=step_seconds,
+        flop_utilization=utilization,
+    )

@@ -1,0 +1,57 @@
+"""Cluster simulator: fluid DES engine, chip model, programs, traces."""
+
+from repro.sim.chip import ComputeCost, effective_gemm_seconds, gemm_cost, slice_cost
+from repro.sim.cluster import SimResult, combined_utilization, simulate
+from repro.sim.engine import (
+    CORE,
+    HBM,
+    LINK_H,
+    LINK_V,
+    NIC,
+    Activity,
+    Engine,
+    SimulationError,
+    Span,
+    makespan,
+)
+from repro.sim.program import Program, ProgramBuilder
+from repro.sim.trace import (
+    CommBreakdown,
+    ascii_timeline,
+    busy_time,
+    comm_breakdown,
+    compute_time,
+    kind_durations,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Activity",
+    "CORE",
+    "CommBreakdown",
+    "ComputeCost",
+    "Engine",
+    "HBM",
+    "LINK_H",
+    "LINK_V",
+    "NIC",
+    "Program",
+    "ProgramBuilder",
+    "SimResult",
+    "SimulationError",
+    "Span",
+    "ascii_timeline",
+    "busy_time",
+    "comm_breakdown",
+    "combined_utilization",
+    "compute_time",
+    "effective_gemm_seconds",
+    "gemm_cost",
+    "kind_durations",
+    "makespan",
+    "simulate",
+    "slice_cost",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

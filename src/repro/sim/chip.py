@@ -1,0 +1,117 @@
+"""TPU core compute model: tiled GeMM timing and HBM traffic.
+
+Models the paper's simulated TPU core (Section 4.1 / Figure 8): a core
+with systolic arrays and a scratchpad that computes an output tile per
+loop iteration, prefetching input tiles from HBM overlapped with the
+multiplications. At the activity granularity of our simulator this
+reduces to, per GeMM kernel:
+
+* compute time = padded FLOPs / sustained throughput, where padding
+  rounds the M and N extents up to the systolic-array width and charges
+  a pipeline-fill term on K (this is what makes fine-grain partial
+  GeMMs less efficient, as the paper observes on real hardware in
+  Section 5.3.1), and
+* HBM traffic of a scratchpad-tiled GeMM (inputs re-read once per
+  output tile stripe), which both bounds memory-bound kernels and
+  feeds the shared-HBM contention model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.hw.params import HardwareParams
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeCost:
+    """Timing and memory traffic of one compute kernel on one chip."""
+
+    seconds: float
+    hbm_bytes: float
+    flops: float
+
+    @property
+    def hbm_rate(self) -> float:
+        """Average HBM demand while the kernel runs (bytes/second)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.hbm_bytes / self.seconds
+
+
+def _ceil_to(value: int, granularity: int) -> int:
+    return int(math.ceil(value / granularity)) * granularity
+
+
+def gemm_hbm_bytes(m: int, n: int, k: int, hw: HardwareParams) -> float:
+    """HBM traffic of a scratchpad-tiled ``m x n x k`` GeMM (bytes).
+
+    Uses square output tiles of side ``t`` chosen so that one A panel
+    (``t x k``) and one B panel (``k x t``) fit in half the scratchpad
+    (double buffering for the prefetch pipeline). A is then read once
+    per tile-column, B once per tile-row, and C written once (read and
+    written once when accumulating, which we fold into the factor 2).
+    """
+    dtype = hw.dtype_bytes
+    if min(m, n, k) <= 0:
+        return 0.0
+    half_spad = hw.scratchpad_bytes / 2.0
+    t = int(half_spad // max(2 * k * dtype, 1))
+    t = max(min(t, max(m, n)), hw.mxu_dim)
+    tiles_m = math.ceil(m / t)
+    tiles_n = math.ceil(n / t)
+    a_reads = m * k * tiles_n
+    b_reads = k * n * tiles_m
+    c_traffic = 2 * m * n
+    return float((a_reads + b_reads + c_traffic) * dtype)
+
+
+def gemm_cost(m: int, n: int, k: int, hw: HardwareParams) -> ComputeCost:
+    """Execution cost of one local ``m x n x k`` GeMM kernel.
+
+    The kernel time is the roofline maximum of compute time (with MXU
+    padding and pipeline fill) and HBM time, plus the kernel launch
+    overhead ``t_kernel``.
+    """
+    if min(m, n, k) <= 0:
+        return ComputeCost(seconds=hw.t_kernel, hbm_bytes=0.0, flops=0.0)
+    flops = 2.0 * m * n * k
+    padded_m = _ceil_to(m, hw.mxu_dim)
+    padded_n = _ceil_to(n, hw.mxu_dim)
+    # Padding rounds M and N up to the systolic-array width; the
+    # pipeline-fill term charges one array fill per output tile row
+    # (fills overlap with streaming across the tile grid).
+    fill_flops = 2.0 * padded_m * hw.mxu_dim * hw.mxu_dim
+    padded_flops = 2.0 * padded_m * padded_n * k + fill_flops
+    compute_seconds = padded_flops / hw.effective_flops
+    hbm_bytes = gemm_hbm_bytes(m, n, k, hw)
+    memory_seconds = hbm_bytes / hw.hbm_bandwidth
+    return ComputeCost(
+        seconds=hw.t_kernel + max(compute_seconds, memory_seconds),
+        hbm_bytes=hbm_bytes,
+        flops=flops,
+    )
+
+
+def slice_cost(sub_shard_bytes: float, hw: HardwareParams) -> ComputeCost:
+    """Cost of one blocked slicing operation (Algorithm 2).
+
+    Slicing is a strided HBM-to-HBM copy of one sub-shard (read plus
+    write), with a small relative overhead for the non-unit stride.
+    The paper measures the total slicing overhead at ~1.3% of execution
+    time on real hardware, i.e. small but not free.
+    """
+    if sub_shard_bytes < 0:
+        raise ValueError("sub_shard_bytes must be non-negative")
+    bytes_moved = 2.0 * sub_shard_bytes * (1.0 + hw.slicing_overhead)
+    return ComputeCost(
+        seconds=hw.t_kernel + bytes_moved / hw.hbm_bandwidth,
+        hbm_bytes=bytes_moved,
+        flops=0.0,
+    )
+
+
+def effective_gemm_seconds(m: int, n: int, k: int, hw: HardwareParams) -> float:
+    """Convenience wrapper returning only the kernel time."""
+    return gemm_cost(m, n, k, hw).seconds

@@ -1,0 +1,75 @@
+"""Cluster-level simulation results.
+
+Wraps a program execution into the metrics the paper reports: makespan,
+per-chip FLOPs, FLOP utilization (achieved throughput over the cluster's
+peak, Section 5.1.1), and the communication breakdown of Figure 10.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.hw.params import HardwareParams
+from repro.sim.engine import Span, makespan
+from repro.sim.program import Program
+from repro.sim.trace import CommBreakdown, comm_breakdown, compute_time
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of simulating one program on one representative chip."""
+
+    hw: HardwareParams
+    spans: List[Span]
+    makespan: float
+    flops_per_chip: float
+
+    @property
+    def compute_seconds(self) -> float:
+        """Wall-clock time the core spent in GeMM kernels."""
+        return compute_time(self.spans)
+
+    @property
+    def comm(self) -> CommBreakdown:
+        """Total (overlapped plus non-overlapped) communication time."""
+        return comm_breakdown(self.spans)
+
+    def flop_utilization(self, peak_flops: float = None) -> float:
+        """Achieved GeMM throughput over peak chip throughput.
+
+        Because every chip performs the same amount of compute, the
+        per-chip ratio equals the cluster-level FLOP utilization the
+        paper reports.
+        """
+        peak = peak_flops if peak_flops is not None else self.hw.peak_flops
+        if self.makespan <= 0:
+            return 0.0
+        return self.flops_per_chip / (self.makespan * peak)
+
+
+def simulate(program: Program, hw: HardwareParams) -> SimResult:
+    """Run ``program`` and collect cluster metrics."""
+    spans = program.run()
+    return SimResult(
+        hw=hw,
+        spans=spans,
+        makespan=makespan(spans),
+        flops_per_chip=program.total_flops,
+    )
+
+
+def combined_utilization(results: List[SimResult]) -> float:
+    """FLOP utilization of a sequence of GeMMs executed back to back.
+
+    Used to aggregate the forward, backward-data, and backward-weight
+    GeMMs of all FC layers into one utilization number, as in Figure 9.
+    """
+    if not results:
+        raise ValueError("need at least one result")
+    total_time = sum(r.makespan for r in results)
+    total_flops = sum(r.flops_per_chip for r in results)
+    peak = results[0].hw.peak_flops
+    if total_time <= 0:
+        return 0.0
+    return total_flops / (total_time * peak)

@@ -1,0 +1,266 @@
+"""Fluid discrete-event simulation engine.
+
+This engine is the reproduction's stand-in for the paper's customized
+SST + rdmaNic + DRAMSim3 stack (Section 4.1). It simulates a
+representative chip of an SPMD cluster at *activity* granularity: a
+GeMM kernel, a collective communication, or a slicing copy is one
+activity with
+
+* a nominal duration (its execution time with no interference),
+* a set of **exclusive resources** it occupies (the compute core, one
+  ICI link direction), and
+* **shared-capacity demands** (HBM bandwidth) under which concurrent
+  activities slow each other down proportionally.
+
+Exclusive resources give the paper's overlap semantics for free:
+software pipelining emerges from dependency edges plus link/core
+serialization, prologues and epilogues appear as the non-overlapped
+first/last iterations, and the "no collective overlap on real TPUs"
+mode is expressed by making collectives also claim the core. The shared
+HBM resource reproduces the only cross-unit interference the paper
+models: contention between the NIC and the compute cores for HBM
+bandwidth.
+
+The fluid approximation: when the sum of HBM demands exceeds capacity,
+every activity's progress rate is scaled by ``capacity / total_demand``
+(proportional sharing). Rates are recomputed whenever any activity
+starts or finishes, so the simulation is exact for piecewise-constant
+demand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Canonical resource names used by program builders.
+CORE = "core"
+LINK_H = "link_h"  # inter-column (horizontal) ICI ring direction
+LINK_V = "link_v"  # inter-row (vertical) ICI ring direction
+HBM = "hbm"
+NIC = "nic"  # shared NIC of a logical-mesh chip (Section 6)
+
+_EPS = 1e-15
+
+
+@dataclasses.dataclass
+class Activity:
+    """One unit of simulated work.
+
+    Attributes:
+        aid: Unique id within its program.
+        label: Human-readable name (shown in traces).
+        kind: Category used for reporting, e.g. ``"compute"``,
+            ``"comm"``, ``"slice"``.
+        duration: Nominal duration in seconds at full rate. May be 0
+            for pure ordering points.
+        exclusive: Names of exclusive resources held while running.
+        shared: Mapping of shared resource name to demand rate
+            (units/second at full progress rate).
+        deps: Ids of activities that must finish before this starts.
+        meta: Free-form metadata (cost breakdowns, flop counts).
+    """
+
+    aid: int
+    label: str
+    kind: str
+    duration: float
+    exclusive: Tuple[str, ...] = ()
+    shared: Dict[str, float] = dataclasses.field(default_factory=dict)
+    deps: Tuple[int, ...] = ()
+    meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"activity {self.label!r} has negative duration")
+        for demand in self.shared.values():
+            if demand < 0:
+                raise ValueError(f"activity {self.label!r} has negative demand")
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """Recorded execution interval of one activity."""
+
+    aid: int
+    label: str
+    kind: str
+    start: float
+    end: float
+    exclusive: Tuple[str, ...]
+    meta: Dict[str, object]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural problems: cycles, unknown dependencies."""
+
+
+class Engine:
+    """Runs a set of activities to completion.
+
+    Args:
+        activities: The activity DAG. Ids must be unique and
+            dependencies must refer to existing ids.
+        shared_capacities: Capacity (units/second) of each shared
+            resource. Demands on resources not listed here are treated
+            as unconstrained.
+    """
+
+    def __init__(
+        self,
+        activities: Sequence[Activity],
+        shared_capacities: Optional[Dict[str, float]] = None,
+    ):
+        self.activities = {a.aid: a for a in activities}
+        if len(self.activities) != len(activities):
+            raise SimulationError("duplicate activity ids")
+        for act in activities:
+            for dep in act.deps:
+                if dep not in self.activities:
+                    raise SimulationError(
+                        f"activity {act.label!r} depends on unknown id {dep}"
+                    )
+        self.shared_capacities = dict(shared_capacities or {})
+
+    def run(self) -> List[Span]:
+        """Execute the DAG; returns spans sorted by start time."""
+        acts = self.activities
+        remaining_deps = {aid: set(a.deps) for aid, a in acts.items()}
+        dependents: Dict[int, List[int]] = {aid: [] for aid in acts}
+        for aid, act in acts.items():
+            for dep in act.deps:
+                dependents[dep].append(aid)
+
+        ready: List[Tuple[float, int]] = [
+            (0.0, aid) for aid, deps in remaining_deps.items() if not deps
+        ]
+        ready.sort(key=lambda item: (item[0], item[1]))
+        busy: Dict[str, int] = {}
+        running: Dict[int, _Running] = {}
+        spans: List[Span] = []
+        finished = set()
+        now = 0.0
+        # Guard against infinite loops on malformed inputs.
+        max_steps = 10 * len(acts) + 100
+
+        for _step in itertools.count():
+            if _step > max_steps:
+                raise SimulationError("simulation did not converge (internal error)")
+            self._start_ready(ready, busy, running, acts, now)
+            if not running:
+                if any(remaining_deps[aid] for aid in acts if aid not in finished):
+                    unresolved = [
+                        acts[aid].label
+                        for aid in acts
+                        if aid not in finished and remaining_deps[aid]
+                    ]
+                    raise SimulationError(
+                        f"dependency cycle or starvation among: {unresolved[:5]}"
+                    )
+                if len(finished) == len(acts):
+                    break
+                raise SimulationError("no runnable activities but work remains")
+            rates = self._compute_rates(running)
+            dt = min(
+                run.remaining / rates[aid] for aid, run in running.items()
+            )
+            if dt < 0:
+                raise SimulationError("negative time step (internal error)")
+            now += dt
+            completed = []
+            for aid, run in running.items():
+                run.remaining -= rates[aid] * dt
+                if run.remaining <= _EPS * max(1.0, run.nominal):
+                    completed.append(aid)
+            for aid in completed:
+                run = running.pop(aid)
+                act = acts[aid]
+                for res in act.exclusive:
+                    del busy[res]
+                spans.append(
+                    Span(
+                        aid=aid,
+                        label=act.label,
+                        kind=act.kind,
+                        start=run.start,
+                        end=now,
+                        exclusive=act.exclusive,
+                        meta=act.meta,
+                    )
+                )
+                finished.add(aid)
+                for child in dependents[aid]:
+                    remaining_deps[child].discard(aid)
+                    if not remaining_deps[child]:
+                        ready.append((now, child))
+            ready.sort(key=lambda item: (item[0], item[1]))
+
+        spans.sort(key=lambda s: (s.start, s.aid))
+        return spans
+
+    def _start_ready(
+        self,
+        ready: List[Tuple[float, int]],
+        busy: Dict[str, int],
+        running: Dict[int, "_Running"],
+        acts: Dict[int, Activity],
+        now: float,
+    ) -> None:
+        """Start every ready activity whose exclusive resources are free.
+
+        Scans in (ready-time, id) order so that an activity blocked on
+        the core does not prevent a later link activity from starting.
+        """
+        still_waiting: List[Tuple[float, int]] = []
+        for ready_time, aid in ready:
+            act = acts[aid]
+            if any(res in busy for res in act.exclusive):
+                still_waiting.append((ready_time, aid))
+                continue
+            for res in act.exclusive:
+                busy[res] = aid
+            running[aid] = _Running(
+                start=now,
+                remaining=max(act.duration, 0.0),
+                nominal=max(act.duration, _EPS),
+            )
+        ready[:] = still_waiting
+
+    def _compute_rates(self, running: Dict[int, "_Running"]) -> Dict[int, float]:
+        """Proportional-share progress rates under shared capacities."""
+        totals: Dict[str, float] = {}
+        for aid in running:
+            for res, demand in self.activities[aid].shared.items():
+                totals[res] = totals.get(res, 0.0) + demand
+        factors: Dict[str, float] = {}
+        for res, total in totals.items():
+            capacity = self.shared_capacities.get(res)
+            if capacity is None or total <= capacity or total <= 0:
+                factors[res] = 1.0
+            else:
+                factors[res] = capacity / total
+        rates = {}
+        for aid in running:
+            act = self.activities[aid]
+            rate = 1.0
+            for res in act.shared:
+                rate = min(rate, factors[res])
+            rates[aid] = max(rate, _EPS)
+        return rates
+
+
+@dataclasses.dataclass
+class _Running:
+    start: float
+    remaining: float
+    nominal: float
+
+
+def makespan(spans: Iterable[Span]) -> float:
+    """End time of the last span (0 for an empty program)."""
+    return max((s.end for s in spans), default=0.0)

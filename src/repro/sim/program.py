@@ -1,0 +1,363 @@
+"""Program construction for the cluster simulator.
+
+A *program* is the activity DAG one representative chip of the SPMD
+cluster executes for one distributed GeMM (every chip executes the same
+schedule, so simulating one chip with its row/column ring timings gives
+the cluster makespan). :class:`ProgramBuilder` provides the vocabulary
+the algorithm implementations use — compute kernels, slicing copies,
+ring collectives, SendRecvs — and centralizes the hardware overlap
+policy (Section 5.3): when ``hw.overlap_collectives`` is false,
+collective communications also claim the compute core; when SendRecv
+overlap is limited, the non-overlappable fraction of each SendRecv
+claims the core.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.comm.cost import CommCost, CommCostModel
+from repro.hw.params import HardwareParams
+from repro.sim.chip import ComputeCost, gemm_cost, slice_cost
+from repro.sim.engine import (
+    CORE,
+    HBM,
+    LINK_H,
+    LINK_V,
+    NIC,
+    Activity,
+    Engine,
+    Span,
+)
+
+
+@dataclasses.dataclass
+class Program:
+    """An activity DAG plus the shared resource capacities it runs under."""
+
+    activities: List[Activity]
+    shared_capacities: Dict[str, float]
+    meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def run(self) -> List[Span]:
+        """Simulate the program; returns the execution trace."""
+        return Engine(self.activities, self.shared_capacities).run()
+
+    @property
+    def total_flops(self) -> float:
+        """Sum of per-chip FLOPs over all compute activities."""
+        return sum(
+            float(a.meta.get("flops", 0.0)) for a in self.activities
+        )
+
+
+class ProgramBuilder:
+    """Builds activity DAGs under one hardware configuration.
+
+    All ``deps`` arguments are sequences of activity ids returned by
+    earlier calls. Link serialization (two collectives in the same
+    direction cannot overlap) comes from exclusive link resources, so
+    builders do not need to chain same-link operations explicitly.
+    """
+
+    def __init__(self, hw: HardwareParams):
+        self.hw = hw
+        self.costs = CommCostModel(hw)
+        self._activities: List[Activity] = []
+        self._next_id = 0
+
+    def build(self, **meta: object) -> Program:
+        """Finalize into a runnable :class:`Program`."""
+        capacities = {HBM: self.hw.hbm_bandwidth}
+        if self.hw.has_shared_nic:
+            capacities[NIC] = self.hw.nic_bandwidth
+        return Program(
+            activities=list(self._activities),
+            shared_capacities=capacities,
+            meta=dict(meta),
+        )
+
+    # ---------------------------------------------------------------- compute
+
+    def gemm(
+        self,
+        label: str,
+        m: int,
+        n: int,
+        k: int,
+        deps: Sequence[int] = (),
+    ) -> int:
+        """A local GeMM kernel on the compute core."""
+        cost = gemm_cost(m, n, k, self.hw)
+        return self._compute_activity(label, "compute", cost, deps)
+
+    def slice_copy(
+        self, label: str, sub_shard_bytes: float, deps: Sequence[int] = ()
+    ) -> int:
+        """A blocked slicing (or slice write-back) copy on the core."""
+        cost = slice_cost(sub_shard_bytes, self.hw)
+        return self._compute_activity(label, "slice", cost, deps)
+
+    def _compute_activity(
+        self, label: str, kind: str, cost: ComputeCost, deps: Sequence[int]
+    ) -> int:
+        return self._add(
+            label=label,
+            kind=kind,
+            duration=cost.seconds,
+            exclusive=(CORE,),
+            shared={HBM: cost.hbm_rate} if cost.hbm_rate > 0 else {},
+            deps=deps,
+            meta={"flops": cost.flops, "hbm_bytes": cost.hbm_bytes},
+        )
+
+    # ------------------------------------------------------------------- comm
+
+    def allgather(
+        self,
+        label: str,
+        ring_size: int,
+        shard_bytes: float,
+        link: str,
+        deps: Sequence[int] = (),
+        granularity: str = "op",
+    ) -> int:
+        """A ring AllGather collective on one link direction.
+
+        ``granularity="op"`` models the whole collective as one
+        activity (the default; fast and sufficient for overlap
+        structure). ``granularity="step"`` emits the ``P - 1``
+        individual ring steps as chained activities — the fidelity knob
+        used to validate that the op-level aggregation does not distort
+        results.
+        """
+        if granularity == "step":
+            return self._collective_steps(
+                label, "ag", ring_size, shard_bytes, link, deps
+            )
+        cost = self.costs.allgather(ring_size, shard_bytes)
+        return self._collective(label, cost, link, deps)
+
+    def reducescatter(
+        self,
+        label: str,
+        ring_size: int,
+        shard_bytes: float,
+        link: str,
+        deps: Sequence[int] = (),
+        granularity: str = "op",
+    ) -> int:
+        """A ring ReduceScatter collective on one link direction.
+
+        See :meth:`allgather` for the ``granularity`` option.
+        """
+        if granularity == "step":
+            return self._collective_steps(
+                label, "rds", ring_size, shard_bytes, link, deps
+            )
+        cost = self.costs.reducescatter(ring_size, shard_bytes)
+        return self._collective(label, cost, link, deps)
+
+    def _collective_steps(
+        self,
+        label: str,
+        kind: str,
+        ring_size: int,
+        shard_bytes: float,
+        link: str,
+        deps: Sequence[int],
+    ) -> int:
+        """Emit a collective as its individual synchronized ring steps."""
+        if link not in (LINK_H, LINK_V):
+            raise ValueError(f"unknown link {link!r}")
+        if ring_size <= 1:
+            return self.barrier(f"{label}/noop", deps)
+        exclusive = (link,) if self.hw.overlap_collectives else (link, CORE)
+        hbm_factor = 3.0 if kind == "rds" else 2.0
+        step_cost = CommCost(
+            launch=0.0,
+            transfer=shard_bytes / self.hw.ring_bandwidth,
+            sync=self.hw.t_sync,
+            hbm_bytes=hbm_factor * shard_bytes,
+            syncs=1,
+            wire_bytes=shard_bytes,
+        )
+        launch_cost = CommCost(
+            launch=self.hw.t_launch, transfer=0.0, sync=0.0,
+            hbm_bytes=0.0, syncs=0, wire_bytes=0.0,
+        )
+        prev = self._comm_activity(f"{label}/launch", launch_cost, (), deps)
+        for step in range(ring_size - 1):
+            prev = self._comm_activity(
+                f"{label}/step{step}", step_cost, exclusive, [prev]
+            )
+        return prev
+
+    def broadcast(
+        self,
+        label: str,
+        ring_size: int,
+        shard_bytes: float,
+        packets: int,
+        link: str,
+        deps: Sequence[int] = (),
+    ) -> int:
+        """A SUMMA pipelined ring broadcast."""
+        cost = self.costs.broadcast(ring_size, shard_bytes, packets)
+        return self._collective(label, cost, link, deps)
+
+    def reduce(
+        self,
+        label: str,
+        ring_size: int,
+        shard_bytes: float,
+        packets: int,
+        link: str,
+        deps: Sequence[int] = (),
+    ) -> int:
+        """A SUMMA pipelined ring all-to-one reduce."""
+        cost = self.costs.reduce(ring_size, shard_bytes, packets)
+        return self._collective(label, cost, link, deps)
+
+    def sendrecv(
+        self,
+        label: str,
+        message_bytes: float,
+        link: str,
+        deps: Sequence[int] = (),
+        hops: int = 1,
+    ) -> int:
+        """A point-to-point SendRecv (Cannon shifts, Wang decomposition).
+
+        Honors ``hw.overlap_sendrecv`` and
+        ``hw.sendrecv_overlap_fraction``: the non-overlappable fraction
+        of the transfer additionally occupies the compute core,
+        modelling compiler-created dependencies (Section 5.3.1).
+        """
+        cost = self.costs.sendrecv(message_bytes, hops)
+        fraction = (
+            self.hw.sendrecv_overlap_fraction if self.hw.overlap_sendrecv else 0.0
+        )
+        if fraction >= 1.0:
+            return self._comm_activity(label, cost, (link,), deps)
+        if fraction <= 0.0:
+            return self._comm_activity(label, cost, (link, CORE), deps)
+        overlapped = cost.scaled(fraction)
+        blocking = cost.scaled(1.0 - fraction)
+        first = self._comm_activity(f"{label}/async", overlapped, (link,), deps)
+        return self._comm_activity(
+            f"{label}/blocking", blocking, (link, CORE), [first]
+        )
+
+    def _collective(
+        self, label: str, cost: CommCost, link: str, deps: Sequence[int]
+    ) -> int:
+        if link not in (LINK_H, LINK_V):
+            raise ValueError(f"unknown link {link!r}")
+        exclusive = (link,) if self.hw.overlap_collectives else (link, CORE)
+        return self._comm_activity(label, cost, exclusive, deps)
+
+    def _comm_activity(
+        self,
+        label: str,
+        cost: CommCost,
+        exclusive: Sequence[str],
+        deps: Sequence[int],
+    ) -> int:
+        duration = cost.total
+        shared = {}
+        if duration > 0 and cost.hbm_bytes > 0:
+            shared[HBM] = cost.hbm_bytes / duration
+        if (
+            self.hw.has_shared_nic
+            and duration > 0
+            and cost.wire_bytes > 0
+        ):
+            # On a logical mesh all ring traffic shares the chip's NIC:
+            # concurrent collectives in different directions contend
+            # (Section 6). The fluid engine stretches both when their
+            # combined demand exceeds the NIC bandwidth.
+            shared[NIC] = cost.wire_bytes / duration
+        return self._add(
+            label=label,
+            kind="comm",
+            duration=duration,
+            exclusive=tuple(exclusive),
+            shared=shared,
+            deps=deps,
+            meta={
+                "launch": cost.launch,
+                "transfer": cost.transfer,
+                "sync": cost.sync,
+                "syncs": cost.syncs,
+                "hbm_bytes": cost.hbm_bytes,
+            },
+        )
+
+    def comm_on(
+        self,
+        label: str,
+        cost: CommCost,
+        resources: Sequence[str],
+        deps: Sequence[int] = (),
+    ) -> int:
+        """A communication activity on explicit exclusive resources.
+
+        For rings outside the 2D plane (e.g. the replica dimension of a
+        3D torus) where the standard link policy does not apply. The
+        collective-overlap policy is still honored.
+        """
+        exclusive = tuple(resources)
+        if not self.hw.overlap_collectives and CORE not in exclusive:
+            exclusive = exclusive + (CORE,)
+        return self._comm_activity(label, cost, exclusive, deps)
+
+    # ---------------------------------------------------------------- plumbing
+
+    @classmethod
+    def extending(cls, program: Program, hw: HardwareParams) -> "ProgramBuilder":
+        """A builder pre-loaded with an existing program's activities.
+
+        Used to append cluster-level operations (e.g. a data-parallel
+        gradient all-reduce) to an algorithm's GeMM program.
+        """
+        builder = cls(hw)
+        builder._activities = list(program.activities)
+        builder._next_id = (
+            max((a.aid for a in program.activities), default=-1) + 1
+        )
+        return builder
+
+    def barrier(self, label: str, deps: Sequence[int]) -> int:
+        """A zero-duration ordering point."""
+        return self._add(
+            label=label, kind="barrier", duration=0.0, exclusive=(),
+            shared={}, deps=deps, meta={},
+        )
+
+    def _add(
+        self,
+        label: str,
+        kind: str,
+        duration: float,
+        exclusive: Sequence[str],
+        shared: Dict[str, float],
+        deps: Sequence[int],
+        meta: Optional[Dict[str, object]] = None,
+    ) -> int:
+        aid = self._next_id
+        self._next_id += 1
+        self._activities.append(
+            Activity(
+                aid=aid,
+                label=label,
+                kind=kind,
+                duration=duration,
+                exclusive=tuple(exclusive),
+                shared=dict(shared),
+                deps=tuple(deps),
+                meta=meta or {},
+            )
+        )
+        return aid

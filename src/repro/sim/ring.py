@@ -1,0 +1,176 @@
+"""Per-step ring network simulator.
+
+This is the high-fidelity validation layer for the communication cost
+model: it simulates ring collectives step by step — every chip, every
+synchronization, every shard (or packet) transfer — instead of using
+the closed-form expressions of :class:`repro.comm.cost.CommCostModel`.
+With homogeneous chip start times the two must agree exactly (the tests
+pin this); with skewed start times, the step simulator shows how ring
+synchronization absorbs the skew, which is how we produce the
+"measured" communication times for the Figure 15 reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.hw.params import HardwareParams
+
+
+@dataclasses.dataclass
+class RingSimResult:
+    """Outcome of one step-simulated collective.
+
+    Attributes:
+        total_time: Time from operation launch until every chip holds
+            the final result (seconds, relative to time 0).
+        step_completions: Completion time of each synchronized step.
+        bytes_per_link: Bytes each directed link carried in total.
+        syncs: Number of synchronization events on the critical path.
+    """
+
+    total_time: float
+    step_completions: List[float]
+    bytes_per_link: float
+    syncs: int
+
+
+def _start_vector(ring_size: int, start_times: Optional[Sequence[float]]) -> List[float]:
+    if start_times is None:
+        return [0.0] * ring_size
+    if len(start_times) != ring_size:
+        raise ValueError(
+            f"need {ring_size} start times, got {len(start_times)}"
+        )
+    return list(start_times)
+
+
+def simulate_allgather(
+    ring_size: int,
+    shard_bytes: float,
+    hw: HardwareParams,
+    start_times: Optional[Sequence[float]] = None,
+) -> RingSimResult:
+    """Step-simulate a ring AllGather.
+
+    Every step is a neighbour synchronization followed by a full-shard
+    transfer on every link in parallel (Figure 3, right). A chip can
+    begin step ``t`` only when both it and its upstream neighbour have
+    finished step ``t - 1``.
+    """
+    _check(ring_size, shard_bytes)
+    starts = _start_vector(ring_size, start_times)
+    if ring_size == 1:
+        # A collective over one chip is a no-op (no launch needed).
+        return RingSimResult(max(starts), [], 0.0, 0)
+    ready = [t + hw.t_launch for t in starts]
+    transfer = shard_bytes / hw.ring_bandwidth
+    completions = []
+    for _step in range(ring_size - 1):
+        new_ready = []
+        for rank in range(ring_size):
+            upstream = (rank - 1) % ring_size
+            start = max(ready[rank], ready[upstream]) + hw.t_sync
+            new_ready.append(start + transfer)
+        ready = new_ready
+        completions.append(max(ready))
+    return RingSimResult(
+        total_time=max(ready),
+        step_completions=completions,
+        bytes_per_link=(ring_size - 1) * shard_bytes,
+        syncs=ring_size - 1,
+    )
+
+
+def simulate_reducescatter(
+    ring_size: int,
+    shard_bytes: float,
+    hw: HardwareParams,
+    start_times: Optional[Sequence[float]] = None,
+) -> RingSimResult:
+    """Step-simulate a ring ReduceScatter.
+
+    Identical communication structure to AllGather (partial sums travel
+    instead of shards), so it shares the implementation.
+    """
+    return simulate_allgather(ring_size, shard_bytes, hw, start_times)
+
+
+def simulate_broadcast(
+    ring_size: int,
+    shard_bytes: float,
+    packets: int,
+    hw: HardwareParams,
+    start_times: Optional[Sequence[float]] = None,
+) -> RingSimResult:
+    """Step-simulate SUMMA's pipelined ring broadcast (Figure 3, left).
+
+    The root's shard is split into ``packets`` packets streamed over the
+    ring: packet ``d`` leaves the root at stage ``d`` and takes
+    ``ring_size - 1`` hops, so the pipeline drains after
+    ``ring_size + packets - 2`` stages. Every stage is globally
+    synchronized (the source of SUMMA's O(P^2) synchronization
+    overhead when repeated every iteration).
+    """
+    _check(ring_size, shard_bytes)
+    if packets < 1:
+        raise ValueError("packets must be >= 1")
+    starts = _start_vector(ring_size, start_times)
+    if ring_size == 1:
+        return RingSimResult(max(starts), [], 0.0, 0)
+    clock = max(starts) + hw.t_launch
+    packet_time = (shard_bytes / packets) / hw.ring_bandwidth
+    stages = ring_size + packets - 2
+    completions = []
+    for _stage in range(stages):
+        clock += hw.t_sync + packet_time
+        completions.append(clock)
+    return RingSimResult(
+        total_time=clock,
+        step_completions=completions,
+        bytes_per_link=shard_bytes,
+        syncs=stages,
+    )
+
+
+def simulate_reduce(
+    ring_size: int,
+    shard_bytes: float,
+    packets: int,
+    hw: HardwareParams,
+    start_times: Optional[Sequence[float]] = None,
+) -> RingSimResult:
+    """Step-simulate SUMMA's pipelined all-to-one reduce."""
+    return simulate_broadcast(ring_size, shard_bytes, packets, hw, start_times)
+
+
+def simulate_sendrecv(
+    message_bytes: float,
+    hops: int,
+    hw: HardwareParams,
+    start_time: float = 0.0,
+) -> RingSimResult:
+    """Step-simulate a multi-hop SendRecv."""
+    if message_bytes < 0 or hops < 0:
+        raise ValueError("message_bytes and hops must be non-negative")
+    if hops == 0 or message_bytes == 0:
+        return RingSimResult(start_time, [], 0.0, 0)
+    clock = start_time + hw.t_launch
+    completions = []
+    for _hop in range(hops):
+        clock += hw.t_sync + message_bytes / hw.ring_bandwidth
+        completions.append(clock)
+    return RingSimResult(
+        total_time=clock,
+        step_completions=completions,
+        bytes_per_link=message_bytes,
+        syncs=hops,
+    )
+
+
+def _check(ring_size: int, shard_bytes: float) -> None:
+    if ring_size < 1:
+        raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+    if shard_bytes < 0:
+        raise ValueError("shard_bytes must be non-negative")

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for numerical tests."""
+    return np.random.default_rng(20250706)
+
+
+@pytest.fixture
+def mesh42():
+    return Mesh2D(4, 2)
+
+
+@pytest.fixture
+def mesh44():
+    return Mesh2D(4, 4)
+
+
+@pytest.fixture
+def hw():
+    """The calibrated TPUv4 preset."""
+    return TPUV4

@@ -1,0 +1,182 @@
+"""Bit-exact verification of the baseline distributed GeMM algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import GeMMConfig, algorithm_names, get_algorithm
+from repro.core import Dataflow, GeMMShape
+from repro.mesh import Mesh2D
+
+
+def _cfg(shape, mesh, dataflow=Dataflow.OS, slices=1):
+    return GeMMConfig(GeMMShape(*shape), mesh, dataflow, slices)
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        assert algorithm_names() == (
+            "1dtp", "cannon", "collective", "fsdp", "meshslice", "summa", "wang",
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("nope")
+
+    def test_repr(self):
+        assert "meshslice" in repr(get_algorithm("meshslice"))
+
+
+class TestCannonFunctional:
+    @pytest.mark.parametrize("side", [1, 2, 3, 4])
+    def test_matches_matmul(self, rng, side):
+        mesh = Mesh2D(side, side)
+        m, n, k = 12 * side, 12 * side, 12 * side
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        c = get_algorithm("cannon").functional(a, b, _cfg((m, n, k), mesh))
+        assert np.allclose(c, a @ b)
+
+    def test_rejects_rectangular_mesh(self, rng):
+        alg = get_algorithm("cannon")
+        cfg = _cfg((8, 8, 8), Mesh2D(2, 4))
+        assert not alg.supports(cfg)
+        with pytest.raises(ValueError, match="square"):
+            alg.functional(np.zeros((8, 8)), np.zeros((8, 8)), cfg)
+
+    def test_rejects_non_os_dataflow(self):
+        alg = get_algorithm("cannon")
+        cfg = _cfg((8, 8, 8), Mesh2D(2, 2), Dataflow.LS)
+        assert alg.check_support(cfg) is not None
+
+    def test_rejects_contraction_mismatch(self, rng):
+        with pytest.raises(ValueError, match="contraction"):
+            get_algorithm("cannon").functional(
+                rng.standard_normal((4, 6)),
+                rng.standard_normal((8, 4)),
+                _cfg((4, 4, 6), Mesh2D(2, 2)),
+            )
+
+
+class TestSummaFunctional:
+    @pytest.mark.parametrize(
+        "mesh", [Mesh2D(1, 1), Mesh2D(2, 2), Mesh2D(2, 4), Mesh2D(3, 2)], ids=str
+    )
+    def test_os(self, rng, mesh):
+        m, n = mesh.rows * 6, mesh.cols * 6
+        k = mesh.rows * mesh.cols * 12
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        alg = get_algorithm("summa")
+        assert np.allclose(alg.functional(a, b, _cfg((m, n, k), mesh)), a @ b)
+
+    @pytest.mark.parametrize("mesh", [Mesh2D(2, 2), Mesh2D(4, 2)], ids=str)
+    def test_ls(self, rng, mesh):
+        m, k = mesh.rows * 6, mesh.cols * 6
+        n = mesh.rows * mesh.cols * 12
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((n, k))
+        alg = get_algorithm("summa")
+        c = alg.functional(a, b, _cfg((m, n, k), mesh, Dataflow.LS))
+        assert np.allclose(c, a @ b.T)
+
+    @pytest.mark.parametrize("mesh", [Mesh2D(2, 2), Mesh2D(2, 4)], ids=str)
+    def test_rs(self, rng, mesh):
+        k, n = mesh.rows * 6, mesh.cols * 6
+        m = mesh.rows * mesh.cols * 12
+        a = rng.standard_normal((k, m))
+        b = rng.standard_normal((k, n))
+        alg = get_algorithm("summa")
+        c = alg.functional(a, b, _cfg((m, n, k), mesh, Dataflow.RS))
+        assert np.allclose(c, a.T @ b)
+
+    def test_rejects_unaligned_panels(self, rng):
+        mesh = Mesh2D(2, 3)  # lcm 6 does not divide k = 8
+        a = rng.standard_normal((6, 8))
+        b = rng.standard_normal((8, 6))
+        with pytest.raises(ValueError, match="lcm"):
+            get_algorithm("summa").functional(a, b, _cfg((6, 6, 8), mesh))
+
+    def test_rejects_bad_packet_size(self):
+        from repro.algorithms.summa import SummaGeMM
+
+        with pytest.raises(ValueError):
+            SummaGeMM(packet_bytes=0)
+
+
+class TestWangFunctional:
+    @pytest.mark.parametrize(
+        "mesh", [Mesh2D(1, 1), Mesh2D(2, 2), Mesh2D(2, 4), Mesh2D(4, 2)], ids=str
+    )
+    def test_os(self, rng, mesh):
+        m, n = mesh.rows * 4, mesh.cols * 4
+        k = mesh.cols * mesh.rows * 8
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        alg = get_algorithm("wang")
+        assert np.allclose(alg.functional(a, b, _cfg((m, n, k), mesh)), a @ b)
+
+    def test_non_os_not_implemented(self, rng):
+        alg = get_algorithm("wang")
+        with pytest.raises(NotImplementedError):
+            alg.functional(
+                np.zeros((4, 4)), np.zeros((4, 4)),
+                _cfg((4, 4, 4), Mesh2D(2, 2), Dataflow.LS),
+            )
+
+
+class TestOneDFunctional:
+    @pytest.mark.parametrize("chips", [1, 2, 4, 8])
+    def test_1dtp_gather_input(self, rng, chips):
+        ring = Mesh2D(1, chips)
+        m, n, k = chips * 4, chips * 4, 16
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        alg = get_algorithm("1dtp")
+        assert np.allclose(alg.functional(a, b, _cfg((m, n, k), ring)), a @ b)
+
+    def test_1dtp_scatter_output_path(self, rng):
+        """A >> C selects the reduce-scatter variant."""
+        chips = 4
+        ring = Mesh2D(1, chips)
+        m, n, k = 8, 4, 64  # a_bytes = m*k >> c_bytes = m*n
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        alg = get_algorithm("1dtp")
+        cfg = _cfg((m, n, k), ring)
+        assert cfg.shape.a_bytes > cfg.shape.c_bytes
+        assert np.allclose(alg.functional(a, b, cfg), a @ b)
+
+    @pytest.mark.parametrize("chips", [1, 2, 4])
+    def test_fsdp(self, rng, chips):
+        ring = Mesh2D(1, chips)
+        m, n, k = chips * 4, 12, chips * 8
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        alg = get_algorithm("fsdp")
+        assert np.allclose(alg.functional(a, b, _cfg((m, n, k), ring)), a @ b)
+
+    def test_contraction_mismatch(self, rng):
+        for name in ("1dtp", "fsdp"):
+            with pytest.raises(ValueError, match="contraction"):
+                get_algorithm(name).functional(
+                    rng.standard_normal((4, 6)),
+                    rng.standard_normal((8, 4)),
+                    _cfg((4, 4, 6), Mesh2D(1, 2)),
+                )
+
+
+class TestCrossAlgorithmAgreement:
+    """All OS-capable algorithms must produce identical results."""
+
+    def test_all_agree(self, rng):
+        mesh = Mesh2D(2, 2)
+        m, n, k = 16, 16, 16
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        reference = a @ b
+        for name in ("meshslice", "cannon", "summa", "collective", "wang"):
+            cfg = _cfg((m, n, k), mesh, Dataflow.OS, slices=2)
+            if name in ("collective",):
+                cfg = _cfg((m, n, k), mesh, Dataflow.OS, slices=1)
+            out = get_algorithm(name).functional(a, b, cfg)
+            assert np.allclose(out, reference), name

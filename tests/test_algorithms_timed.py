@@ -1,0 +1,302 @@
+"""Tests for the timed (simulator) plane of every algorithm.
+
+These pin the paper's structural performance claims: overlap emerges
+from the program DAGs, MeshSlice hides communication that Collective
+exposes, Wang overlaps only one direction, prologue/epilogue behave as
+Section 3.2.2 describes, and the no-overlap hardware mode serializes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms import (
+    GeMMConfig,
+    TWO_D_ALGORITHMS,
+    collective_local_dims,
+    effective_problem,
+    flow_ops,
+    get_algorithm,
+    sliced_local_dims,
+    traffic_seconds,
+)
+from repro.core import Dataflow, GeMMShape
+from repro.hw import TPUV4, TPUV4_CLOUD_4X4
+from repro.mesh import Mesh2D
+from repro.sim import LINK_H, LINK_V, simulate
+
+#: A deliberately communication-heavy GeMM on a small mesh.
+COMM_HEAVY = GeMMShape(m=8192, n=8192, k=8192)
+BIG = GeMMShape(m=262144, n=49152, k=12288)
+
+
+def run(name, cfg, hw=TPUV4):
+    alg = get_algorithm(name)
+    return simulate(alg.build_program(cfg, hw), hw)
+
+
+class TestFlowOps:
+    def test_os_gathers_both_inputs(self):
+        assert flow_ops(Dataflow.OS) == ((("ag", "a")), ("ag", "b"))
+
+    def test_ls_scatters_output_horizontally(self):
+        (col, row) = flow_ops(Dataflow.LS)
+        assert col == ("rds", "c")
+        assert row == ("ag", "b")
+
+    def test_rs_scatters_output_vertically(self):
+        (col, row) = flow_ops(Dataflow.RS)
+        assert col == ("ag", "a")
+        assert row == ("rds", "c")
+
+    def test_transposed_swaps_directions(self):
+        normal = flow_ops(Dataflow.LS)
+        transposed = flow_ops(Dataflow.LS, transposed=True)
+        assert transposed == (normal[1], normal[0])
+
+
+class TestEffectiveProblem:
+    def test_identity_when_not_transposed(self):
+        cfg = GeMMConfig(BIG, Mesh2D(4, 4), Dataflow.LS)
+        shape, dataflow = effective_problem(cfg)
+        assert shape == BIG and dataflow is Dataflow.LS
+
+    def test_transposition_swaps_ls_rs(self):
+        cfg = GeMMConfig(BIG, Mesh2D(4, 4), Dataflow.LS, transposed=True)
+        shape, dataflow = effective_problem(cfg)
+        assert shape == BIG.transposed()
+        assert dataflow is Dataflow.RS
+
+    def test_os_stays_os(self):
+        cfg = GeMMConfig(BIG, Mesh2D(4, 4), Dataflow.OS, transposed=True)
+        _shape, dataflow = effective_problem(cfg)
+        assert dataflow is Dataflow.OS
+
+
+class TestLocalDims:
+    def test_collective_os(self):
+        cfg = GeMMConfig(GeMMShape(64, 32, 128), Mesh2D(4, 2), Dataflow.OS)
+        assert collective_local_dims(cfg) == (16, 16, 128)
+
+    def test_collective_ls(self):
+        cfg = GeMMConfig(GeMMShape(64, 32, 128), Mesh2D(4, 2), Dataflow.LS)
+        assert collective_local_dims(cfg) == (16, 32, 64)
+
+    def test_collective_rs(self):
+        cfg = GeMMConfig(GeMMShape(64, 32, 128), Mesh2D(4, 2), Dataflow.RS)
+        assert collective_local_dims(cfg) == (64, 16, 32)
+
+    def test_sliced_dims_split_right_axis(self):
+        cfg = GeMMConfig(GeMMShape(64, 32, 128), Mesh2D(4, 2), Dataflow.OS)
+        assert sliced_local_dims(cfg, 4) == (16, 16, 32)
+        cfg_ls = dataclasses.replace(cfg, dataflow=Dataflow.LS)
+        assert sliced_local_dims(cfg_ls, 4) == (16, 8, 64)
+        cfg_rs = dataclasses.replace(cfg, dataflow=Dataflow.RS)
+        assert sliced_local_dims(cfg_rs, 4) == (16, 16, 32)
+
+    def test_flops_conserved_across_slices(self):
+        cfg = GeMMConfig(BIG, Mesh2D(8, 4), Dataflow.OS)
+        m, n, k = sliced_local_dims(cfg, 8)
+        assert 8 * 2 * m * n * k == pytest.approx(BIG.flops / cfg.chips)
+
+
+class TestTrafficModel:
+    def test_matches_paper_formula(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS)
+        col, row = traffic_seconds(cfg, TPUV4)
+        bw = TPUV4.ring_bandwidth
+        assert col == pytest.approx(7 * BIG.a_bytes / 256 / bw)
+        assert row == pytest.approx(31 * BIG.b_bytes / 256 / bw)
+
+    def test_balanced_mesh_minimizes_max_traffic(self):
+        """The traffic-optimal shape follows the size ratio rule."""
+        cfg_template = GeMMConfig(BIG, Mesh2D(1, 256), Dataflow.OS)
+        costs = {}
+        for rows in (2, 4, 8, 16, 32, 64, 128):
+            mesh = Mesh2D(rows, 256 // rows)
+            cfg = dataclasses.replace(cfg_template, mesh=mesh)
+            costs[rows] = max(traffic_seconds(cfg, TPUV4))
+        best_rows = min(costs, key=costs.get)
+        # sizeof(A)/sizeof(B) ~ 5.3, so P_r/P_c ~ 5.3 -> 32x8 or 64x4.
+        assert best_rows in (32, 64)
+
+
+class TestMeshSliceTimed:
+    def test_more_slices_hide_more_comm(self):
+        cfg1 = GeMMConfig(COMM_HEAVY, Mesh2D(4, 4), Dataflow.OS, slices=1)
+        cfg8 = dataclasses.replace(cfg1, slices=8)
+        assert run("meshslice", cfg8).makespan < run("meshslice", cfg1).makespan
+
+    def test_huge_slice_count_backfires(self):
+        """Per-iteration overheads eventually beat the overlap gain."""
+        base = GeMMConfig(COMM_HEAVY, Mesh2D(4, 4), Dataflow.OS, slices=8)
+        huge = dataclasses.replace(base, slices=512)
+        assert run("meshslice", huge).makespan > run("meshslice", base).makespan
+
+    def test_unsupported_slice_count_reported(self):
+        cfg = GeMMConfig(GeMMShape(64, 64, 64), Mesh2D(4, 4), slices=7)
+        assert get_algorithm("meshslice").check_support(cfg) is not None
+
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    def test_all_dataflows_build_and_run(self, dataflow):
+        cfg = GeMMConfig(COMM_HEAVY, Mesh2D(4, 2), dataflow, slices=4)
+        result = run("meshslice", cfg)
+        assert result.makespan > 0
+        assert result.flops_per_chip == pytest.approx(COMM_HEAVY.flops / 8)
+
+    def test_transposed_variant_runs(self):
+        cfg = GeMMConfig(COMM_HEAVY, Mesh2D(4, 2), Dataflow.LS, 4, transposed=True)
+        assert run("meshslice", cfg).makespan > 0
+
+    def test_overlap_hides_communication(self):
+        """With overlap, makespan is far below compute + comm."""
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=8)
+        result = run("meshslice", cfg)
+        comm = result.comm.total
+        serial = result.compute_seconds + comm
+        assert result.makespan < 0.9 * serial
+
+
+class TestCollectiveTimed:
+    def test_no_overlap_by_structure(self):
+        """Collective's makespan ~ comm + compute even on overlap HW."""
+        cfg = GeMMConfig(COMM_HEAVY, Mesh2D(4, 4), Dataflow.OS, slices=1)
+        result = run("collective", cfg)
+        # The two AGs run in parallel (different links), then the GeMM.
+        assert result.makespan >= result.compute_seconds
+        assert result.makespan == pytest.approx(
+            result.compute_seconds + max(
+                s.duration for s in result.spans if s.kind == "comm"
+            ),
+            rel=0.05,
+        )
+
+    def test_slices_must_be_one(self):
+        cfg = GeMMConfig(COMM_HEAVY, Mesh2D(4, 4), slices=2)
+        assert get_algorithm("collective").check_support(cfg) is not None
+
+    def test_meshslice_never_loses_to_collective(self):
+        """MeshSlice can always fall back to S = 1 (Section 5.1.1)."""
+        for dataflow in Dataflow:
+            cfg = GeMMConfig(BIG, Mesh2D(16, 16), dataflow, slices=8)
+            collective_cfg = dataclasses.replace(cfg, slices=1)
+            ms = run("meshslice", cfg).makespan
+            coll = run("collective", collective_cfg).makespan
+            assert ms < coll * 1.02, dataflow
+
+
+class TestWangTimed:
+    def test_between_collective_and_meshslice(self):
+        mesh = Mesh2D(16, 16)
+        base = GeMMConfig(BIG, mesh, Dataflow.OS, slices=8)
+        wang = run("wang", base).makespan
+        coll = run("collective", dataclasses.replace(base, slices=1)).makespan
+        ms = run("meshslice", base).makespan
+        assert ms <= wang * 1.02
+        assert wang <= coll * 1.02
+
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    def test_all_dataflows_run(self, dataflow):
+        cfg = GeMMConfig(COMM_HEAVY, Mesh2D(4, 4), dataflow, slices=4)
+        assert run("wang", cfg).makespan > 0
+
+    def test_decomposes_larger_direction(self):
+        """The SendRecv pipeline covers the matrix with more traffic."""
+        cfg = GeMMConfig(BIG, Mesh2D(2, 128), Dataflow.OS, slices=8)
+        program = get_algorithm("wang").build_program(cfg, TPUV4)
+        sendrecvs = [a for a in program.activities if "sendrecv" in a.label]
+        # A (the bigger flowing matrix here) moves inter-column.
+        assert all(a.exclusive[0] == LINK_H for a in sendrecvs)
+
+
+class TestCannonTimed:
+    def test_skew_prologue_present(self):
+        cfg = GeMMConfig(COMM_HEAVY, Mesh2D(4, 4), Dataflow.OS)
+        program = get_algorithm("cannon").build_program(cfg, TPUV4)
+        labels = [a.label for a in program.activities]
+        assert "skew_a" in labels and "skew_b" in labels
+
+    def test_more_traffic_than_collective(self):
+        """Skew plus full-shard shifts exceed ring AG traffic."""
+        cfg = GeMMConfig(BIG, Mesh2D(16, 16), Dataflow.OS)
+        cannon = run("cannon", cfg)
+        coll = run("collective", dataclasses.replace(cfg, slices=1))
+        assert cannon.comm.transfer > coll.comm.transfer
+
+    def test_rejects_rectangular(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS)
+        with pytest.raises(ValueError, match="square"):
+            get_algorithm("cannon").build_program(cfg, TPUV4)
+
+
+class TestSummaTimed:
+    def test_sync_overhead_grows_with_ring_size(self):
+        """SUMMA's defining pathology (Section 2.3.3): at a fixed
+        cluster size, elongating the mesh grows the per-broadcast
+        pipeline (more stages, more synchronizations)."""
+        balanced = GeMMConfig(BIG, Mesh2D(16, 16), Dataflow.OS, slices=8)
+        elongated = GeMMConfig(BIG, Mesh2D(2, 128), Dataflow.OS, slices=8)
+        syncs_balanced = sum(
+            s.meta.get("syncs", 0) for s in run("summa", balanced).spans
+        )
+        syncs_elongated = sum(
+            s.meta.get("syncs", 0) for s in run("summa", elongated).spans
+        )
+        assert syncs_elongated > syncs_balanced
+
+    def test_more_syncs_than_meshslice(self):
+        cfg = GeMMConfig(BIG, Mesh2D(16, 16), Dataflow.OS, slices=8)
+        summa_syncs = sum(
+            s.meta.get("syncs", 0) for s in run("summa", cfg).spans
+        )
+        ms_syncs = sum(
+            s.meta.get("syncs", 0) for s in run("meshslice", cfg).spans
+        )
+        assert summa_syncs > ms_syncs
+
+
+class TestOneDTimed:
+    def test_1d_traffic_exceeds_2d(self):
+        """Linear traffic growth vs ring-size growth (Section 2.2)."""
+        shape = BIG
+        oned = GeMMConfig(shape, Mesh2D(1, 256), Dataflow.OS, slices=8)
+        twod = GeMMConfig(shape, Mesh2D(32, 8), Dataflow.OS, slices=8)
+        r1 = run("1dtp", oned)
+        r2 = run("meshslice", twod)
+        assert r1.comm.transfer > 2 * r2.comm.transfer
+        assert r1.makespan > r2.makespan
+
+    def test_fsdp_moves_weight_traffic(self):
+        cfg = GeMMConfig(BIG, Mesh2D(1, 64), Dataflow.OS, slices=8)
+        result = run("fsdp", cfg)
+        expected = 63 / 64 * BIG.b_bytes / TPUV4.ring_bandwidth
+        assert result.comm.transfer == pytest.approx(expected, rel=0.05)
+
+
+class TestNoOverlapMode:
+    @pytest.mark.parametrize("name", TWO_D_ALGORITHMS)
+    def test_no_overlap_never_faster(self, name):
+        mesh = Mesh2D(4, 4)
+        cfg = GeMMConfig(
+            COMM_HEAVY, mesh, Dataflow.OS,
+            slices=1 if name == "collective" else 4,
+        )
+        with_overlap = run(name, cfg, TPUV4).makespan
+        hw_serial = TPUV4.with_overrides(
+            overlap_collectives=False,
+            overlap_sendrecv=False,
+            links_per_direction=1,
+        )
+        without = run(name, cfg, hw_serial).makespan
+        assert without >= with_overlap
+
+    def test_meshslice_small_overhead_vs_collective_when_serialized(self):
+        """Table 3: stripped of overlap, MeshSlice pays only its
+        slicing and fine-grain overheads over Collective."""
+        mesh = Mesh2D(4, 4)
+        ms_cfg = GeMMConfig(BIG, mesh, Dataflow.OS, slices=8)
+        coll_cfg = dataclasses.replace(ms_cfg, slices=1)
+        ms = run("meshslice", ms_cfg, TPUV4_CLOUD_4X4).makespan
+        coll = run("collective", coll_cfg, TPUV4_CLOUD_4X4).makespan
+        assert ms > coll  # overhead exists...
+        assert ms < coll * 1.25  # ...but stays modest

@@ -1,0 +1,129 @@
+"""Tests for autotuner Phase 2: the analytical cost models."""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms import GeMMConfig, get_algorithm
+from repro.autotuner import (
+    best_slice_count,
+    collective_estimate,
+    meshslice_estimate,
+    valid_slice_counts_for,
+)
+from repro.core import Dataflow, GeMMShape
+from repro.hw import TPUV4, TPUV4_CLOUD_4X4
+from repro.mesh import Mesh2D
+from repro.sim import simulate
+
+BIG = GeMMShape(m=262144, n=49152, k=12288)
+
+
+class TestMeshSliceEstimate:
+    def test_total_formula(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=8)
+        est = meshslice_estimate(cfg, TPUV4)
+        assert est.total == pytest.approx(
+            est.prologue + 7 * est.steady + est.epilogue
+        )
+
+    def test_flops_per_chip(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=8)
+        est = meshslice_estimate(cfg, TPUV4)
+        assert est.flops_per_chip == pytest.approx(BIG.flops / 256)
+
+    def test_utilization_bounded(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=8)
+        util = meshslice_estimate(cfg, TPUV4).flop_utilization(TPUV4)
+        assert 0.0 < util < 1.0
+
+    def test_tracks_simulation_within_tolerance(self):
+        """The estimate must be close enough to rank configurations."""
+        alg = get_algorithm("meshslice")
+        for slices in (2, 8, 32):
+            cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=slices)
+            est = meshslice_estimate(cfg, TPUV4).total
+            sim = simulate(alg.build_program(cfg, TPUV4), TPUV4).makespan
+            assert est == pytest.approx(sim, rel=0.25)
+
+    def test_no_overlap_mode_serializes(self):
+        cfg = GeMMConfig(BIG, Mesh2D(4, 4), Dataflow.OS, slices=4)
+        overlapped = meshslice_estimate(cfg, TPUV4.with_overrides(
+            links_per_direction=1))
+        serial = meshslice_estimate(cfg, TPUV4.with_overrides(
+            links_per_direction=1, overlap_collectives=False))
+        assert serial.total > overlapped.total
+
+    def test_ls_dataflow_includes_epilogue_scatter(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.LS, slices=8)
+        est = meshslice_estimate(cfg, TPUV4)
+        os_est = meshslice_estimate(
+            dataclasses.replace(cfg, dataflow=Dataflow.OS), TPUV4
+        )
+        # LS's epilogue carries the final ReduceScatter.
+        assert est.epilogue > 0
+        assert os_est.epilogue > 0
+
+
+class TestCollectiveEstimate:
+    def test_close_to_simulated_collective(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=1)
+        est = collective_estimate(cfg, TPUV4).total
+        sim = simulate(
+            get_algorithm("collective").build_program(cfg, TPUV4), TPUV4
+        ).makespan
+        assert est == pytest.approx(sim, rel=0.15)
+
+    def test_meshslice_s1_close_to_collective(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=1)
+        ms = meshslice_estimate(cfg, TPUV4).total
+        coll = collective_estimate(cfg, TPUV4).total
+        assert ms == pytest.approx(coll, rel=0.10)
+
+
+class TestValidSliceCounts:
+    def test_divides_both_local_extents(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=1)
+        counts = valid_slice_counts_for(cfg, max_slices=64)
+        k = BIG.k
+        for s in counts:
+            assert (k // 32) % s == 0
+            assert (k // 8) % s == 0
+
+    def test_capped(self):
+        cfg = GeMMConfig(BIG, Mesh2D(4, 4), Dataflow.OS, slices=1)
+        assert max(valid_slice_counts_for(cfg, max_slices=16)) <= 16
+
+    def test_always_contains_one(self):
+        cfg = GeMMConfig(GeMMShape(7, 11, 13), Mesh2D(4, 4), Dataflow.OS)
+        assert valid_slice_counts_for(cfg) == [1]
+
+    def test_respects_sliced_dimension(self):
+        """LS slices N, so the counts derive from N, not K."""
+        shape = GeMMShape(m=256, n=4096, k=17)
+        cfg = GeMMConfig(shape, Mesh2D(4, 4), Dataflow.LS)
+        counts = valid_slice_counts_for(cfg)
+        assert len(counts) > 1  # N/4 = 1024 has many divisors
+
+
+class TestBestSliceCount:
+    def test_returns_argmin_of_estimate(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=1)
+        best_s, best_est = best_slice_count(cfg, TPUV4)
+        for s in valid_slice_counts_for(cfg):
+            est = meshslice_estimate(
+                dataclasses.replace(cfg, slices=s), TPUV4
+            )
+            assert best_est.total <= est.total + 1e-12
+
+    def test_interior_optimum_for_comm_heavy(self):
+        """Neither S=1 nor the cap should win on a comm-heavy GeMM."""
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=1)
+        best_s, _ = best_slice_count(cfg, TPUV4, max_slices=64)
+        assert 1 < best_s <= 64
+
+    def test_no_overlap_machine_prefers_coarse(self):
+        """Without overlap, slicing only adds overhead -> S = 1."""
+        cfg = GeMMConfig(BIG, Mesh2D(4, 4), Dataflow.OS, slices=1)
+        best_s, _ = best_slice_count(cfg, TPUV4_CLOUD_4X4)
+        assert best_s == 1

@@ -1,0 +1,132 @@
+"""Tests for autotuner Phase 1: dataflow and sharding selection."""
+
+import pytest
+
+from repro.autotuner import (
+    PASSES,
+    choose_stationary,
+    pass_plans,
+    plan_layer,
+    plan_model,
+)
+from repro.core import Dataflow
+from repro.models import GPT3_175B, MEGATRON_NLG_530B
+from repro.models.layers import FCLayer
+
+
+class TestChooseStationary:
+    def test_largest_matrix_wins(self):
+        # Y = tokens x out is largest.
+        assert choose_stationary(tokens=1000, in_dim=10, out_dim=100) == "Y"
+        # X = tokens x in is largest.
+        assert choose_stationary(tokens=1000, in_dim=100, out_dim=10) == "X"
+        # W = in x out is largest.
+        assert choose_stationary(tokens=10, in_dim=1000, out_dim=1000) == "W"
+
+    def test_tie_prefers_y(self):
+        assert choose_stationary(tokens=100, in_dim=100, out_dim=100) == "Y"
+
+
+class TestPassPlans:
+    @pytest.mark.parametrize("stationary", ["Y", "X", "W"])
+    def test_three_passes(self, stationary):
+        plans = pass_plans(stationary, 64, 32, 16)
+        assert [p.pass_name for p in plans] == list(PASSES)
+
+    def test_y_stationary_row(self):
+        """Table 1 row 1: OS fwd, LS bwd-data, RS bwd-weight."""
+        fwd, bwd_data, bwd_weight = pass_plans("Y", 64, in_dim=32, out_dim=16)
+        assert fwd.dataflow is Dataflow.OS
+        assert fwd.shape.as_tuple() == (64, 16, 32)
+        assert bwd_data.dataflow is Dataflow.LS
+        assert bwd_data.shape.as_tuple() == (64, 32, 16)
+        assert bwd_weight.dataflow is Dataflow.RS
+        assert bwd_weight.shape.as_tuple() == (32, 16, 64)
+
+    def test_x_stationary_row(self):
+        fwd, bwd_data, bwd_weight = pass_plans("X", 64, in_dim=32, out_dim=16)
+        assert fwd.dataflow is Dataflow.LS
+        assert bwd_data.dataflow is Dataflow.OS
+        assert bwd_weight.dataflow is Dataflow.RS
+        # X-stn backward-weight computes the transposed product W'ᵀ.
+        assert bwd_weight.shape.as_tuple() == (16, 32, 64)
+
+    def test_w_stationary_row(self):
+        fwd, bwd_data, bwd_weight = pass_plans("W", 64, in_dim=32, out_dim=16)
+        assert fwd.dataflow is Dataflow.RS
+        assert bwd_data.dataflow is Dataflow.LS
+        assert bwd_data.shape.as_tuple() == (32, 64, 16)
+        assert bwd_weight.dataflow is Dataflow.OS
+        assert bwd_weight.shape.as_tuple() == (32, 16, 64)
+
+    def test_flops_identical_across_passes(self):
+        """Fwd/bwd-data/bwd-weight have the same compute (Sec. 3.2.1)."""
+        for stationary in ("Y", "X", "W"):
+            plans = pass_plans(stationary, 128, 64, 32)
+            flops = {p.shape.flops for p in plans}
+            assert len(flops) == 1
+
+    def test_transposed_variant(self):
+        plans = pass_plans("Y", 64, 32, 16, transposed=True)
+        assert all(p.transposed for p in plans)
+        assert plans[0].shape.as_tuple() == (16, 64, 32)
+
+    def test_rejects_unknown_stationary(self):
+        with pytest.raises(ValueError):
+            pass_plans("Z", 1, 1, 1)
+
+
+class TestPlanLayer:
+    def test_auto_selects_stationary(self):
+        layer = FCLayer("ffn_out", in_dim=4096, out_dim=1024)
+        plan, orientation = plan_layer(layer, tokens=65536)
+        assert plan.stationary == "X"  # X = tokens x 4096 is largest
+        assert orientation == "N"
+        assert not plan.passes[0].transposed
+
+    def test_w_stationary_forces_transposed_variant(self):
+        """With normal input, a W-stationary layer must transpose."""
+        layer = FCLayer("tiny", in_dim=4096, out_dim=4096)
+        plan, orientation = plan_layer(layer, tokens=8, input_orientation="N")
+        assert plan.stationary == "W"
+        assert plan.passes[0].transposed
+        assert orientation == "T"
+
+    def test_w_stationary_with_transposed_input(self):
+        layer = FCLayer("tiny", in_dim=4096, out_dim=4096)
+        plan, orientation = plan_layer(layer, tokens=8, input_orientation="T")
+        assert not plan.passes[0].transposed
+        assert orientation == "N"
+
+    def test_pass_plan_lookup(self):
+        layer = FCLayer("qkv", 64, 192)
+        plan, _ = plan_layer(layer, tokens=256)
+        assert plan.pass_plan("fwd").pass_name == "fwd"
+        with pytest.raises(KeyError):
+            plan.pass_plan("sideways")
+
+
+class TestPlanModel:
+    @pytest.mark.parametrize("model", [GPT3_175B, MEGATRON_NLG_530B], ids=str)
+    def test_no_transpositions_in_llms(self, model):
+        """The paper's heuristic eliminates transpositions in LLMs."""
+        plans = plan_model(model, tokens=model.tokens(128))
+        assert all(not p.passes[0].transposed for p in plans)
+
+    def test_optimized_picks_x_stationary_for_ffn_out(self):
+        """The FFN output layer's input (tokens x 4H) dominates."""
+        plans = plan_model(GPT3_175B, tokens=GPT3_175B.tokens(128))
+        by_name = {p.layer.name: p for p in plans}
+        assert by_name["ffn_out"].stationary == "X"
+        assert by_name["qkv"].stationary == "Y"
+
+    def test_default_is_all_y_stationary(self):
+        plans = plan_model(
+            GPT3_175B, tokens=GPT3_175B.tokens(128), optimize_dataflow=False
+        )
+        assert all(p.stationary == "Y" for p in plans)
+
+    def test_all_passes_present(self):
+        plans = plan_model(GPT3_175B, tokens=2048)
+        assert len(plans) == 4
+        assert all(len(p.passes) == 3 for p in plans)

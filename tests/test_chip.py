@@ -1,0 +1,113 @@
+"""Tests for the TPU core compute model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import HardwareParams, TPUV4
+from repro.sim import effective_gemm_seconds, gemm_cost, slice_cost
+from repro.sim.chip import gemm_hbm_bytes
+
+
+class TestGemmCost:
+    def test_large_gemm_near_peak(self, hw):
+        """A big square GeMM should run near the effective throughput."""
+        cost = gemm_cost(8192, 8192, 8192, hw)
+        ideal = cost.flops / hw.effective_flops
+        assert cost.seconds == pytest.approx(ideal, rel=0.05)
+
+    def test_flop_count(self, hw):
+        cost = gemm_cost(100, 200, 300, hw)
+        assert cost.flops == pytest.approx(2.0 * 100 * 200 * 300)
+
+    def test_kernel_overhead_floor(self, hw):
+        cost = gemm_cost(1, 1, 1, hw)
+        assert cost.seconds >= hw.t_kernel
+
+    def test_degenerate_dims(self, hw):
+        cost = gemm_cost(0, 10, 10, hw)
+        assert cost.flops == 0.0
+        assert cost.seconds == pytest.approx(hw.t_kernel)
+
+    def test_padding_penalizes_thin_gemms(self, hw):
+        """A GeMM with m far below the MXU width wastes throughput."""
+        thin = gemm_cost(8, 8192, 8192, hw)
+        ideal = thin.flops / hw.effective_flops
+        assert thin.seconds > 4 * ideal
+
+    def test_memory_bound_gemm(self):
+        """With tiny HBM bandwidth, the roofline flips to memory."""
+        slow_hbm = TPUV4.with_overrides(hbm_bandwidth=1e9)
+        cost = gemm_cost(1024, 1024, 1024, slow_hbm)
+        assert cost.seconds >= cost.hbm_bytes / 1e9
+
+    def test_monotonic_in_k(self, hw):
+        assert (
+            gemm_cost(512, 512, 2048, hw).seconds
+            > gemm_cost(512, 512, 1024, hw).seconds
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(1, 4096),
+        n=st.integers(1, 4096),
+        k=st.integers(1, 4096),
+    )
+    def test_time_at_least_ideal(self, m, n, k):
+        cost = gemm_cost(m, n, k, TPUV4)
+        assert cost.seconds >= cost.flops / TPUV4.effective_flops
+
+    def test_effective_wrapper(self, hw):
+        assert effective_gemm_seconds(64, 64, 64, hw) == pytest.approx(
+            gemm_cost(64, 64, 64, hw).seconds
+        )
+
+
+class TestHbmTraffic:
+    def test_at_least_compulsory(self, hw):
+        m, n, k = 1024, 1024, 1024
+        compulsory = (m * k + k * n + 2 * m * n) * hw.dtype_bytes
+        assert gemm_hbm_bytes(m, n, k, hw) >= compulsory
+
+    def test_large_k_forces_re_reads(self):
+        """When panels exceed the scratchpad, inputs are re-read."""
+        small_spad = TPUV4.with_overrides(scratchpad_bytes=1e6)
+        m = n = 4096
+        k = 16384
+        traffic = gemm_hbm_bytes(m, n, k, small_spad)
+        compulsory = (m * k + k * n + 2 * m * n) * small_spad.dtype_bytes
+        assert traffic > 1.5 * compulsory
+
+    def test_zero_for_degenerate(self, hw):
+        assert gemm_hbm_bytes(0, 8, 8, hw) == 0.0
+
+
+class TestSliceCost:
+    def test_copy_time_tracks_bytes(self, hw):
+        small = slice_cost(1e6, hw)
+        large = slice_cost(1e8, hw)
+        assert large.seconds > small.seconds
+        assert large.hbm_bytes == pytest.approx(100 * small.hbm_bytes)
+
+    def test_includes_read_and_write(self, hw):
+        cost = slice_cost(1e6, hw)
+        assert cost.hbm_bytes >= 2e6
+
+    def test_no_flops(self, hw):
+        assert slice_cost(1e6, hw).flops == 0.0
+
+    def test_rejects_negative(self, hw):
+        with pytest.raises(ValueError):
+            slice_cost(-1.0, hw)
+
+    def test_overhead_factor_applied(self):
+        base = HardwareParams(slicing_overhead=0.0)
+        padded = HardwareParams(slicing_overhead=0.5)
+        assert slice_cost(1e8, padded).hbm_bytes == pytest.approx(
+            1.5 * slice_cost(1e8, base).hbm_bytes
+        )
+
+
+class TestComputeCostDataclass:
+    def test_hbm_rate(self, hw):
+        cost = gemm_cost(256, 256, 256, hw)
+        assert cost.hbm_rate == pytest.approx(cost.hbm_bytes / cost.seconds)

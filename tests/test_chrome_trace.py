@@ -1,0 +1,51 @@
+"""Tests for the Chrome/Perfetto trace export."""
+
+import json
+
+from repro.hw import TPUV4
+from repro.sim import LINK_H, ProgramBuilder, to_chrome_trace, write_chrome_trace
+
+
+def _spans():
+    builder = ProgramBuilder(TPUV4)
+    ag = builder.allgather("ag", 4, 10e6, LINK_H)
+    builder.gemm("gemm", 512, 512, 512, deps=[ag])
+    return builder.build().run()
+
+
+class TestChromeTrace:
+    def test_complete_events_for_every_span(self):
+        spans = _spans()
+        events = to_chrome_trace(spans)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(spans)
+
+    def test_track_metadata_emitted(self):
+        events = to_chrome_trace(_spans())
+        names = [
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        ]
+        assert "core" in names
+        assert LINK_H in names
+
+    def test_times_in_microseconds(self):
+        spans = _spans()
+        events = [e for e in to_chrome_trace(spans) if e["ph"] == "X"]
+        gemm = next(e for e in events if e["name"] == "gemm")
+        gemm_span = next(s for s in spans if s.label == "gemm")
+        assert gemm["ts"] == gemm_span.start * 1e6
+        assert gemm["dur"] == gemm_span.duration * 1e6
+
+    def test_args_only_scalars(self):
+        for event in to_chrome_trace(_spans()):
+            for value in event.get("args", {}).values():
+                assert isinstance(value, (int, float, str, bool))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_spans(), str(path))
+        events = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_empty_spans(self):
+        assert to_chrome_trace([]) == []

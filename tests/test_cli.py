@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, run_experiment
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "table3" in out
+        assert "ablation-2.5d" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure-nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_ablation(self, capsys):
+        assert main(["ablation-2.5d"]) == 0
+        out = capsys.readouterr().out
+        assert "MeshSlice+DP" in out
+        assert "done in" in out
+
+    def test_run_experiment_returns_report(self):
+        report = run_experiment("ablation-2.5d")
+        assert "2.5D GeMM" in report
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")
+
+    def test_parser(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.command == "fig9"
+
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt3-175b" in out and "llama2-70b" in out
+
+    def test_presets_command(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "tpuv4-sim" in out and "gpu-logical-mesh" in out
+
+    def test_tune_command(self, capsys):
+        assert main(["tune", "llama2-70b", "--chips", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen mesh" in out
+
+    def test_tune_requires_model(self, capsys):
+        assert main(["tune"]) == 2
+
+    def test_tune_unknown_model(self, capsys):
+        assert main(["tune", "gpt5", "--chips", "16"]) == 2

@@ -1,0 +1,154 @@
+"""Tests for the analytical communication cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import ZERO_COST, CommCost, CommCostModel
+from repro.hw import HardwareParams
+
+
+@pytest.fixture
+def model():
+    hw = HardwareParams(
+        link_bandwidth=100e9,
+        links_per_direction=1,
+        t_sync=1e-6,
+        t_launch=10e-6,
+    )
+    return CommCostModel(hw)
+
+
+class TestAllGather:
+    def test_matches_paper_formula(self, model):
+        """cost = t_launch + (P-1) * (t_sync + shard / bw)."""
+        cost = model.allgather(ring_size=8, shard_bytes=1e6)
+        hw = model.hw
+        expected = hw.t_launch + 7 * (hw.t_sync + 1e6 / hw.ring_bandwidth)
+        assert cost.total == pytest.approx(expected)
+
+    def test_breakdown_components(self, model):
+        cost = model.allgather(4, 2e6)
+        assert cost.launch == pytest.approx(model.hw.t_launch)
+        assert cost.sync == pytest.approx(3 * model.hw.t_sync)
+        assert cost.transfer == pytest.approx(3 * 2e6 / model.hw.ring_bandwidth)
+        assert cost.syncs == 3
+
+    def test_single_chip_is_free(self, model):
+        assert model.allgather(1, 1e9) == ZERO_COST
+
+    def test_hbm_traffic_is_send_plus_receive(self, model):
+        cost = model.allgather(5, 1e6)
+        assert cost.hbm_bytes == pytest.approx(2 * 4 * 1e6)
+
+    def test_bidirectional_rings_halve_transfer(self):
+        uni = CommCostModel(HardwareParams(links_per_direction=1))
+        bi = CommCostModel(HardwareParams(links_per_direction=2))
+        assert bi.allgather(4, 1e6).transfer == pytest.approx(
+            uni.allgather(4, 1e6).transfer / 2
+        )
+
+    @given(ring=st.integers(2, 64), bytes_=st.floats(1.0, 1e9))
+    @settings(max_examples=30, deadline=None)
+    def test_monotonic_in_ring_size(self, ring, bytes_):
+        fresh = CommCostModel(HardwareParams())
+        smaller = fresh.allgather(ring, bytes_).total
+        larger = fresh.allgather(ring + 1, bytes_).total
+        assert larger > smaller
+
+
+class TestReduceScatter:
+    def test_same_wire_time_as_allgather(self, model):
+        ag = model.allgather(8, 1e6)
+        rds = model.reducescatter(8, 1e6)
+        assert rds.total == pytest.approx(ag.total)
+
+    def test_extra_hbm_for_accumulation(self, model):
+        ag = model.allgather(8, 1e6)
+        rds = model.reducescatter(8, 1e6)
+        assert rds.hbm_bytes > ag.hbm_bytes
+
+
+class TestBroadcast:
+    def test_pipeline_stage_count(self, model):
+        """P + D - 1 stages, each one sync plus one packet transfer."""
+        cost = model.broadcast(ring_size=4, shard_bytes=8e6, packets=8)
+        stages = 4 + 8 - 2
+        assert cost.syncs == stages
+        assert cost.sync == pytest.approx(stages * model.hw.t_sync)
+        assert cost.transfer == pytest.approx(
+            stages * 1e6 / model.hw.ring_bandwidth
+        )
+
+    def test_more_packets_more_syncs_less_bubble_cost(self, model):
+        coarse = model.broadcast(8, 8e6, packets=1)
+        fine = model.broadcast(8, 8e6, packets=64)
+        assert fine.syncs > coarse.syncs
+        # Fine packets shrink per-stage transfers (bubbles cost less).
+        assert fine.transfer < coarse.transfer
+
+    def test_broadcast_slower_than_allgather_per_byte(self, model):
+        """bcast retransmits the whole payload over every link and pays
+        bubbles, so moving the same gathered volume costs more."""
+        ring = 8
+        ag = model.allgather(ring, 1e6)  # gathers 8 MB total
+        bcast = model.broadcast(ring, 8e6, packets=ring)
+        assert bcast.transfer > ag.transfer
+
+    def test_rejects_bad_packets(self, model):
+        with pytest.raises(ValueError):
+            model.broadcast(4, 1e6, packets=0)
+
+    def test_reduce_mirrors_broadcast(self, model):
+        bcast = model.broadcast(4, 1e6, 4)
+        reduce = model.reduce(4, 1e6, 4)
+        assert reduce.total == pytest.approx(bcast.total)
+        assert reduce.hbm_bytes > bcast.hbm_bytes
+
+
+class TestSendRecv:
+    def test_single_hop(self, model):
+        cost = model.sendrecv(1e6)
+        hw = model.hw
+        assert cost.total == pytest.approx(
+            hw.t_launch + hw.t_sync + 1e6 / hw.ring_bandwidth
+        )
+
+    def test_multi_hop_scales(self, model):
+        one = model.sendrecv(1e6, hops=1)
+        three = model.sendrecv(1e6, hops=3)
+        assert three.transfer == pytest.approx(3 * one.transfer)
+        assert three.syncs == 3
+
+    def test_zero_message_free(self, model):
+        assert model.sendrecv(0.0) == ZERO_COST
+        assert model.sendrecv(1e6, hops=0) == ZERO_COST
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.sendrecv(-1.0)
+        with pytest.raises(ValueError):
+            model.sendrecv(1.0, hops=-1)
+
+
+class TestCommCostAlgebra:
+    def test_add(self):
+        a = CommCost(1.0, 2.0, 3.0, 4.0, 5)
+        b = CommCost(10.0, 20.0, 30.0, 40.0, 50)
+        total = a + b
+        assert total.launch == 11.0
+        assert total.transfer == 22.0
+        assert total.sync == 33.0
+        assert total.hbm_bytes == 44.0
+        assert total.syncs == 55
+
+    def test_scaled(self):
+        cost = CommCost(1.0, 2.0, 3.0, 4.0, 6).scaled(0.5)
+        assert cost.total == pytest.approx(3.0)
+        assert cost.syncs == 3
+
+    def test_validation(self):
+        model = CommCostModel(HardwareParams())
+        with pytest.raises(ValueError):
+            model.allgather(0, 1.0)
+        with pytest.raises(ValueError):
+            model.allgather(4, -1.0)

@@ -1,0 +1,178 @@
+"""Tests for the functional ring collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import (
+    ag_col,
+    ag_row,
+    bcast_col,
+    bcast_row,
+    rds_col,
+    rds_row,
+    reduce_col,
+    reduce_row,
+    ring_allgather,
+    ring_reducescatter,
+    shift_col,
+    shift_row,
+)
+from repro.mesh import Mesh2D, shard_matrix
+
+
+def _shards(rng, mesh, shape=(4, 4)):
+    return {coord: rng.standard_normal(shape) for coord in mesh.coords()}
+
+
+class TestRingPrimitives:
+    @settings(max_examples=30, deadline=None)
+    @given(p=st.integers(1, 9), axis=st.integers(0, 1))
+    def test_ring_allgather_matches_concat(self, p, axis):
+        rng = np.random.default_rng(p)
+        chunks = [rng.standard_normal((3, 3)) for _ in range(p)]
+        expected = np.concatenate(chunks, axis=axis)
+        for gathered in ring_allgather(chunks, axis):
+            assert np.array_equal(gathered, expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=st.integers(1, 9), axis=st.integers(0, 1))
+    def test_ring_reducescatter_matches_sum(self, p, axis):
+        rng = np.random.default_rng(p + 100)
+        size = [p * 2, p * 2]
+        parts = [rng.standard_normal(size) for _ in range(p)]
+        total = np.sum(parts, axis=0)
+        expected_chunks = np.array_split(total, p, axis=axis)
+        scattered = ring_reducescatter(parts, axis)
+        for rank in range(p):
+            assert np.allclose(scattered[rank], expected_chunks[rank])
+
+    def test_ring_reducescatter_rejects_uneven(self):
+        parts = [np.zeros((3, 2)), np.zeros((3, 2))]
+        with pytest.raises(ValueError, match="does not divide"):
+            ring_reducescatter(parts, axis=0)
+
+
+class TestMeshCollectives:
+    def test_ag_col_gathers_row_ring(self, rng):
+        mesh = Mesh2D(2, 3)
+        shards = _shards(rng, mesh)
+        out = ag_col(shards, mesh, axis=1)
+        for i in range(mesh.rows):
+            expected = np.concatenate(
+                [shards[(i, j)] for j in range(mesh.cols)], axis=1
+            )
+            for j in range(mesh.cols):
+                assert np.array_equal(out[(i, j)], expected)
+
+    def test_ag_row_gathers_col_ring(self, rng):
+        mesh = Mesh2D(3, 2)
+        shards = _shards(rng, mesh)
+        out = ag_row(shards, mesh, axis=0)
+        for j in range(mesh.cols):
+            expected = np.concatenate(
+                [shards[(i, j)] for i in range(mesh.rows)], axis=0
+            )
+            for i in range(mesh.rows):
+                assert np.array_equal(out[(i, j)], expected)
+
+    def test_rds_col_sums_and_scatters(self, rng):
+        mesh = Mesh2D(2, 4)
+        partials = _shards(rng, mesh, shape=(2, 8))
+        out = rds_col(partials, mesh, axis=1)
+        for i in range(mesh.rows):
+            total = sum(partials[(i, j)] for j in range(mesh.cols))
+            for j in range(mesh.cols):
+                assert np.allclose(out[(i, j)], total[:, j * 2:(j + 1) * 2])
+
+    def test_rds_row_sums_and_scatters(self, rng):
+        mesh = Mesh2D(4, 2)
+        partials = _shards(rng, mesh, shape=(8, 2))
+        out = rds_row(partials, mesh, axis=0)
+        for j in range(mesh.cols):
+            total = sum(partials[(i, j)] for i in range(mesh.rows))
+            for i in range(mesh.rows):
+                assert np.allclose(out[(i, j)], total[i * 2:(i + 1) * 2, :])
+
+    def test_ag_then_rds_identity(self, rng):
+        """ReduceScatter of an AllGather returns P times the input."""
+        mesh = Mesh2D(1, 4)
+        shards = {c: rng.standard_normal((2, 2)) for c in mesh.coords()}
+        gathered = ag_col(shards, mesh, axis=1)
+        scattered = rds_col(gathered, mesh, axis=1)
+        for coord in mesh.coords():
+            assert np.allclose(scattered[coord], mesh.cols * shards[coord])
+
+    def test_missing_shard_rejected(self, rng):
+        mesh = Mesh2D(2, 2)
+        shards = _shards(rng, mesh)
+        del shards[(1, 1)]
+        with pytest.raises(ValueError, match="missing"):
+            ag_col(shards, mesh)
+
+
+class TestBroadcastReduce:
+    def test_bcast_col(self, rng):
+        mesh = Mesh2D(2, 3)
+        shards = _shards(rng, mesh)
+        out = bcast_col(shards, mesh, root_col=1)
+        for i, j in mesh.coords():
+            assert np.array_equal(out[(i, j)], shards[(i, 1)])
+
+    def test_bcast_row(self, rng):
+        mesh = Mesh2D(3, 2)
+        shards = _shards(rng, mesh)
+        out = bcast_row(shards, mesh, root_row=2)
+        for i, j in mesh.coords():
+            assert np.array_equal(out[(i, j)], shards[(2, j)])
+
+    def test_bcast_only_needs_root_entries(self, rng):
+        mesh = Mesh2D(2, 3)
+        roots = {(i, 0): rng.standard_normal((2, 2)) for i in range(2)}
+        out = bcast_col(roots, mesh, root_col=0)
+        assert len(out) == mesh.size
+
+    def test_reduce_col_lands_at_root(self, rng):
+        mesh = Mesh2D(2, 3)
+        partials = _shards(rng, mesh)
+        out = reduce_col(partials, mesh, root_col=2)
+        for i in range(mesh.rows):
+            total = sum(partials[(i, j)] for j in range(mesh.cols))
+            assert np.allclose(out[(i, 2)], total)
+            assert (i, 0) not in out
+
+    def test_reduce_row_lands_at_root(self, rng):
+        mesh = Mesh2D(3, 2)
+        partials = _shards(rng, mesh)
+        out = reduce_row(partials, mesh, root_row=0)
+        for j in range(mesh.cols):
+            total = sum(partials[(i, j)] for i in range(mesh.rows))
+            assert np.allclose(out[(0, j)], total)
+
+    def test_root_bounds_checked(self, rng):
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(IndexError):
+            bcast_col(_shards(rng, mesh), mesh, root_col=2)
+
+
+class TestShifts:
+    def test_shift_col_moves_left(self, rng):
+        mesh = Mesh2D(1, 4)
+        shards = {c: rng.standard_normal((2, 2)) for c in mesh.coords()}
+        out = shift_col(shards, mesh, hops=1)
+        for j in range(4):
+            assert np.array_equal(out[(0, j)], shards[(0, (j + 1) % 4)])
+
+    def test_shift_row_moves_up(self, rng):
+        mesh = Mesh2D(4, 1)
+        shards = {c: rng.standard_normal((2, 2)) for c in mesh.coords()}
+        out = shift_row(shards, mesh, hops=2)
+        for i in range(4):
+            assert np.array_equal(out[(i, 0)], shards[((i + 2) % 4, 0)])
+
+    def test_full_rotation_is_identity(self, rng):
+        mesh = Mesh2D(2, 3)
+        shards = _shards(rng, mesh)
+        out = shift_col(shards, mesh, hops=mesh.cols)
+        for coord in mesh.coords():
+            assert np.array_equal(out[coord], shards[coord])

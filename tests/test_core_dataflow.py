@@ -1,0 +1,114 @@
+"""Tests for the GeMM shape and dataflow description helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Dataflow, GeMMShape
+from repro.core.dataflow import (
+    flowing_bytes,
+    operand_shapes,
+    sliced_dimension,
+    sliced_extent,
+)
+from repro.hw import TPUV4
+from repro.sim import combined_utilization, simulate
+from repro.algorithms import GeMMConfig, get_algorithm
+from repro.mesh import Mesh2D
+
+
+class TestGeMMShape:
+    def test_flops(self):
+        assert GeMMShape(2, 3, 4).flops == 2.0 * 2 * 3 * 4
+
+    def test_byte_sizes(self):
+        shape = GeMMShape(10, 20, 30, dtype_bytes=2)
+        assert shape.a_bytes == 10 * 30 * 2
+        assert shape.b_bytes == 30 * 20 * 2
+        assert shape.c_bytes == 10 * 20 * 2
+        assert shape.total_bytes == shape.a_bytes + shape.b_bytes + shape.c_bytes
+
+    def test_transposed_swaps_m_n(self):
+        shape = GeMMShape(10, 20, 30)
+        t = shape.transposed()
+        assert (t.m, t.n, t.k) == (20, 10, 30)
+        assert t.flops == shape.flops
+
+    def test_as_tuple_and_str(self):
+        shape = GeMMShape(1, 2, 3)
+        assert shape.as_tuple() == (1, 2, 3)
+        assert str(shape) == "(1x2x3)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeMMShape(0, 1, 1)
+        with pytest.raises(ValueError):
+            GeMMShape(1, 1, 1, dtype_bytes=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(m=st.integers(1, 999), n=st.integers(1, 999), k=st.integers(1, 999))
+    def test_double_transpose_identity(self, m, n, k):
+        shape = GeMMShape(m, n, k)
+        assert shape.transposed().transposed() == shape
+
+
+class TestOperandShapes:
+    def test_os_stores_plain_operands(self):
+        a, b, c = operand_shapes(GeMMShape(10, 20, 30), Dataflow.OS)
+        assert a == (10, 30) and b == (30, 20) and c == (10, 20)
+
+    def test_ls_stores_right_transposed(self):
+        a, b, c = operand_shapes(GeMMShape(10, 20, 30), Dataflow.LS)
+        assert a == (10, 30) and b == (20, 30) and c == (10, 20)
+
+    def test_rs_stores_left_transposed(self):
+        a, b, c = operand_shapes(GeMMShape(10, 20, 30), Dataflow.RS)
+        assert a == (30, 10) and b == (30, 20) and c == (10, 20)
+
+
+class TestFlowingBytes:
+    def test_os_flows_both_inputs(self):
+        shape = GeMMShape(10, 20, 30)
+        col, row = flowing_bytes(shape, Dataflow.OS)
+        assert col == shape.a_bytes and row == shape.b_bytes
+
+    def test_ls_flows_output_and_right(self):
+        shape = GeMMShape(10, 20, 30)
+        col, row = flowing_bytes(shape, Dataflow.LS)
+        assert col == shape.c_bytes and row == shape.b_bytes
+
+    def test_rs_flows_left_and_output(self):
+        shape = GeMMShape(10, 20, 30)
+        col, row = flowing_bytes(shape, Dataflow.RS)
+        assert col == shape.a_bytes and row == shape.c_bytes
+
+
+class TestSlicedDimension:
+    @pytest.mark.parametrize(
+        "dataflow,dim", [(Dataflow.OS, "k"), (Dataflow.LS, "n"), (Dataflow.RS, "m")]
+    )
+    def test_mapping(self, dataflow, dim):
+        assert sliced_dimension(dataflow) == dim
+
+    def test_extent(self):
+        shape = GeMMShape(10, 20, 30)
+        assert sliced_extent(shape, Dataflow.OS) == 30
+        assert sliced_extent(shape, Dataflow.LS) == 20
+        assert sliced_extent(shape, Dataflow.RS) == 10
+
+
+class TestCombinedUtilization:
+    def test_aggregates_back_to_back_gemms(self):
+        alg = get_algorithm("meshslice")
+        results = []
+        for n in (8192, 16384):
+            cfg = GeMMConfig(
+                GeMMShape(16384, n, 8192), Mesh2D(4, 4), Dataflow.OS, slices=4
+            )
+            results.append(simulate(alg.build_program(cfg, TPUV4), TPUV4))
+        combined = combined_utilization(results)
+        singles = [r.flop_utilization() for r in results]
+        assert min(singles) <= combined <= max(singles)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            combined_utilization([])

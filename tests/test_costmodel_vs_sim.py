@@ -1,0 +1,102 @@
+"""Property tests: the analytical cost model tracks the simulator.
+
+The autotuner's usefulness rests on the cost model *ranking*
+configurations like the simulator does (Section 5.2). These tests fuzz
+configurations and check both absolute closeness (loose band) and
+ranking fidelity (tight requirement) across mesh shapes and slice
+counts.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import GeMMConfig, get_algorithm
+from repro.autotuner.costmodel import (
+    best_slice_count,
+    meshslice_estimate,
+    valid_slice_counts_for,
+)
+from repro.core import Dataflow, GeMMShape
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D, mesh_shapes
+from repro.sim import simulate
+
+ALG = get_algorithm("meshslice")
+
+
+def _simulate(cfg):
+    return simulate(ALG.build_program(cfg, TPUV4), TPUV4).makespan
+
+
+class TestAbsoluteAccuracy:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.sampled_from([16384, 65536, 262144]),
+        n=st.sampled_from([12288, 49152]),
+        k=st.sampled_from([12288, 49152]),
+        rows=st.sampled_from([4, 8, 16, 32]),
+        slices=st.sampled_from([1, 2, 4, 8, 16]),
+        dataflow=st.sampled_from(list(Dataflow)),
+    )
+    def test_estimate_within_band(self, m, n, k, rows, slices, dataflow):
+        mesh = Mesh2D(rows, 256 // rows)
+        cfg = GeMMConfig(GeMMShape(m, n, k), mesh, dataflow, slices=slices)
+        if not ALG.supports(cfg):
+            return
+        est = meshslice_estimate(cfg, TPUV4).total
+        sim = _simulate(cfg)
+        assert est == pytest.approx(sim, rel=0.30)
+
+
+class TestRankingFidelity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        m=st.sampled_from([65536, 262144]),
+        n=st.sampled_from([12288, 49152]),
+        dataflow=st.sampled_from([Dataflow.OS, Dataflow.LS]),
+    )
+    def test_slice_count_optimum_within_one_step(self, m, n, dataflow):
+        """The estimated-optimal S is simulated-(near-)optimal: its
+        simulated time is within 5% of the simulated best."""
+        shape = GeMMShape(m, n, 12288)
+        mesh = Mesh2D(32, 8)
+        base = GeMMConfig(shape, mesh, dataflow, slices=1)
+        counts = [
+            s for s in valid_slice_counts_for(base, max_slices=32)
+        ]
+        if len(counts) < 2:
+            return
+        est_best, _ = best_slice_count(base, TPUV4, max_slices=32)
+        sims = {
+            s: _simulate(dataclasses.replace(base, slices=s)) for s in counts
+        }
+        sim_best_time = min(sims.values())
+        assert sims[est_best] <= sim_best_time * 1.05
+
+    def test_mesh_ranking_spearman_positive(self):
+        """Across all 256-chip shapes, the estimate's ordering strongly
+        correlates with the simulator's."""
+        shape = GeMMShape(262144, 49152, 12288)
+        est_times, sim_times = [], []
+        for mesh in mesh_shapes(256, min_dim=2):
+            cfg = GeMMConfig(shape, mesh, Dataflow.OS, slices=8)
+            if not ALG.supports(cfg):
+                continue
+            est_times.append(meshslice_estimate(cfg, TPUV4).total)
+            sim_times.append(_simulate(cfg))
+        est_rank = _ranks(est_times)
+        sim_rank = _ranks(sim_times)
+        n = len(est_rank)
+        d2 = sum((a - b) ** 2 for a, b in zip(est_rank, sim_rank))
+        spearman = 1 - 6 * d2 / (n * (n * n - 1))
+        assert spearman > 0.9
+
+
+def _ranks(values):
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0] * len(values)
+    for rank, index in enumerate(order):
+        ranks[index] = rank
+    return ranks

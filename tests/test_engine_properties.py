@@ -1,0 +1,167 @@
+"""Property-based tests of simulator invariants.
+
+Fuzzes random activity DAGs and random algorithm configurations and
+checks the invariants any correct scheduler must maintain: exclusive
+resources never double-booked, dependencies never violated, makespan
+bounded below by the critical path and resource load, and FLOPs
+conserved across granularities.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import GeMMConfig, get_algorithm
+from repro.core import Dataflow, GeMMShape
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D
+from repro.sim import Activity, CORE, Engine, LINK_H, makespan
+
+
+@st.composite
+def random_dag(draw):
+    """A random well-formed activity DAG over two exclusive resources."""
+    count = draw(st.integers(1, 14))
+    activities = []
+    for aid in range(count):
+        duration = draw(
+            st.floats(0.0, 3.0, allow_nan=False, allow_infinity=False)
+        )
+        resource = draw(st.sampled_from([(), (CORE,), (LINK_H,), (CORE, LINK_H)]))
+        dep_pool = list(range(aid))
+        deps = tuple(
+            sorted(
+                set(
+                    draw(
+                        st.lists(
+                            st.sampled_from(dep_pool), max_size=min(3, aid)
+                        )
+                    )
+                )
+            )
+        ) if dep_pool else ()
+        shared = {}
+        if draw(st.booleans()):
+            shared["hbm"] = draw(st.floats(1.0, 200.0))
+        activities.append(
+            Activity(
+                aid=aid,
+                label=f"a{aid}",
+                kind="compute",
+                duration=duration,
+                exclusive=resource,
+                shared=shared,
+                deps=deps,
+            )
+        )
+    return activities
+
+
+class TestEngineInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(random_dag())
+    def test_dependencies_and_exclusivity(self, activities):
+        spans = Engine(activities, {"hbm": 100.0}).run()
+        assert len(spans) == len(activities)
+        by_id = {s.aid: s for s in spans}
+        eps = 1e-9
+        # Dependencies respected.
+        for act in activities:
+            for dep in act.deps:
+                assert by_id[act.aid].start >= by_id[dep].end - eps
+        # Exclusive resources never double-booked.
+        for resource in (CORE, LINK_H):
+            holders = sorted(
+                (s.start, s.end)
+                for s in spans
+                if resource in s.exclusive and s.duration > 0
+            )
+            for (s1, e1), (s2, e2) in zip(holders, holders[1:]):
+                assert s2 >= e1 - eps
+
+    @settings(max_examples=80, deadline=None)
+    @given(random_dag())
+    def test_makespan_lower_bounds(self, activities):
+        spans = Engine(activities, {"hbm": 100.0}).run()
+        total = makespan(spans)
+        # Bound 1: total duration on each exclusive resource.
+        for resource in (CORE, LINK_H):
+            load = sum(
+                a.duration for a in activities if resource in a.exclusive
+            )
+            assert total >= load - 1e-9
+        # Bound 2: the dependency critical path.
+        longest = {}
+        for act in activities:  # ids are topologically ordered
+            longest[act.aid] = act.duration + max(
+                (longest[d] for d in act.deps), default=0.0
+            )
+        assert total >= max(longest.values()) - 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(random_dag())
+    def test_oversubscription_never_speeds_up(self, activities):
+        """Halving the shared capacity can only increase the makespan."""
+        fast = makespan(Engine(activities, {"hbm": 200.0}).run())
+        slow = makespan(Engine(activities, {"hbm": 50.0}).run())
+        assert slow >= fast - 1e-9
+
+
+class TestAlgorithmFuzz:
+    MESHES = [Mesh2D(2, 2), Mesh2D(4, 2), Mesh2D(2, 4), Mesh2D(4, 4)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        mesh_idx=st.integers(0, 3),
+        dataflow=st.sampled_from(list(Dataflow)),
+        slices=st.sampled_from([1, 2, 4]),
+        m=st.integers(1, 8),
+        n=st.integers(1, 8),
+        k=st.integers(1, 8),
+        name=st.sampled_from(["meshslice", "summa", "wang", "1dtp", "fsdp"]),
+    )
+    def test_random_configs_simulate_and_conserve_flops(
+        self, mesh_idx, dataflow, slices, m, n, k, name
+    ):
+        mesh = self.MESHES[mesh_idx]
+        shape = GeMMShape(m * 512, n * 512, k * 512)
+        cfg = GeMMConfig(
+            shape, mesh, dataflow,
+            slices=1 if name == "collective" else slices,
+        )
+        alg = get_algorithm(name)
+        if not alg.supports(cfg):
+            return
+        program = alg.build_program(cfg, TPUV4)
+        spans = program.run()
+        assert makespan(spans) > 0
+        # Granularity never changes the useful FLOPs (within the
+        # rounding the integer group splits introduce).
+        assert program.total_flops == pytest.approx(
+            shape.flops / mesh.size, rel=0.35
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        slices=st.sampled_from([1, 2, 4, 8]),
+        dataflow=st.sampled_from(list(Dataflow)),
+    )
+    def test_meshslice_flops_exact(self, slices, dataflow):
+        """MeshSlice's slicing partitions the GeMM exactly."""
+        shape = GeMMShape(4096, 4096, 4096)
+        cfg = GeMMConfig(shape, Mesh2D(4, 4), dataflow, slices=slices)
+        alg = get_algorithm("meshslice")
+        program = alg.build_program(cfg, TPUV4)
+        assert program.total_flops == pytest.approx(shape.flops / 16)
+
+    def test_deterministic_simulation(self):
+        cfg = GeMMConfig(
+            GeMMShape(8192, 8192, 8192), Mesh2D(4, 4), Dataflow.LS, slices=4
+        )
+        alg = get_algorithm("meshslice")
+        first = alg.build_program(cfg, TPUV4).run()
+        second = alg.build_program(cfg, TPUV4).run()
+        assert [
+            (s.label, s.start, s.end) for s in first
+        ] == [(s.label, s.start, s.end) for s in second]

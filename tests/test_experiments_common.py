@@ -1,0 +1,92 @@
+"""Tests for the shared experiment runners."""
+
+import pytest
+
+from repro.autotuner import plan_model
+from repro.experiments import (
+    best_block_run,
+    candidate_meshes,
+    end_to_end_step_seconds,
+    render_table,
+    run_block,
+    weak_scaling_batch,
+)
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D
+from repro.models import GPT3_175B
+
+
+class TestCandidateMeshes:
+    def test_2d_algorithms_get_factorizations(self):
+        meshes = candidate_meshes("meshslice", 16)
+        assert Mesh2D(4, 4) in meshes
+        assert Mesh2D(1, 16) not in meshes
+
+    def test_1d_algorithms_get_ring(self):
+        assert candidate_meshes("1dtp", 64) == [Mesh2D(1, 64)]
+        assert candidate_meshes("fsdp", 16) == [Mesh2D(1, 16)]
+
+    def test_cannon_square_only(self):
+        assert candidate_meshes("cannon", 64) == [Mesh2D(8, 8)]
+        assert candidate_meshes("cannon", 32) == []
+
+
+class TestRunBlock:
+    def test_runs_twelve_gemms(self, hw):
+        plans = plan_model(GPT3_175B, GPT3_175B.tokens(8))
+        block = run_block("collective", plans, Mesh2D(4, 4), hw)
+        assert len(block.results) == 12
+        assert block.seconds > 0
+        assert 0 < block.utilization(hw) < 1
+
+    def test_flops_match_model(self, hw):
+        from repro.models import block_fc_flops
+
+        tokens = GPT3_175B.tokens(8)
+        plans = plan_model(GPT3_175B, tokens)
+        block = run_block("meshslice", plans, Mesh2D(4, 4), hw)
+        assert block.flops_per_chip == pytest.approx(
+            block_fc_flops(GPT3_175B, tokens) / 16
+        )
+
+    def test_unsupported_config_raises(self, hw):
+        plans = plan_model(GPT3_175B, GPT3_175B.tokens(8))
+        with pytest.raises(ValueError, match="cannot run"):
+            run_block("cannon", plans, Mesh2D(2, 8), hw)
+
+
+class TestBestBlockRun:
+    def test_picks_fastest_mesh(self, hw):
+        best = best_block_run("meshslice", GPT3_175B, 8, 16, hw)
+        assert best is not None
+        for mesh in candidate_meshes("meshslice", 16):
+            plans = plan_model(GPT3_175B, GPT3_175B.tokens(8))
+            other = run_block("meshslice", plans, mesh, hw)
+            assert best.seconds <= other.seconds + 1e-12
+
+    def test_cannon_none_on_nonsquare(self, hw):
+        assert best_block_run("cannon", GPT3_175B, 16, 32, hw) is None
+
+
+class TestHelpers:
+    def test_weak_scaling_batch(self):
+        assert weak_scaling_batch(256) == 128
+        assert weak_scaling_batch(1) == 1
+
+    def test_end_to_end_exceeds_fc_time(self, hw):
+        fc_block = 0.05
+        total = end_to_end_step_seconds(GPT3_175B, 128, 256, hw, fc_block)
+        assert total > GPT3_175B.num_layers * fc_block
+
+    def test_render_table(self):
+        table = render_table(
+            ["name", "value"], [("a", 1.0), ("b", None), ("c", "x")]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 5
+        assert "1.000" in table
+        assert "-" in lines[3]  # None renders as dash
+
+    def test_render_table_empty(self):
+        table = render_table(["col"], [])
+        assert "col" in table

@@ -1,0 +1,42 @@
+"""Tests for the Figure 4 timeline experiment."""
+
+from repro.experiments import fig04_timelines
+from repro.sim.trace import busy_time
+from repro.sim.engine import CORE, LINK_H, LINK_V
+
+
+class TestFig4:
+    def test_meshslice_fastest(self):
+        rows = fig04_timelines.run()
+        order = fig04_timelines.ordering(rows)
+        assert order[0] == "meshslice"
+        assert set(order) == {
+            "cannon", "summa", "collective", "wang", "meshslice",
+        }
+
+    def test_meshslice_uses_both_links_while_computing(self):
+        """The Figure 4 signature: MeshSlice keeps compute and both
+        torus directions busy simultaneously."""
+        rows = {r.algorithm: r for r in fig04_timelines.run()}
+        spans = rows["meshslice"].result.spans
+        total = rows["meshslice"].result.makespan
+        assert busy_time(spans, CORE) > 0.7 * total
+        assert busy_time(spans, LINK_H) > 0.3 * total
+        assert busy_time(spans, LINK_V) > 0.1 * total
+
+    def test_collective_never_overlaps(self):
+        """Collective's core and link busy times sum to the makespan
+        (no concurrency between compute and communication)."""
+        rows = {r.algorithm: r for r in fig04_timelines.run()}
+        result = rows["collective"].result
+        core = busy_time(result.spans, CORE)
+        links = max(
+            busy_time(result.spans, LINK_H), busy_time(result.spans, LINK_V)
+        )
+        assert core + links >= 0.99 * result.makespan
+
+    def test_main_renders_all_timelines(self):
+        report = fig04_timelines.main()
+        for name in ("cannon", "summa", "collective", "wang", "meshslice"):
+            assert name in report
+        assert "fastest to slowest" in report

@@ -1,0 +1,87 @@
+"""Tests for hardware parameter descriptions and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.hw import (
+    TPUV4,
+    TPUV4_CLOUD_4X4,
+    TPUV4_CLOUD_4X4_OVERLAP,
+    HardwareParams,
+    get_preset,
+    preset_names,
+)
+
+
+class TestHardwareParams:
+    def test_defaults_are_valid(self):
+        hw = HardwareParams()
+        assert hw.peak_flops > 0
+        assert hw.ring_bandwidth == hw.link_bandwidth * hw.links_per_direction
+
+    def test_effective_flops_below_peak(self):
+        hw = HardwareParams(peak_flops=100.0, compute_efficiency=0.5)
+        assert hw.effective_flops == pytest.approx(50.0)
+
+    def test_with_overrides_returns_new_object(self):
+        hw = HardwareParams()
+        modified = hw.with_overrides(link_bandwidth=1.0)
+        assert modified.link_bandwidth == 1.0
+        assert hw.link_bandwidth != 1.0
+        assert modified is not hw
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            HardwareParams().peak_flops = 1.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("peak_flops", 0.0),
+            ("peak_flops", -1.0),
+            ("hbm_bandwidth", 0.0),
+            ("link_bandwidth", -5.0),
+            ("links_per_direction", 3),
+            ("links_per_direction", 0),
+            ("dtype_bytes", 0),
+            ("memory_block", 0),
+            ("compute_efficiency", 0.0),
+            ("compute_efficiency", 1.5),
+            ("sendrecv_overlap_fraction", -0.1),
+            ("sendrecv_overlap_fraction", 1.1),
+        ],
+    )
+    def test_validation_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            HardwareParams(**{field: value})
+
+
+class TestPresets:
+    def test_tpuv4_is_bidirectional_overlapping(self):
+        assert TPUV4.links_per_direction == 2
+        assert TPUV4.overlap_collectives
+
+    def test_cloud_preset_restrictions(self):
+        assert TPUV4_CLOUD_4X4.links_per_direction == 1
+        assert not TPUV4_CLOUD_4X4.overlap_collectives
+        assert TPUV4_CLOUD_4X4.sendrecv_overlap_fraction < 1.0
+
+    def test_cloud_overlap_preset_enables_collective_overlap(self):
+        assert TPUV4_CLOUD_4X4_OVERLAP.overlap_collectives
+        assert TPUV4_CLOUD_4X4_OVERLAP.links_per_direction == 1
+
+    def test_cloud_has_half_ring_bandwidth_of_sim(self):
+        assert TPUV4_CLOUD_4X4.ring_bandwidth == TPUV4.ring_bandwidth / 2
+
+    def test_get_preset_round_trips(self):
+        for name in preset_names():
+            assert get_preset(name).name == name
+
+    def test_get_preset_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown hardware preset"):
+            get_preset("does-not-exist")
+
+    def test_paper_utilization_denominator(self):
+        # The paper reports utilization against 272 TFLOPS per TPUv4.
+        assert TPUV4.peak_flops == pytest.approx(272e12)

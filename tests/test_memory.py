@@ -1,0 +1,77 @@
+"""Tests for the per-chip memory footprint model."""
+
+import pytest
+
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D
+from repro.models import GPT3_175B, MEGATRON_NLG_530B
+from repro.models.memory import (
+    MemoryEstimate,
+    max_feasible_batch,
+    training_memory,
+)
+
+
+class TestTrainingMemory:
+    def test_total_is_sum_of_parts(self):
+        est = training_memory(GPT3_175B, 8, Mesh2D(16, 16))
+        assert est.total == pytest.approx(
+            est.weights + est.gradients + est.optimizer
+            + est.activations + est.comm_buffers
+        )
+
+    def test_weights_shard_over_mesh(self):
+        small = training_memory(GPT3_175B, 8, Mesh2D(4, 4))
+        large = training_memory(GPT3_175B, 8, Mesh2D(16, 16))
+        assert small.weights == pytest.approx(16 * large.weights)
+
+    def test_activations_scale_with_batch(self):
+        b8 = training_memory(GPT3_175B, 8, Mesh2D(16, 16))
+        b32 = training_memory(GPT3_175B, 32, Mesh2D(16, 16))
+        assert b32.activations == pytest.approx(4 * b8.activations)
+
+    def test_gpt3_weights_match_param_count(self):
+        est = training_memory(GPT3_175B, 1, Mesh2D(1, 1))
+        assert est.weights == pytest.approx(
+            GPT3_175B.approx_params * 2, rel=0.01
+        )
+
+    def test_more_slices_smaller_buffers(self):
+        coarse = training_memory(GPT3_175B, 8, Mesh2D(16, 16), slices=1)
+        fine = training_memory(GPT3_175B, 8, Mesh2D(16, 16), slices=16)
+        assert fine.comm_buffers < coarse.comm_buffers
+
+    def test_rejects_bad_slices(self):
+        with pytest.raises(ValueError):
+            training_memory(GPT3_175B, 8, Mesh2D(4, 4), slices=0)
+
+    def test_fits_honors_reserve(self):
+        est = MemoryEstimate(1e9, 1e9, 1e9, 1e9, 1e9)
+        roomy = TPUV4.with_overrides(hbm_capacity=10e9)
+        tight = TPUV4.with_overrides(hbm_capacity=5.2e9)
+        assert est.fits(roomy)
+        assert not est.fits(tight, reserve_fraction=0.1)
+        with pytest.raises(ValueError):
+            est.fits(roomy, reserve_fraction=1.0)
+
+
+class TestFeasibility:
+    def test_gpt3_needs_a_big_mesh(self):
+        """Pure-TP GPT-3 training does not fit 8 chips but fits 256 —
+        the Section 2.2 weak-scaling premise."""
+        assert max_feasible_batch(GPT3_175B, Mesh2D(4, 2), TPUV4) is None
+        batch = max_feasible_batch(GPT3_175B, Mesh2D(32, 8), TPUV4)
+        assert batch is not None
+        assert batch >= 128  # the paper's 256-chip weak-scaling batch
+
+    def test_megatron_needs_more_than_256(self):
+        """530B with full optimizer state exceeds 256 chips' HBM, which
+        is why Megatron-NLG trains with pipeline parallelism too."""
+        assert max_feasible_batch(MEGATRON_NLG_530B, Mesh2D(32, 8), TPUV4) is None
+
+    def test_feasible_batch_is_maximal(self):
+        batch = max_feasible_batch(GPT3_175B, Mesh2D(32, 8), TPUV4)
+        assert training_memory(GPT3_175B, batch, Mesh2D(32, 8)).fits(TPUV4)
+        assert not training_memory(
+            GPT3_175B, batch + 1, Mesh2D(32, 8)
+        ).fits(TPUV4)

@@ -1,0 +1,121 @@
+"""Tests for the LLM model zoo and workload enumeration."""
+
+import pytest
+
+from repro.hw import TPUV4
+from repro.models import (
+    GPT3_175B,
+    MEGATRON_NLG_530B,
+    LLMConfig,
+    block_fc_flops,
+    distinct_gemm_shapes,
+    fc_layers,
+    get_model,
+    model_names,
+    nonfc_block_seconds,
+    nonfc_model_seconds,
+)
+
+
+class TestLLMConfig:
+    def test_gpt3_architecture(self):
+        assert GPT3_175B.num_layers == 96
+        assert GPT3_175B.hidden == 12288
+        assert GPT3_175B.ffn_dim == 4 * 12288
+        assert GPT3_175B.seq_len == 2048
+
+    def test_megatron_architecture(self):
+        assert MEGATRON_NLG_530B.num_layers == 105
+        assert MEGATRON_NLG_530B.hidden == 20480
+
+    def test_param_counts_in_right_ballpark(self):
+        # FC layers hold the bulk of the parameters.
+        assert GPT3_175B.approx_params == pytest.approx(175e9, rel=0.25)
+        assert MEGATRON_NLG_530B.approx_params == pytest.approx(530e9, rel=0.25)
+
+    def test_megatron_is_larger(self):
+        assert MEGATRON_NLG_530B.approx_params > GPT3_175B.approx_params
+
+    def test_tokens(self):
+        assert GPT3_175B.tokens(128) == 128 * 2048
+
+    def test_tokens_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            GPT3_175B.tokens(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LLMConfig("bad", 0, 128, 8, 16)
+        with pytest.raises(ValueError):
+            LLMConfig("bad", 2, 128, 8, 16, ffn_mult=0)
+
+    def test_registry(self):
+        assert "gpt3-175b" in model_names()
+        assert get_model("gpt3-175b") is GPT3_175B
+        with pytest.raises(KeyError):
+            get_model("gpt5")
+
+
+class TestFCLayers:
+    def test_four_layers_per_block(self):
+        layers = fc_layers(GPT3_175B)
+        assert [l.name for l in layers] == ["qkv", "attn_out", "ffn_in", "ffn_out"]
+
+    def test_dimensions(self):
+        layers = {l.name: l for l in fc_layers(GPT3_175B)}
+        h = GPT3_175B.hidden
+        assert (layers["qkv"].in_dim, layers["qkv"].out_dim) == (h, 3 * h)
+        assert (layers["attn_out"].in_dim, layers["attn_out"].out_dim) == (h, h)
+        assert (layers["ffn_in"].in_dim, layers["ffn_in"].out_dim) == (h, 4 * h)
+        assert (layers["ffn_out"].in_dim, layers["ffn_out"].out_dim) == (4 * h, h)
+
+    def test_forward_shape(self):
+        layer = fc_layers(GPT3_175B)[0]
+        shape = layer.forward_shape(1024)
+        assert shape.as_tuple() == (1024, 3 * 12288, 12288)
+
+    def test_weight_bytes(self):
+        layer = fc_layers(GPT3_175B)[1]
+        assert layer.weight_bytes() == 12288 * 12288 * 2
+
+
+class TestDistinctShapes:
+    @pytest.mark.parametrize("model", [GPT3_175B, MEGATRON_NLG_530B], ids=str)
+    def test_eight_distinct_shapes(self, model):
+        """The paper's Figure 11 evaluates 8 GeMM variants per model."""
+        shapes = distinct_gemm_shapes(model, tokens=262144)
+        assert len(shapes) == 8
+
+    def test_flops_per_block(self):
+        tokens = 2048
+        total = block_fc_flops(GPT3_175B, tokens)
+        expected = 3 * sum(
+            2.0 * tokens * l.in_dim * l.out_dim for l in fc_layers(GPT3_175B)
+        )
+        assert total == pytest.approx(expected)
+
+
+class TestNonFC:
+    def test_positive_and_scales_down_with_chips(self):
+        t16 = nonfc_block_seconds(GPT3_175B, 262144, 16, TPUV4)
+        t256 = nonfc_block_seconds(GPT3_175B, 262144, 256, TPUV4)
+        assert t16 > t256 > 0
+        assert t16 == pytest.approx(16 * t256, rel=1e-6)
+
+    def test_model_total_scales_with_layers(self):
+        block = nonfc_block_seconds(GPT3_175B, 2048, 16, TPUV4)
+        assert nonfc_model_seconds(GPT3_175B, 2048, 16, TPUV4) == pytest.approx(
+            96 * block
+        )
+
+    def test_nonfc_smaller_than_fc_compute(self):
+        """Non-FC work is a minority of block time (LLM folklore and
+        the premise of the paper's end-to-end combination)."""
+        tokens = 262144
+        chips = 256
+        fc_seconds = block_fc_flops(GPT3_175B, tokens) / chips / TPUV4.effective_flops
+        assert nonfc_block_seconds(GPT3_175B, tokens, chips, TPUV4) < fc_seconds
+
+    def test_rejects_bad_chips(self):
+        with pytest.raises(ValueError):
+            nonfc_block_seconds(GPT3_175B, 2048, 0, TPUV4)

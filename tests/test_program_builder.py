@@ -1,0 +1,111 @@
+"""Tests for program construction and the hardware overlap policy."""
+
+import pytest
+
+from repro.hw import TPUV4, TPUV4_CLOUD_4X4
+from repro.sim import CORE, LINK_H, LINK_V, ProgramBuilder
+
+
+class TestComputeActivities:
+    def test_gemm_claims_core(self, hw):
+        builder = ProgramBuilder(hw)
+        builder.gemm("g", 64, 64, 64)
+        program = builder.build()
+        assert program.activities[0].exclusive == (CORE,)
+        assert program.activities[0].meta["flops"] > 0
+
+    def test_slice_copy_claims_core(self, hw):
+        builder = ProgramBuilder(hw)
+        builder.slice_copy("s", 1e6)
+        assert builder.build().activities[0].kind == "slice"
+
+    def test_total_flops(self, hw):
+        builder = ProgramBuilder(hw)
+        builder.gemm("g1", 32, 32, 32)
+        builder.gemm("g2", 32, 32, 32)
+        assert builder.build().total_flops == pytest.approx(2 * 2 * 32**3)
+
+
+class TestCollectivePolicy:
+    def test_overlapping_collective_claims_only_link(self):
+        builder = ProgramBuilder(TPUV4)
+        builder.allgather("ag", 4, 1e6, LINK_H)
+        act = builder.build().activities[0]
+        assert act.exclusive == (LINK_H,)
+
+    def test_no_overlap_collective_claims_core_too(self):
+        builder = ProgramBuilder(TPUV4_CLOUD_4X4)
+        builder.reducescatter("rds", 4, 1e6, LINK_V)
+        act = builder.build().activities[0]
+        assert set(act.exclusive) == {LINK_V, CORE}
+
+    def test_unknown_link_rejected(self, hw):
+        builder = ProgramBuilder(hw)
+        with pytest.raises(ValueError, match="unknown link"):
+            builder.allgather("ag", 4, 1e6, "link_z")
+
+    def test_breakdown_metadata(self, hw):
+        builder = ProgramBuilder(hw)
+        builder.allgather("ag", 8, 1e6, LINK_H)
+        meta = builder.build().activities[0].meta
+        assert meta["launch"] == pytest.approx(hw.t_launch)
+        assert meta["sync"] == pytest.approx(7 * hw.t_sync)
+        assert meta["syncs"] == 7
+
+
+class TestSendRecvPolicy:
+    def test_fully_async_single_activity(self):
+        builder = ProgramBuilder(TPUV4)
+        builder.sendrecv("sr", 1e6, LINK_H)
+        acts = builder.build().activities
+        assert len(acts) == 1
+        assert acts[0].exclusive == (LINK_H,)
+
+    def test_partial_overlap_splits_activity(self):
+        hw = TPUV4.with_overrides(sendrecv_overlap_fraction=0.25)
+        builder = ProgramBuilder(hw)
+        builder.sendrecv("sr", 1e6, LINK_H)
+        acts = builder.build().activities
+        assert len(acts) == 2
+        async_part, blocking_part = acts
+        assert async_part.exclusive == (LINK_H,)
+        assert set(blocking_part.exclusive) == {LINK_H, CORE}
+        assert blocking_part.deps == (async_part.aid,)
+        # Durations split 25/75.
+        assert async_part.duration == pytest.approx(
+            (async_part.duration + blocking_part.duration) * 0.25
+        )
+
+    def test_no_overlap_claims_core(self):
+        hw = TPUV4.with_overrides(overlap_sendrecv=False)
+        builder = ProgramBuilder(hw)
+        builder.sendrecv("sr", 1e6, LINK_H)
+        acts = builder.build().activities
+        assert len(acts) == 1
+        assert set(acts[0].exclusive) == {LINK_H, CORE}
+
+
+class TestProgramExecution:
+    def test_program_runs(self, hw):
+        builder = ProgramBuilder(hw)
+        ag = builder.allgather("ag", 4, 1e6, LINK_H)
+        builder.gemm("g", 256, 256, 256, deps=[ag])
+        spans = builder.build().run()
+        assert len(spans) == 2
+        assert spans[0].label == "ag"
+        assert spans[1].start >= spans[0].end
+
+    def test_barrier_orders_without_time(self, hw):
+        builder = ProgramBuilder(hw)
+        a = builder.gemm("a", 64, 64, 64)
+        b = builder.barrier("b", deps=[a])
+        builder.gemm("c", 64, 64, 64, deps=[b])
+        spans = builder.build().run()
+        barrier = next(s for s in spans if s.kind == "barrier")
+        assert barrier.duration == pytest.approx(0.0)
+
+    def test_meta_passthrough(self, hw):
+        builder = ProgramBuilder(hw)
+        program = builder.build(algorithm="test", anything=123)
+        assert program.meta["algorithm"] == "test"
+        assert program.meta["anything"] == 123

@@ -1,0 +1,113 @@
+"""Tests for the per-step ring simulator and its agreement with the
+closed-form cost model (the Figure 15 validation relationship)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import CommCostModel
+from repro.hw import TPUV4, HardwareParams
+from repro.sim.ring import (
+    simulate_allgather,
+    simulate_broadcast,
+    simulate_reduce,
+    simulate_reducescatter,
+    simulate_sendrecv,
+)
+
+
+class TestAgreementWithCostModel:
+    """With homogeneous start times the step simulation must equal the
+    linear model exactly — the model's founding assumption."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(ring=st.integers(1, 32), mb=st.floats(0.001, 512.0))
+    def test_allgather(self, ring, mb):
+        shard = mb * 1e6
+        sim = simulate_allgather(ring, shard, TPUV4)
+        model = CommCostModel(TPUV4).allgather(ring, shard)
+        assert sim.total_time == pytest.approx(model.total, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ring=st.integers(1, 32), mb=st.floats(0.001, 512.0))
+    def test_reducescatter(self, ring, mb):
+        shard = mb * 1e6
+        sim = simulate_reducescatter(ring, shard, TPUV4)
+        model = CommCostModel(TPUV4).reducescatter(ring, shard)
+        assert sim.total_time == pytest.approx(model.total, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ring=st.integers(1, 16),
+        mb=st.floats(0.001, 64.0),
+        packets=st.integers(1, 64),
+    )
+    def test_broadcast(self, ring, mb, packets):
+        shard = mb * 1e6
+        sim = simulate_broadcast(ring, shard, packets, TPUV4)
+        model = CommCostModel(TPUV4).broadcast(ring, shard, packets)
+        assert sim.total_time == pytest.approx(model.total, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(mb=st.floats(0.001, 64.0), hops=st.integers(1, 8))
+    def test_sendrecv(self, mb, hops):
+        sim = simulate_sendrecv(mb * 1e6, hops, TPUV4)
+        model = CommCostModel(TPUV4).sendrecv(mb * 1e6, hops)
+        assert sim.total_time == pytest.approx(model.total, rel=1e-9)
+
+
+class TestSkewAbsorption:
+    def test_skew_increases_time(self):
+        shard = 1e6
+        flat = simulate_allgather(8, shard, TPUV4)
+        skewed = simulate_allgather(
+            8, shard, TPUV4, start_times=[i * 1e-5 for i in range(8)]
+        )
+        assert skewed.total_time > flat.total_time
+
+    def test_skew_bounded_by_max_start(self):
+        """The skewed collective finishes no later than flat + max skew."""
+        shard = 1e6
+        starts = [0.0, 5e-5, 1e-5, 3e-5]
+        flat = simulate_allgather(4, shard, TPUV4)
+        skewed = simulate_allgather(4, shard, TPUV4, start_times=starts)
+        assert skewed.total_time <= flat.total_time + max(starts) + 1e-12
+
+    def test_wrong_start_count_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_allgather(4, 1e6, TPUV4, start_times=[0.0, 0.0])
+
+
+class TestStructure:
+    def test_allgather_step_count(self):
+        sim = simulate_allgather(6, 1e6, TPUV4)
+        assert len(sim.step_completions) == 5
+        assert sim.syncs == 5
+        assert sim.bytes_per_link == pytest.approx(5e6)
+
+    def test_broadcast_stage_count(self):
+        sim = simulate_broadcast(4, 1e6, 8, TPUV4)
+        assert sim.syncs == 4 + 8 - 2
+
+    def test_single_chip_trivial(self):
+        assert simulate_allgather(1, 1e9, TPUV4).syncs == 0
+        assert simulate_broadcast(1, 1e9, 4, TPUV4).syncs == 0
+
+    def test_reduce_mirrors_broadcast(self):
+        b = simulate_broadcast(4, 1e6, 4, TPUV4)
+        r = simulate_reduce(4, 1e6, 4, TPUV4)
+        assert r.total_time == pytest.approx(b.total_time)
+
+    def test_zero_message_sendrecv(self):
+        assert simulate_sendrecv(0.0, 3, TPUV4).total_time == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_allgather(0, 1e6, TPUV4)
+        with pytest.raises(ValueError):
+            simulate_broadcast(4, 1e6, 0, TPUV4)
+        with pytest.raises(ValueError):
+            simulate_sendrecv(-1.0, 1, TPUV4)
+
+    def test_step_completions_monotone(self):
+        sim = simulate_allgather(8, 1e6, TPUV4)
+        assert sim.step_completions == sorted(sim.step_completions)

@@ -1,0 +1,104 @@
+"""Tests for matrix sharding onto meshes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh import (
+    Mesh2D,
+    gather_matrix,
+    shard_cols,
+    shard_matrix,
+    shard_rows,
+    shardable,
+    zeros_like_sharded,
+)
+
+
+class TestShardMatrix:
+    def test_roundtrip(self, rng):
+        mesh = Mesh2D(3, 4)
+        matrix = rng.standard_normal((12, 8))
+        sharded = shard_matrix(matrix, mesh)
+        assert np.array_equal(gather_matrix(sharded), matrix)
+
+    def test_shard_placement(self, rng):
+        mesh = Mesh2D(2, 2)
+        matrix = np.arange(16).reshape(4, 4)
+        sharded = shard_matrix(matrix, mesh)
+        assert np.array_equal(sharded.shard((0, 0)), [[0, 1], [4, 5]])
+        assert np.array_equal(sharded.shard((1, 1)), [[10, 11], [14, 15]])
+
+    def test_shard_shape(self):
+        mesh = Mesh2D(2, 4)
+        sharded = shard_matrix(np.zeros((8, 8)), mesh)
+        assert sharded.shard_shape == (4, 2)
+
+    def test_rejects_nondividing(self):
+        with pytest.raises(ValueError, match="does not divide"):
+            shard_matrix(np.zeros((5, 4)), Mesh2D(2, 2))
+
+    def test_rejects_non2d(self):
+        with pytest.raises(ValueError, match="2D"):
+            shard_matrix(np.zeros(8), Mesh2D(2, 2))
+
+    def test_shardable(self):
+        assert shardable((8, 6), Mesh2D(4, 3))
+        assert not shardable((8, 6), Mesh2D(3, 3))
+
+    def test_shards_are_contiguous_copies(self, rng):
+        mesh = Mesh2D(2, 2)
+        matrix = rng.standard_normal((4, 4))
+        sharded = shard_matrix(matrix, mesh)
+        sharded.shards[(0, 0)][0, 0] = 99.0
+        assert matrix[0, 0] != 99.0
+
+    def test_copy_is_deep(self, rng):
+        sharded = shard_matrix(rng.standard_normal((4, 4)), Mesh2D(2, 2))
+        clone = sharded.copy()
+        clone.shards[(0, 0)][0, 0] = 7.0
+        assert sharded.shard((0, 0))[0, 0] != 7.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 4),
+        row_mult=st.integers(1, 5),
+        col_mult=st.integers(1, 5),
+    )
+    def test_roundtrip_property(self, rows, cols, row_mult, col_mult):
+        mesh = Mesh2D(rows, cols)
+        matrix = np.arange(rows * row_mult * cols * col_mult, dtype=float)
+        matrix = matrix.reshape(rows * row_mult, cols * col_mult)
+        assert np.array_equal(gather_matrix(shard_matrix(matrix, mesh)), matrix)
+
+
+class TestZerosLike:
+    def test_zeros(self):
+        sharded = zeros_like_sharded((6, 4), Mesh2D(3, 2))
+        assert sharded.shard_shape == (2, 2)
+        assert all(not s.any() for s in sharded.shards.values())
+
+    def test_rejects_nondividing(self):
+        with pytest.raises(ValueError):
+            zeros_like_sharded((5, 4), Mesh2D(2, 2))
+
+
+class TestOneDSharding:
+    def test_shard_rows_roundtrip(self, rng):
+        matrix = rng.standard_normal((8, 3))
+        shards = shard_rows(matrix, 4)
+        assert np.array_equal(np.concatenate(list(shards.values())), matrix)
+
+    def test_shard_cols_roundtrip(self, rng):
+        matrix = rng.standard_normal((3, 8))
+        shards = shard_cols(matrix, 2)
+        assert np.array_equal(
+            np.concatenate(list(shards.values()), axis=1), matrix
+        )
+
+    def test_rejects_nondividing(self):
+        with pytest.raises(ValueError):
+            shard_rows(np.zeros((7, 2)), 2)
+        with pytest.raises(ValueError):
+            shard_cols(np.zeros((2, 7)), 2)

@@ -1,0 +1,148 @@
+"""Tests for MeshSlice's blocked slicing (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    set_slice_col,
+    set_slice_row,
+    slice_col,
+    slice_row,
+    unslice_col,
+    unslice_row,
+    valid_slice_counts,
+)
+
+
+class TestSliceCol:
+    def test_interleaved_selection_block1(self):
+        """With B = 1, sub-shard s holds every S-th column (Alg. 1)."""
+        x = np.arange(24).reshape(2, 12)
+        for s in range(3):
+            expected = x[:, s::3]
+            assert np.array_equal(slice_col(x, 3, s, block=1), expected)
+
+    def test_blocked_selection(self):
+        """With B = 2, sub-shards interleave blocks of 2 columns."""
+        x = np.arange(16).reshape(2, 8)
+        s0 = slice_col(x, 2, 0, block=2)
+        assert np.array_equal(s0, x[:, [0, 1, 4, 5]])
+        s1 = slice_col(x, 2, 1, block=2)
+        assert np.array_equal(s1, x[:, [2, 3, 6, 7]])
+
+    def test_output_shape(self):
+        x = np.zeros((3, 24))
+        assert slice_col(x, 4, 0, block=2).shape == (3, 6)
+
+    def test_slice_count_one_is_identity(self, rng):
+        x = rng.standard_normal((4, 8))
+        assert np.array_equal(slice_col(x, 1, 0, block=2), x)
+
+    def test_contiguous_output(self, rng):
+        out = slice_col(rng.standard_normal((4, 12)), 3, 1, block=2)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_bad_arguments(self):
+        x = np.zeros((2, 12))
+        with pytest.raises(ValueError, match="not divisible"):
+            slice_col(x, 5, 0, block=1)
+        with pytest.raises(ValueError, match="out of range"):
+            slice_col(x, 3, 3, block=1)
+        with pytest.raises(ValueError):
+            slice_col(x, 0, 0, block=1)
+        with pytest.raises(ValueError):
+            slice_col(x, 2, 0, block=0)
+        with pytest.raises(ValueError, match="2D"):
+            slice_col(np.zeros(12), 2, 0)
+
+
+class TestSliceRow:
+    def test_interleaved_selection(self):
+        x = np.arange(24).reshape(12, 2)
+        for s in range(4):
+            assert np.array_equal(slice_row(x, 4, s, block=1), x[s::4, :])
+
+    def test_symmetry_with_slice_col(self, rng):
+        x = rng.standard_normal((12, 8))
+        a = slice_row(x, 3, 1, block=2)
+        b = slice_col(x.T, 3, 1, block=2).T
+        assert np.array_equal(a, b)
+
+
+class TestRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        slices=st.integers(1, 6),
+        block=st.integers(1, 4),
+        groups=st.integers(1, 4),
+        rows=st.integers(1, 6),
+    )
+    def test_slice_unslice_col(self, slices, block, groups, rows):
+        cols = slices * block * groups
+        x = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        subs = [slice_col(x, slices, s, block) for s in range(slices)]
+        assert np.array_equal(unslice_col(subs, block), x)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        slices=st.integers(1, 6),
+        block=st.integers(1, 4),
+        groups=st.integers(1, 4),
+        cols=st.integers(1, 6),
+    )
+    def test_slice_unslice_row(self, slices, block, groups, cols):
+        rows = slices * block * groups
+        x = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        subs = [slice_row(x, slices, s, block) for s in range(slices)]
+        assert np.array_equal(unslice_row(subs, block), x)
+
+    def test_set_slice_col_inverts_slice_col(self, rng):
+        x = rng.standard_normal((4, 12))
+        value = rng.standard_normal((4, 4))
+        set_slice_col(x, 3, 1, value, block=2)
+        assert np.array_equal(slice_col(x, 3, 1, block=2), value)
+
+    def test_set_slice_row_inverts_slice_row(self, rng):
+        x = rng.standard_normal((12, 4))
+        value = rng.standard_normal((4, 4))
+        set_slice_row(x, 3, 2, value, block=1)
+        assert np.array_equal(slice_row(x, 3, 2, block=1), value)
+
+    def test_set_slice_shape_checked(self):
+        x = np.zeros((4, 12))
+        with pytest.raises(ValueError, match="value shape"):
+            set_slice_col(x, 3, 0, np.zeros((4, 5)), block=2)
+        with pytest.raises(ValueError, match="value shape"):
+            set_slice_row(np.zeros((12, 4)), 3, 0, np.zeros((5, 4)), block=1)
+
+    def test_unslice_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            unslice_col([np.zeros((2, 2)), np.zeros((2, 3))], block=1)
+        with pytest.raises(ValueError):
+            unslice_col([], block=1)
+
+    def test_disjoint_coverage(self):
+        """Each column appears in exactly one sub-shard."""
+        x = np.arange(24).reshape(1, 24)
+        seen = np.concatenate(
+            [slice_col(x, 4, s, block=2).ravel() for s in range(4)]
+        )
+        assert sorted(seen.tolist()) == list(range(24))
+
+
+class TestValidSliceCounts:
+    def test_divisors_of_extent_over_block(self):
+        assert valid_slice_counts(48, 8) == [1, 2, 3, 6]
+        assert valid_slice_counts(64, 8) == [1, 2, 4, 8]
+
+    def test_rejects_nondividing_block(self):
+        with pytest.raises(ValueError):
+            valid_slice_counts(10, 4)
+
+    def test_all_returned_counts_work(self, rng):
+        extent, block = 48, 4
+        x = rng.standard_normal((2, extent))
+        for s_count in valid_slice_counts(extent, block):
+            out = slice_col(x, s_count, 0, block)
+            assert out.shape == (2, extent // s_count)

@@ -1,0 +1,128 @@
+"""Tests for the 3D-cluster GeMM algorithms (2.5D and MeshSlice+DP)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.stacked import (
+    LINK_D,
+    MeshSliceDPGeMM,
+    StackedConfig,
+    TwoPointFiveDGeMM,
+    square_bases,
+)
+from repro.core import GeMMShape
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D
+from repro.sim import simulate
+
+PAPER_SHAPE = GeMMShape(m=1024 * 1024, n=12 * 1024, k=48 * 1024)
+
+
+class TestStackedConfig:
+    def test_chips(self):
+        cfg = StackedConfig(GeMMShape(8, 8, 8), Mesh2D(4, 4), copies=4)
+        assert cfg.chips == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StackedConfig(GeMMShape(8, 8, 8), Mesh2D(2, 2), copies=0)
+        with pytest.raises(ValueError):
+            StackedConfig(GeMMShape(8, 8, 8), Mesh2D(2, 2), copies=2, slices=0)
+
+
+class TestTwoPointFiveD:
+    @pytest.mark.parametrize("copies", [1, 2, 4])
+    def test_functional_matches_matmul(self, rng, copies):
+        cfg = StackedConfig(GeMMShape(16, 24, 32), Mesh2D(4, 4), copies)
+        a = rng.standard_normal((16, 32))
+        b = rng.standard_normal((32, 24))
+        c = TwoPointFiveDGeMM().functional(a, b, cfg)
+        assert np.allclose(c, a @ b)
+
+    def test_requires_square_base(self):
+        cfg = StackedConfig(GeMMShape(8, 8, 8), Mesh2D(2, 4), copies=2)
+        assert TwoPointFiveDGeMM().check_support(cfg) is not None
+
+    def test_copies_must_divide_side(self):
+        cfg = StackedConfig(GeMMShape(8, 8, 8), Mesh2D(4, 4), copies=3)
+        assert TwoPointFiveDGeMM().check_support(cfg) is not None
+
+    def test_paper_traffic_number(self):
+        """Section 7: 1.6 GB per chip on 16x16x4."""
+        cfg = StackedConfig(PAPER_SHAPE, Mesh2D(16, 16), copies=4)
+        traffic = TwoPointFiveDGeMM().per_chip_traffic_bytes(cfg)
+        assert traffic == pytest.approx(1.6e9, rel=0.05)
+
+    def test_more_copies_fewer_shifts(self):
+        alg = TwoPointFiveDGeMM()
+        c1 = StackedConfig(PAPER_SHAPE, Mesh2D(16, 16), copies=1)
+        c4 = StackedConfig(PAPER_SHAPE, Mesh2D(16, 16), copies=4)
+        assert alg.per_chip_traffic_bytes(c4) < alg.per_chip_traffic_bytes(c1)
+
+    def test_timed_program_runs(self):
+        cfg = StackedConfig(PAPER_SHAPE, Mesh2D(16, 16), copies=4)
+        result = simulate(TwoPointFiveDGeMM().build_program(cfg, TPUV4), TPUV4)
+        assert result.makespan > 0
+
+    def test_replica_ring_used(self):
+        cfg = StackedConfig(PAPER_SHAPE, Mesh2D(16, 16), copies=4)
+        program = TwoPointFiveDGeMM().build_program(cfg, TPUV4)
+        assert any(LINK_D in a.exclusive for a in program.activities)
+
+    def test_no_replica_comm_for_single_copy(self):
+        cfg = StackedConfig(PAPER_SHAPE, Mesh2D(16, 16), copies=1)
+        program = TwoPointFiveDGeMM().build_program(cfg, TPUV4)
+        assert not any(LINK_D in a.exclusive for a in program.activities)
+
+
+class TestMeshSliceDP:
+    @pytest.mark.parametrize("copies", [1, 2, 4])
+    def test_functional_matches_matmul(self, rng, copies):
+        cfg = StackedConfig(
+            GeMMShape(32, 24, 32), Mesh2D(2, 2), copies, slices=2
+        )
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 24))
+        c = MeshSliceDPGeMM().functional(a, b, cfg)
+        assert np.allclose(c, a @ b)
+
+    def test_batch_must_divide(self):
+        cfg = StackedConfig(GeMMShape(9, 8, 8), Mesh2D(2, 2), copies=2)
+        assert MeshSliceDPGeMM().check_support(cfg) is not None
+
+    def test_paper_traffic_number(self):
+        """Section 7: ~336 MB per chip on 32x8x4."""
+        cfg = StackedConfig(PAPER_SHAPE, Mesh2D(32, 8), copies=4)
+        traffic = MeshSliceDPGeMM().per_chip_traffic_bytes(cfg)
+        assert traffic == pytest.approx(336e6, rel=0.05)
+
+    def test_beats_25d_traffic_and_time(self):
+        """The Section 7 headline, in traffic and in simulated time."""
+        c25 = StackedConfig(PAPER_SHAPE, Mesh2D(16, 16), copies=4)
+        msdp = StackedConfig(PAPER_SHAPE, Mesh2D(32, 8), copies=4, slices=8)
+        traffic_25 = TwoPointFiveDGeMM().per_chip_traffic_bytes(c25)
+        traffic_dp = MeshSliceDPGeMM().per_chip_traffic_bytes(msdp)
+        assert traffic_25 / traffic_dp > 4.0
+        t25 = simulate(TwoPointFiveDGeMM().build_program(c25, TPUV4), TPUV4)
+        tdp = simulate(MeshSliceDPGeMM().build_program(msdp, TPUV4), TPUV4)
+        assert tdp.makespan < t25.makespan
+
+    def test_dp_allreduce_in_program(self):
+        cfg = StackedConfig(PAPER_SHAPE, Mesh2D(32, 8), copies=4, slices=4)
+        program = MeshSliceDPGeMM().build_program(cfg, TPUV4)
+        labels = [a.label for a in program.activities]
+        assert "dp_rds_w" in labels and "dp_ag_w" in labels
+
+    def test_single_copy_has_no_dp_comm(self):
+        cfg = StackedConfig(PAPER_SHAPE, Mesh2D(32, 8), copies=1, slices=4)
+        program = MeshSliceDPGeMM().build_program(cfg, TPUV4)
+        assert not any("dp_" in a.label for a in program.activities)
+
+
+class TestSquareBases:
+    def test_finds_square(self):
+        assert square_bases(1024, 4) == [Mesh2D(16, 16)]
+
+    def test_empty_when_impossible(self):
+        assert square_bases(512, 4) == []
+        assert square_bases(1024, 3) == []

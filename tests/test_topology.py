@@ -1,0 +1,147 @@
+"""Tests for the 2D torus and ring topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mesh import (
+    Mesh2D,
+    Ring1D,
+    divisors,
+    factor_pairs,
+    mesh_shapes,
+    square_mesh,
+)
+
+
+class TestMesh2D:
+    def test_basic_properties(self):
+        mesh = Mesh2D(4, 8)
+        assert mesh.size == 32
+        assert not mesh.is_square
+        assert mesh.shape == (4, 8)
+        assert str(mesh) == "4x8"
+
+    def test_square(self):
+        assert Mesh2D(3, 3).is_square
+
+    def test_transposed(self):
+        assert Mesh2D(2, 8).transposed() == Mesh2D(8, 2)
+
+    def test_coords_cover_all_chips(self):
+        mesh = Mesh2D(3, 5)
+        coords = list(mesh.coords())
+        assert len(coords) == 15
+        assert len(set(coords)) == 15
+        assert all(mesh.contains(c) for c in coords)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+        with pytest.raises(ValueError):
+            Mesh2D(4, -1)
+
+    def test_row_ring_order(self):
+        mesh = Mesh2D(2, 3)
+        assert mesh.row_ring(1) == [(1, 0), (1, 1), (1, 2)]
+
+    def test_col_ring_order(self):
+        mesh = Mesh2D(3, 2)
+        assert mesh.col_ring(0) == [(0, 0), (1, 0), (2, 0)]
+
+    def test_ring_index_bounds(self):
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(IndexError):
+            mesh.row_ring(2)
+        with pytest.raises(IndexError):
+            mesh.col_ring(-1)
+
+    def test_neighbors_wrap_torus(self):
+        mesh = Mesh2D(3, 4)
+        assert mesh.right_neighbor((0, 3)) == (0, 0)
+        assert mesh.left_neighbor((0, 0)) == (0, 3)
+        assert mesh.down_neighbor((2, 1)) == (0, 1)
+        assert mesh.up_neighbor((0, 1)) == (2, 1)
+
+    def test_neighbor_bounds_checked(self):
+        with pytest.raises(IndexError):
+            Mesh2D(2, 2).right_neighbor((5, 0))
+
+    def test_ring_distance_uses_shorter_direction(self):
+        mesh = Mesh2D(1, 8)
+        assert mesh.ring_distance_row((0, 0), (0, 1)) == 1
+        assert mesh.ring_distance_row((0, 0), (0, 7)) == 1
+        assert mesh.ring_distance_row((0, 0), (0, 4)) == 4
+
+    def test_ring_distance_requires_same_ring(self):
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            mesh.ring_distance_row((0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            mesh.ring_distance_col((0, 0), (1, 1))
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    def test_left_then_right_is_identity(self, rows, cols):
+        mesh = Mesh2D(rows, cols)
+        coord = (rows - 1, cols - 1)
+        assert mesh.right_neighbor(mesh.left_neighbor(coord)) == coord
+        assert mesh.up_neighbor(mesh.down_neighbor(coord)) == coord
+
+
+class TestRing1D:
+    def test_wraps(self):
+        ring = Ring1D(5)
+        assert ring.next_chip(4) == 0
+        assert ring.prev_chip(0) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Ring1D(0)
+
+    def test_rank_bounds(self):
+        with pytest.raises(IndexError):
+            Ring1D(3).next_chip(3)
+
+    def test_ranks(self):
+        assert list(Ring1D(3).ranks()) == [0, 1, 2]
+
+
+class TestFactorizations:
+    def test_factor_pairs_of_12(self):
+        assert factor_pairs(12) == [(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)]
+
+    def test_factor_pairs_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factor_pairs(0)
+
+    def test_mesh_shapes_min_dim(self):
+        shapes = mesh_shapes(16, min_dim=2)
+        assert Mesh2D(1, 16) not in shapes
+        assert Mesh2D(4, 4) in shapes
+        assert Mesh2D(2, 8) in shapes
+
+    def test_square_mesh(self):
+        assert square_mesh(256) == Mesh2D(16, 16)
+
+    def test_square_mesh_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            square_mesh(32)
+
+    def test_divisors(self):
+        assert divisors(48) == [1, 2, 3, 4, 6, 8, 12, 16, 24, 48]
+        assert divisors(1) == [1]
+
+    def test_divisors_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(1, 2000))
+    def test_factor_pairs_multiply_back(self, n):
+        for rows, cols in factor_pairs(n):
+            assert rows * cols == n
+
+    @given(st.integers(1, 2000))
+    def test_divisors_divide(self, n):
+        ds = divisors(n)
+        assert ds[0] == 1 and ds[-1] == n
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))

@@ -1,0 +1,103 @@
+"""Tests for trace aggregation and timeline rendering."""
+
+import pytest
+
+from repro.sim import (
+    Activity,
+    CORE,
+    Engine,
+    LINK_H,
+    Span,
+    ascii_timeline,
+    busy_time,
+    comm_breakdown,
+    compute_time,
+    kind_durations,
+)
+from repro.sim.trace import CommBreakdown, ZERO_BREAKDOWN
+
+
+def span(aid, kind, start, end, exclusive=(), meta=None):
+    return Span(
+        aid=aid, label=f"s{aid}", kind=kind, start=start, end=end,
+        exclusive=tuple(exclusive), meta=meta or {},
+    )
+
+
+class TestCommBreakdown:
+    def test_sums_components(self):
+        spans = [
+            span(0, "comm", 0, 1, meta={"launch": 0.1, "transfer": 0.7, "sync": 0.2}),
+            span(1, "comm", 1, 2, meta={"launch": 0.2, "transfer": 0.5, "sync": 0.3}),
+            span(2, "compute", 0, 5),
+        ]
+        bd = comm_breakdown(spans)
+        assert bd.launch == pytest.approx(0.3)
+        assert bd.transfer == pytest.approx(1.2)
+        assert bd.sync == pytest.approx(0.5)
+        assert bd.total == pytest.approx(2.0)
+
+    def test_ignores_non_comm(self):
+        assert comm_breakdown([span(0, "compute", 0, 1)]) == ZERO_BREAKDOWN
+
+    def test_relative(self):
+        bd = CommBreakdown(1.0, 2.0, 3.0).relative_to(2.0)
+        assert bd.launch == pytest.approx(0.5)
+        assert bd.total == pytest.approx(3.0)
+
+    def test_relative_rejects_zero(self):
+        with pytest.raises(ValueError):
+            CommBreakdown(1.0, 1.0, 1.0).relative_to(0.0)
+
+    def test_add(self):
+        total = CommBreakdown(1, 2, 3) + CommBreakdown(4, 5, 6)
+        assert (total.launch, total.transfer, total.sync) == (5, 7, 9)
+
+
+class TestBusyTime:
+    def test_merges_overlapping_intervals(self):
+        spans = [
+            span(0, "compute", 0.0, 2.0, exclusive=[CORE]),
+            span(1, "compute", 1.0, 3.0, exclusive=[CORE]),
+            span(2, "compute", 5.0, 6.0, exclusive=[CORE]),
+        ]
+        assert busy_time(spans, CORE) == pytest.approx(4.0)
+
+    def test_ignores_other_resources(self):
+        spans = [span(0, "comm", 0.0, 2.0, exclusive=[LINK_H])]
+        assert busy_time(spans, CORE) == 0.0
+
+    def test_compute_time(self):
+        spans = [
+            span(0, "compute", 0, 1),
+            span(1, "compute", 2, 4),
+            span(2, "comm", 0, 9),
+        ]
+        assert compute_time(spans) == pytest.approx(3.0)
+
+    def test_kind_durations(self):
+        spans = [
+            span(0, "compute", 0, 1),
+            span(1, "comm", 0, 2),
+            span(2, "comm", 2, 3),
+        ]
+        durations = kind_durations(spans)
+        assert durations == {"compute": 1.0, "comm": 3.0}
+
+
+class TestAsciiTimeline:
+    def test_renders_real_program(self, hw):
+        from repro.sim import ProgramBuilder
+
+        builder = ProgramBuilder(hw)
+        ag = builder.allgather("ag", 4, 50e6, LINK_H)
+        builder.gemm("g", 4096, 4096, 4096, deps=[ag])
+        spans = builder.build().run()
+        art = ascii_timeline(spans, width=60)
+        lines = art.splitlines()
+        assert any("compute" in line and "#" in line for line in lines)
+        assert any("inter-col" in line and "=" in line for line in lines)
+        assert "ms" in lines[-1]
+
+    def test_empty(self):
+        assert ascii_timeline([]) == "(empty timeline)"
