@@ -22,7 +22,7 @@ from typing import Dict, Optional, Tuple, Type
 
 import numpy as np
 
-from repro.core.dataflow import Dataflow
+from repro.core.dataflow import Dataflow, sliced_dimension
 from repro.core.gemm import GeMMShape
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import Mesh2D
@@ -55,6 +55,26 @@ class GeMMConfig:
         if self.slices < 1:
             raise ValueError(f"slices must be >= 1, got {self.slices}")
 
+    def __hash__(self) -> int:
+        # Configurations key every memoized cost-model and simulation
+        # lookup; cache the (frozen) field hash instead of rehashing
+        # shape and mesh on each call.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(
+                (self.shape, self.mesh, self.dataflow, self.slices,
+                 self.transposed)
+            )
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # The cached hash covers an enum (identity-hashed); never ship
+        # it to another process.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     @property
     def chips(self) -> int:
         return self.mesh.size
@@ -67,6 +87,12 @@ class GeMMConfig:
 #: One flowing matrix in one torus direction: ("ag"|"rds", "a"|"b"|"c").
 FlowOp = Tuple[str, str]
 
+_FLOW_TABLE = {
+    Dataflow.OS: (("ag", "a"), ("ag", "b")),
+    Dataflow.LS: (("rds", "c"), ("ag", "b")),
+    Dataflow.RS: (("ag", "a"), ("rds", "c")),
+}
+
 
 def flow_ops(dataflow: Dataflow, transposed: bool = False) -> Tuple[FlowOp, FlowOp]:
     """The (inter-column, inter-row) communication of each dataflow.
@@ -77,14 +103,9 @@ def flow_ops(dataflow: Dataflow, transposed: bool = False) -> Tuple[FlowOp, Flow
     AllGather; outputs flow via ReduceScatter. The transposed variant
     flips the two directions.
     """
-    table = {
-        Dataflow.OS: (("ag", "a"), ("ag", "b")),
-        Dataflow.LS: (("rds", "c"), ("ag", "b")),
-        Dataflow.RS: (("ag", "a"), ("rds", "c")),
-    }
-    col_op, row_op = table[dataflow]
+    col_op, row_op = _FLOW_TABLE[dataflow]
     if transposed:
-        col_op, row_op = row_op, col_op
+        return row_op, col_op
     return col_op, row_op
 
 
@@ -222,8 +243,6 @@ def sliced_local_dims(cfg: GeMMConfig, slices: int) -> Tuple[int, int, int]:
     partition the same logical dimension — the one the gathered inputs
     or scattered outputs span (K for OS, N for LS, M for RS).
     """
-    from repro.core.dataflow import sliced_dimension
-
     shape, dataflow = effective_problem(cfg)
     m, n, k = collective_local_dims(cfg)
     dim = sliced_dimension(dataflow)

@@ -36,6 +36,7 @@ from repro.comm.cost import CommCostModel
 from repro.core.dataflow import sliced_extent
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import divisors
+from repro.perf.cache import memoize
 from repro.sim.chip import gemm_cost, slice_cost
 
 
@@ -59,9 +60,9 @@ class CostEstimate:
         return self.flops_per_chip / (self.total * hw.peak_flops)
 
 
-def meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
-    """Estimate the MeshSlice program of ``cfg`` without simulating it."""
-    costs = CommCostModel(hw)
+@memoize("meshslice_estimate")
+def _meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
+    costs = CommCostModel.for_hw(hw)
     chips = cfg.mesh.size
     slices = cfg.slices
     (col_op, col_mat), (row_op, row_mat) = flow_ops(cfg.dataflow, cfg.transposed)
@@ -138,10 +139,19 @@ def meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
     )
 
 
+def meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
+    """Estimate the MeshSlice program of ``cfg`` without simulating it.
+
+    Memoized on ``(cfg, hw)``: the slice-count search and the mesh-shape
+    search both re-request identical estimates many times per sweep.
+    """
+    return _meshslice_estimate(cfg, hw)
+
+
 def collective_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
     """Estimate the Collective 2D GeMM (the S = 1 degenerate case)."""
     base = dataclasses.replace(cfg, slices=1)
-    costs = CommCostModel(hw)
+    costs = CommCostModel.for_hw(hw)
     chips = cfg.mesh.size
     (col_op, col_mat), (row_op, row_mat) = flow_ops(cfg.dataflow, cfg.transposed)
     ag_times, rds_times = [], []
@@ -186,14 +196,32 @@ def valid_slice_counts_for(
     return [s for s in divisors(g) if s <= max_slices] or [1]
 
 
-def best_slice_count(
-    cfg: GeMMConfig, hw: HardwareParams, max_slices: int = 64
+@memoize("best_slice_count")
+def _best_slice_count(
+    cfg: GeMMConfig, hw: HardwareParams, max_slices: int
 ) -> Tuple[int, CostEstimate]:
-    """Exhaustively pick the S minimizing the analytical estimate."""
     best: Tuple[int, CostEstimate] = (1, None)
     for s in valid_slice_counts_for(cfg, max_slices):
-        candidate = dataclasses.replace(cfg, slices=s)
+        candidate = GeMMConfig(
+            shape=cfg.shape,
+            mesh=cfg.mesh,
+            dataflow=cfg.dataflow,
+            slices=s,
+            transposed=cfg.transposed,
+        )
         estimate = meshslice_estimate(candidate, hw)
         if best[1] is None or estimate.total < best[1].total:
             best = (s, estimate)
     return best
+
+
+def best_slice_count(
+    cfg: GeMMConfig, hw: HardwareParams, max_slices: int = 64
+) -> Tuple[int, CostEstimate]:
+    """Exhaustively pick the S minimizing the analytical estimate.
+
+    Memoized on ``(cfg, hw, max_slices)``: every algorithm that shares
+    MeshSlice's autotuned S re-tunes the same base configuration once
+    per mesh candidate.
+    """
+    return _best_slice_count(cfg, hw, max_slices)

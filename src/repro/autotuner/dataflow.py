@@ -34,6 +34,7 @@ from repro.core.dataflow import Dataflow
 from repro.core.gemm import GeMMShape
 from repro.models.config import LLMConfig
 from repro.models.layers import FCLayer, fc_layers
+from repro.perf.cache import memoize
 
 #: Stationary-matrix choices (rows of Table 1).
 STATIONARY_CHOICES = ("Y", "X", "W")
@@ -189,17 +190,13 @@ def plan_layer(
     return plan, produced
 
 
-def plan_model(
+@memoize("plan_model")
+def _plan_model(
     model: LLMConfig,
     tokens: int,
-    optimize_dataflow: bool = True,
-    dtype_bytes: int = 2,
-) -> List[LayerPlan]:
-    """Phase-1 plans for the four FC layers of one transformer block.
-
-    With ``optimize_dataflow=False`` every layer uses the Y-stationary
-    default (the transpose-free baseline of Table 2).
-    """
+    optimize_dataflow: bool,
+    dtype_bytes: int,
+) -> Tuple[LayerPlan, ...]:
     plans = []
     orientation = "N"
     for layer in fc_layers(model):
@@ -212,4 +209,22 @@ def plan_model(
             input_orientation=orientation,
         )
         plans.append(plan)
-    return plans
+    return tuple(plans)
+
+
+def plan_model(
+    model: LLMConfig,
+    tokens: int,
+    optimize_dataflow: bool = True,
+    dtype_bytes: int = 2,
+) -> List[LayerPlan]:
+    """Phase-1 plans for the four FC layers of one transformer block.
+
+    With ``optimize_dataflow=False`` every layer uses the Y-stationary
+    default (the transpose-free baseline of Table 2). Plans are
+    memoized on ``(model, tokens, optimize_dataflow, dtype_bytes)`` —
+    the figure runners re-plan the same ``(model, batch)`` point once
+    per algorithm — with a fresh list returned per call so callers may
+    slice and extend it freely.
+    """
+    return list(_plan_model(model, tokens, optimize_dataflow, dtype_bytes))

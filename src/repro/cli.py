@@ -5,6 +5,7 @@ Experiment reproduction::
     meshslice list                 # enumerate experiments
     meshslice fig9                 # run one (any name from `list`)
     meshslice all                  # run everything
+    meshslice fig9 --jobs 8        # spread grid points over 8 processes
 
 Deployment planning and introspection::
 
@@ -49,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--hw", default="tpuv4-sim",
         help="hardware preset name for 'tune' (see 'presets')",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for experiment grids "
+            "(default: REPRO_JOBS env var, then the CPU count)"
+        ),
     )
     return parser
 
@@ -159,6 +167,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs is not None:
+        # The experiment main()s read the worker count from the
+        # environment, so one flag reaches every grid they run.
+        import os
+
+        from repro.experiments.common import JOBS_ENV
+
+        os.environ[JOBS_ENV] = str(args.jobs)
     command = args.command
     if command == "list":
         return _cmd_list()

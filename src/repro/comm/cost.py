@@ -89,9 +89,27 @@ class CommCostModel:
 
     def __init__(self, hw: HardwareParams):
         self.hw = hw
+        # The per-op cost formulas below run tens of thousands of times
+        # per sweep; hoist the hardware scalars (``ring_bandwidth`` is a
+        # computed property) out of the hot path.
+        self._t_launch = hw.t_launch
+        self._t_sync = hw.t_sync
+        self._bw = hw.ring_bandwidth
+
+    #: Flyweight pool: the cost model is immutable per hardware config,
+    #: and the sweeps construct one per estimate/program otherwise.
+    _instances: "dict" = {}
+
+    @classmethod
+    def for_hw(cls, hw: HardwareParams) -> "CommCostModel":
+        """The shared cost model of ``hw`` (do not mutate)."""
+        model = cls._instances.get(hw)
+        if model is None:
+            model = cls._instances[hw] = cls(hw)
+        return model
 
     def _ring_bw(self) -> float:
-        return self.hw.ring_bandwidth
+        return self._bw
 
     def allgather(self, ring_size: int, shard_bytes: float) -> CommCost:
         """Ring AllGather of per-chip shards of ``shard_bytes``.
@@ -105,12 +123,12 @@ class CommCostModel:
             return ZERO_COST
         steps = ring_size - 1
         return CommCost(
-            launch=self.hw.t_launch,
-            transfer=steps * shard_bytes / self._ring_bw(),
-            sync=steps * self.hw.t_sync,
-            hbm_bytes=2.0 * steps * shard_bytes,
-            syncs=steps,
-            wire_bytes=steps * shard_bytes,
+            self._t_launch,
+            steps * shard_bytes / self._bw,
+            steps * self._t_sync,
+            2.0 * steps * shard_bytes,
+            steps,
+            steps * shard_bytes,
         )
 
     def reducescatter(self, ring_size: int, shard_bytes: float) -> CommCost:
@@ -124,12 +142,12 @@ class CommCostModel:
             return ZERO_COST
         steps = ring_size - 1
         return CommCost(
-            launch=self.hw.t_launch,
-            transfer=steps * shard_bytes / self._ring_bw(),
-            sync=steps * self.hw.t_sync,
-            hbm_bytes=3.0 * steps * shard_bytes,
-            syncs=steps,
-            wire_bytes=steps * shard_bytes,
+            self._t_launch,
+            steps * shard_bytes / self._bw,
+            steps * self._t_sync,
+            3.0 * steps * shard_bytes,
+            steps,
+            steps * shard_bytes,
         )
 
     def broadcast(
@@ -150,12 +168,12 @@ class CommCostModel:
         stages = ring_size + packets - 2
         packet_bytes = shard_bytes / packets
         return CommCost(
-            launch=self.hw.t_launch,
-            transfer=stages * packet_bytes / self._ring_bw(),
-            sync=stages * self.hw.t_sync,
-            hbm_bytes=2.0 * shard_bytes,
-            syncs=stages,
-            wire_bytes=shard_bytes,
+            self._t_launch,
+            stages * packet_bytes / self._bw,
+            stages * self._t_sync,
+            2.0 * shard_bytes,
+            stages,
+            shard_bytes,
         )
 
     def reduce(self, ring_size: int, shard_bytes: float, packets: int) -> CommCost:
@@ -176,12 +194,12 @@ class CommCostModel:
         if hops == 0 or message_bytes == 0:
             return ZERO_COST
         return CommCost(
-            launch=self.hw.t_launch,
-            transfer=hops * message_bytes / self._ring_bw(),
-            sync=hops * self.hw.t_sync,
-            hbm_bytes=2.0 * message_bytes,
-            syncs=hops,
-            wire_bytes=hops * message_bytes,
+            self._t_launch,
+            hops * message_bytes / self._bw,
+            hops * self._t_sync,
+            2.0 * message_bytes,
+            hops,
+            hops * message_bytes,
         )
 
     @staticmethod

@@ -12,22 +12,59 @@ The experiment modules compose three ingredients:
 
 Slice counts follow the paper's fairness rule: MeshSlice's autotuned
 ``S`` is also used as the unrolled iteration count of SUMMA and Wang.
+
+Fast path
+---------
+
+The mesh-shape search dominated sweep time, so it runs through three
+optimizations that leave results bit-identical to the exhaustive
+search:
+
+* per-pass simulation results come from the memoized
+  ``repro.perf.pipeline`` layer (design-space grids revisit the same
+  ``(algorithm, GeMMConfig, HardwareParams)`` triples constantly);
+* ``best_block_run`` visits mesh candidates in ascending order of the
+  analytical cost estimate, so a near-optimal mesh is simulated first;
+* ``run_block`` accepts ``abort_above``, a certified branch-and-bound
+  cutoff: passes are simulated in descending order of their makespan
+  lower bound, and the mesh is abandoned as soon as the simulated
+  partial plus the remaining bounds provably exceed the best block
+  found so far. The bound is conservative (see
+  ``repro.perf.pipeline.pass_lower_bound``), so only meshes that could
+  never win — not even tie — are pruned.
+
+Independent grid points can additionally run in worker processes via
+:func:`grid_map` (the ``--jobs`` CLI flag / ``REPRO_JOBS`` env var).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.algorithms import GeMMConfig, get_algorithm
-from repro.autotuner.costmodel import best_slice_count
+from repro.autotuner.costmodel import best_slice_count, meshslice_estimate
 from repro.core.dataflow import Dataflow
-from repro.autotuner.dataflow import LayerPlan, plan_model
+from repro.autotuner.dataflow import LayerPlan, PassPlan, plan_model
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import Mesh2D, mesh_shapes, square_mesh
 from repro.models.config import LLMConfig
 from repro.models.nonfc import nonfc_block_seconds
-from repro.sim.cluster import SimResult, simulate
+from repro.perf.pipeline import (
+    pass_compute_floor,
+    pass_lower_bound,
+    simulated_pass,
+)
+from repro.sim.cluster import SimResult
+
+#: Safety factor on the branch-and-bound cutoff: a candidate is pruned
+#: only when its certified bound exceeds the incumbent by more than one
+#: part in 1e9, so floating-point noise can never prune a true tie.
+_ABORT_SLACK = 1.0 + 1e-9
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 #: Default weak-scaling cluster sizes (Figure 9 / 12 x-axis).
 CLUSTER_SIZES = (16, 32, 64, 128, 256)
@@ -84,6 +121,66 @@ def pass_config(
     )
 
 
+def _base_pass_config(
+    algorithm: str, pass_plan: "PassPlan", mesh: Mesh2D
+) -> GeMMConfig:
+    """The untuned (``slices=1``) configuration of one layer pass."""
+    dataflow = pass_plan.dataflow
+    transposed = pass_plan.transposed
+    if algorithm == "cannon":
+        # Cannon always computes output-stationary, whatever dataflow
+        # the plan assigns (Section 7: PrimePar "only uses Cannon's OS
+        # algorithm").
+        dataflow, transposed = Dataflow.OS, False
+    return GeMMConfig(
+        shape=pass_plan.shape,
+        mesh=mesh,
+        dataflow=dataflow,
+        slices=1,
+        transposed=transposed,
+    )
+
+
+def _tuned_pass_config(
+    algorithm: str,
+    plan: LayerPlan,
+    pass_plan: "PassPlan",
+    mesh: Mesh2D,
+    tune_hw: HardwareParams,
+    max_slices: int,
+) -> GeMMConfig:
+    """Tune and validate one pass; raises ``ValueError`` if unsupported."""
+    base = _base_pass_config(algorithm, pass_plan, mesh)
+    slices = _slices_for(algorithm, base, tune_hw, max_slices)
+    cfg = dataclasses.replace(base, slices=slices)
+    reason = get_algorithm(algorithm).check_support(cfg)
+    if reason:
+        raise ValueError(
+            f"{algorithm} cannot run {plan.layer.name}/"
+            f"{pass_plan.pass_name} on {mesh}: {reason}"
+        )
+    return cfg
+
+
+def block_pass_configs(
+    algorithm: str,
+    plans: Sequence[LayerPlan],
+    mesh: Mesh2D,
+    tune_hw: HardwareParams,
+    max_slices: int = 64,
+) -> List[GeMMConfig]:
+    """Validated pass configurations of one block, in plan order.
+
+    Raises ``ValueError`` for the first pass the algorithm cannot run
+    on ``mesh``.
+    """
+    return [
+        _tuned_pass_config(algorithm, plan, pass_plan, mesh, tune_hw, max_slices)
+        for plan in plans
+        for pass_plan in plan.passes
+    ]
+
+
 def run_block(
     algorithm: str,
     plans: Sequence[LayerPlan],
@@ -91,43 +188,72 @@ def run_block(
     hw: HardwareParams,
     tuning_hw: Optional[HardwareParams] = None,
     max_slices: int = 64,
-) -> BlockRun:
+    abort_above: Optional[float] = None,
+) -> Optional[BlockRun]:
     """Simulate one block's 12 training GeMMs with one algorithm.
 
     ``tuning_hw`` lets the slice counts be tuned for a different
     machine than the one simulated (Table 3 runs overlap-tuned
     MeshSlice configurations on the no-overlap cloud preset).
+
+    ``abort_above`` turns the call into a branch-and-bound probe: when
+    the certified lower bounds prove the block's total time must exceed
+    ``abort_above``, the remaining passes are not simulated and the
+    call returns ``None``. Without it a ``BlockRun`` is always
+    returned (or ``ValueError`` raised for unsupported passes).
     """
-    alg = get_algorithm(algorithm)
     tune_hw = tuning_hw or hw
-    results: List[SimResult] = []
-    configs: List[GeMMConfig] = []
-    for plan in plans:
-        for pass_plan in plan.passes:
-            dataflow = pass_plan.dataflow
-            transposed = pass_plan.transposed
-            if algorithm == "cannon":
-                # Cannon always computes output-stationary, whatever
-                # dataflow the plan assigns (Section 7: PrimePar "only
-                # uses Cannon's OS algorithm").
-                dataflow, transposed = Dataflow.OS, False
-            base = GeMMConfig(
-                shape=pass_plan.shape,
-                mesh=mesh,
-                dataflow=dataflow,
-                slices=1,
-                transposed=transposed,
-            )
-            slices = _slices_for(algorithm, base, tune_hw, max_slices)
-            cfg = dataclasses.replace(base, slices=slices)
-            reason = alg.check_support(cfg)
-            if reason:
-                raise ValueError(
-                    f"{algorithm} cannot run {plan.layer.name}/"
-                    f"{pass_plan.pass_name} on {mesh}: {reason}"
-                )
-            results.append(simulate(alg.build_program(cfg, hw), hw))
-            configs.append(cfg)
+    if abort_above is None:
+        configs = block_pass_configs(algorithm, plans, mesh, tune_hw, max_slices)
+        results: List[Optional[SimResult]] = [
+            simulated_pass(algorithm, cfg, hw) for cfg in configs
+        ]
+        return BlockRun(
+            algorithm=algorithm, mesh=mesh, results=results, configs=configs
+        )
+
+    cutoff = abort_above * _ABORT_SLACK
+    passes = [(plan, pass_plan) for plan in plans for pass_plan in plan.passes]
+    # Grow the certified bound one pass at a time, biggest (by the
+    # untuned analytical estimate) first: a hopeless mesh is rejected
+    # after tuning and bounding only a few passes, without ever
+    # deriving the others' slice counts or programs.
+    order = sorted(
+        range(len(passes)),
+        key=lambda i: -meshslice_estimate(
+            _base_pass_config(algorithm, passes[i][1], mesh), tune_hw
+        ).total,
+    )
+    configs: List[Optional[GeMMConfig]] = [None] * len(passes)
+    # Certified per-pass bounds: passes start at the build-free compute
+    # floor and are tightened to the program-based bound one at a time,
+    # so partial sums already count every pass and the cutoff trips
+    # after tuning/building only a few of them.
+    chips = mesh.size
+    bounds: List[float] = [
+        pass_compute_floor(pass_plan.shape.flops, chips, hw)
+        for _plan, pass_plan in passes
+    ]
+    for i in order:
+        plan, pass_plan = passes[i]
+        configs[i] = _tuned_pass_config(
+            algorithm, plan, pass_plan, mesh, tune_hw, max_slices
+        )
+        bounds[i] = pass_lower_bound(algorithm, configs[i], hw)
+        if sum(bounds) > cutoff:
+            return None
+    # Simulate the largest bounds first: replacing a bound with its
+    # (>=) actual makespan trips the cutoff soonest.
+    order.sort(key=lambda i: -bounds[i])
+    results = [None] * len(passes)
+    actuals: Dict[int, float] = {}
+    for rank, i in enumerate(order):
+        outstanding = sum(bounds[j] for j in order[rank:])
+        if sum(actuals.values()) + outstanding > cutoff:
+            return None
+        result = simulated_pass(algorithm, configs[i], hw)
+        results[i] = result
+        actuals[i] = result.makespan
     return BlockRun(algorithm=algorithm, mesh=mesh, results=results, configs=configs)
 
 
@@ -155,6 +281,35 @@ def candidate_meshes(algorithm: str, chips: int) -> List[Mesh2D]:
     return mesh_shapes(chips, min_dim=2)
 
 
+def _candidate_order(
+    algorithm: str,
+    plans: Sequence[LayerPlan],
+    meshes: Sequence[Mesh2D],
+    tune_hw: HardwareParams,
+    max_slices: int,
+) -> List[int]:
+    """Candidate indices sorted by the analytical block estimate.
+
+    Purely a search heuristic: visiting a near-optimal mesh first makes
+    the ``abort_above`` cutoff bite on almost every other candidate.
+    Uses the untuned (``slices=1``) estimates so that ranking a mesh
+    never triggers the full slice-count search; the estimates are
+    memoized and shared with slice tuning of surviving meshes.
+    """
+    if len(meshes) <= 1:
+        return list(range(len(meshes)))
+    scores = []
+    for idx, mesh in enumerate(meshes):
+        total = 0.0
+        for plan in plans:
+            for pass_plan in plan.passes:
+                base = _base_pass_config(algorithm, pass_plan, mesh)
+                total += meshslice_estimate(base, tune_hw).total
+        scores.append((total, idx))
+    scores.sort()
+    return [idx for _total, idx in scores]
+
+
 def best_block_run(
     algorithm: str,
     model: LLMConfig,
@@ -164,26 +319,50 @@ def best_block_run(
     optimize_dataflow: bool = True,
     tuning_hw: Optional[HardwareParams] = None,
     max_slices: int = 64,
+    plans: Optional[Sequence[LayerPlan]] = None,
 ) -> Optional[BlockRun]:
     """Run one block at the algorithm's own optimal mesh shape.
 
     Returns ``None`` when the algorithm cannot run at this cluster size
     at all (Cannon on a non-square chip count, FSDP constraints handled
     by callers).
+
+    ``plans`` lets callers that evaluate several algorithms at one
+    ``(model, batch)`` point pass the Phase-1 plans in once instead of
+    re-deriving them per algorithm; when omitted they are computed
+    (``batch_size`` is then the effective batch for ``model.tokens``).
+
+    The search result is identical to exhaustively simulating every
+    candidate mesh: candidates are visited in analytical-estimate order
+    and abandoned via the certified ``abort_above`` cutoff, and ties on
+    ``seconds`` resolve to the earliest mesh in ``candidate_meshes``
+    order, exactly as the exhaustive first-strictly-better scan did.
     """
-    tokens = model.tokens(batch_size)
-    plans = plan_model(model, tokens, optimize_dataflow=optimize_dataflow)
+    if plans is None:
+        tokens = model.tokens(batch_size)
+        plans = plan_model(model, tokens, optimize_dataflow=optimize_dataflow)
+    meshes = candidate_meshes(algorithm, chips)
+    tune_hw = tuning_hw or hw
     best: Optional[BlockRun] = None
-    for mesh in candidate_meshes(algorithm, chips):
+    best_idx = -1
+    for idx in _candidate_order(algorithm, plans, meshes, tune_hw, max_slices):
         try:
             run = run_block(
-                algorithm, plans, mesh, hw,
+                algorithm, plans, meshes[idx], hw,
                 tuning_hw=tuning_hw, max_slices=max_slices,
+                abort_above=None if best is None else best.seconds,
             )
         except ValueError:
             continue
-        if best is None or run.seconds < best.seconds:
+        if run is None:
+            continue
+        if (
+            best is None
+            or run.seconds < best.seconds
+            or (run.seconds == best.seconds and idx < best_idx)
+        ):
             best = run
+            best_idx = idx
     return best
 
 
@@ -208,6 +387,51 @@ def end_to_end_step_seconds(
 def weak_scaling_batch(chips: int) -> int:
     """The paper's weak-scaling rule: batch = half the chip count."""
     return max(1, chips // 2)
+
+
+#: Environment variable carrying the worker-process count (set by the
+#: CLI's ``--jobs`` flag; read by every figure grid).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` > CPU count."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def grid_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    jobs: Optional[int] = None,
+) -> List[_R]:
+    """Map ``fn`` over independent grid points, in input order.
+
+    With more than one worker the points run in a process pool (``fn``
+    and the items must be picklable, i.e. module-level functions).
+    Falls back to the serial map when worker processes cannot be
+    spawned (restricted sandboxes) or the pool breaks. Exceptions
+    raised by ``fn`` itself propagate unchanged in both modes.
+    """
+    points = list(items)
+    workers = min(resolve_jobs(jobs), len(points))
+    if workers <= 1:
+        return [fn(point) for point in points]
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, points))
+    except (OSError, PermissionError, BrokenProcessPool):
+        return [fn(point) for point in points]
 
 
 def render_table(

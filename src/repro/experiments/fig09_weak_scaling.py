@@ -17,11 +17,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.autotuner.dataflow import plan_model
 from repro.experiments.common import (
     ALL_ALGORITHMS,
     CLUSTER_SIZES,
     best_block_run,
     end_to_end_step_seconds,
+    grid_map,
     render_table,
     weak_scaling_batch,
 )
@@ -44,39 +46,62 @@ class WeakScalingRow:
     end_to_end_s: Optional[float]
 
 
+def _point_rows(point) -> List[WeakScalingRow]:
+    """All Figure 9 rows of one independent (model, chips) grid point.
+
+    Module-level so the point can run in a ``grid_map`` worker process.
+    The Phase-1 plans are derived once here and shared by all seven
+    algorithms' mesh searches.
+    """
+    model, chips, algorithms, hw = point
+    batch = weak_scaling_batch(chips)
+    plans = plan_model(model, model.tokens(batch), optimize_dataflow=True)
+    rows: List[WeakScalingRow] = []
+    for algorithm in algorithms:
+        block = best_block_run(
+            algorithm, model, batch, chips, hw, plans=plans
+        )
+        if block is None:
+            rows.append(
+                WeakScalingRow(model.name, chips, algorithm,
+                               None, None, None, None)
+            )
+            continue
+        rows.append(
+            WeakScalingRow(
+                model=model.name,
+                chips=chips,
+                algorithm=algorithm,
+                mesh=str(block.mesh),
+                utilization=block.utilization(hw),
+                fc_block_ms=block.seconds * 1e3,
+                end_to_end_s=end_to_end_step_seconds(
+                    model, batch, chips, hw, block.seconds
+                ),
+            )
+        )
+    return rows
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     sizes: Sequence[int] = CLUSTER_SIZES,
     algorithms: Sequence[str] = ALL_ALGORITHMS,
     hw: HardwareParams = TPUV4,
+    jobs: Optional[int] = None,
 ) -> List[WeakScalingRow]:
-    """Produce every Figure 9 data point."""
-    rows: List[WeakScalingRow] = []
-    for model in models:
-        for chips in sizes:
-            batch = weak_scaling_batch(chips)
-            for algorithm in algorithms:
-                block = best_block_run(algorithm, model, batch, chips, hw)
-                if block is None:
-                    rows.append(
-                        WeakScalingRow(model.name, chips, algorithm,
-                                       None, None, None, None)
-                    )
-                    continue
-                rows.append(
-                    WeakScalingRow(
-                        model=model.name,
-                        chips=chips,
-                        algorithm=algorithm,
-                        mesh=str(block.mesh),
-                        utilization=block.utilization(hw),
-                        fc_block_ms=block.seconds * 1e3,
-                        end_to_end_s=end_to_end_step_seconds(
-                            model, batch, chips, hw, block.seconds
-                        ),
-                    )
-                )
-    return rows
+    """Produce every Figure 9 data point.
+
+    The (model, cluster size) grid points are independent and run in
+    worker processes when ``jobs`` (or ``REPRO_JOBS``) allows.
+    """
+    points = [
+        (model, chips, tuple(algorithms), hw)
+        for model in models
+        for chips in sizes
+    ]
+    return [row for rows in grid_map(_point_rows, points, jobs=jobs)
+            for row in rows]
 
 
 def speedup_over(
@@ -93,6 +118,11 @@ def speedup_over(
     subj, base = by_alg[subject], by_alg[baseline]
     if subj.fc_block_ms is None or base.fc_block_ms is None:
         raise ValueError("missing data for speedup computation")
+    if subj.end_to_end_s is None or base.end_to_end_s is None:
+        raise ValueError(
+            f"missing end_to_end_s for {subject!r} vs {baseline!r} "
+            f"({model} @ {chips} chips)"
+        )
     fc = base.fc_block_ms / subj.fc_block_ms - 1.0
     e2e = base.end_to_end_s / subj.end_to_end_s - 1.0
     return fc, e2e

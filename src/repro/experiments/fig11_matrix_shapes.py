@@ -15,7 +15,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms import GeMMConfig, TWO_D_ALGORITHMS, get_algorithm
 from repro.autotuner.dataflow import PassPlan, plan_model
-from repro.experiments.common import candidate_meshes, render_table, tuned_slices
+from repro.experiments.common import (
+    candidate_meshes,
+    grid_map,
+    render_table,
+    tuned_slices,
+)
 from repro.hw.params import HardwareParams
 from repro.hw.presets import TPUV4
 from repro.models.config import LLMConfig
@@ -50,32 +55,51 @@ def distinct_pass_plans(
     return list(seen.values())
 
 
+def _point_rows(point) -> List[ShapeRow]:
+    """All Figure 11 bars of one (model, GeMM shape) grid point.
+
+    Module-level so it can run in a ``grid_map`` worker process.
+    """
+    model_name, label, pass_plan, algorithms, chips, hw = point
+    rows: List[ShapeRow] = []
+    for algorithm in algorithms:
+        best = _best_for_shape(algorithm, pass_plan, chips, hw)
+        if best is None:
+            rows.append(
+                ShapeRow(model_name, label, pass_plan.shape.as_tuple(),
+                         algorithm, None, None)
+            )
+        else:
+            util, mesh = best
+            rows.append(
+                ShapeRow(model_name, label, pass_plan.shape.as_tuple(),
+                         algorithm, util, str(mesh))
+            )
+    return rows
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     chips: int = 256,
     batch_size: int = 128,
     algorithms: Sequence[str] = TWO_D_ALGORITHMS,
     hw: HardwareParams = TPUV4,
+    jobs: Optional[int] = None,
 ) -> List[ShapeRow]:
-    """Produce every Figure 11 bar."""
-    rows: List[ShapeRow] = []
+    """Produce every Figure 11 bar.
+
+    The (model, GeMM shape) grid points are independent and run in
+    worker processes when ``jobs`` (or ``REPRO_JOBS``) allows.
+    """
+    points = []
     for model in models:
         tokens = model.tokens(batch_size)
         for label, pass_plan in distinct_pass_plans(model, tokens):
-            for algorithm in algorithms:
-                best = _best_for_shape(algorithm, pass_plan, chips, hw)
-                if best is None:
-                    rows.append(
-                        ShapeRow(model.name, label, pass_plan.shape.as_tuple(),
-                                 algorithm, None, None)
-                    )
-                else:
-                    util, mesh = best
-                    rows.append(
-                        ShapeRow(model.name, label, pass_plan.shape.as_tuple(),
-                                 algorithm, util, str(mesh))
-                    )
-    return rows
+            points.append(
+                (model.name, label, pass_plan, tuple(algorithms), chips, hw)
+            )
+    return [row for rows in grid_map(_point_rows, points, jobs=jobs)
+            for row in rows]
 
 
 def _best_for_shape(

@@ -14,9 +14,11 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence
 
+from repro.autotuner.dataflow import plan_model
 from repro.experiments.common import (
     CLUSTER_SIZES,
     best_block_run,
+    grid_map,
     render_table,
 )
 from repro.hw.params import HardwareParams
@@ -39,31 +41,53 @@ class StrongScalingRow:
     utilization: Optional[float]
 
 
+def _point_rows(point) -> List[StrongScalingRow]:
+    """All Figure 12 rows of one (model, chips) grid point.
+
+    Module-level so it can run in a ``grid_map`` worker process; the
+    Phase-1 plans are shared by every algorithm's mesh search.
+    """
+    model, chips, batch_size, algorithms, hw = point
+    plans = plan_model(model, model.tokens(batch_size), optimize_dataflow=True)
+    rows: List[StrongScalingRow] = []
+    for algorithm in algorithms:
+        block = best_block_run(
+            algorithm, model, batch_size, chips, hw, plans=plans
+        )
+        if block is None:
+            rows.append(
+                StrongScalingRow(model.name, chips, algorithm, None, None)
+            )
+        else:
+            rows.append(
+                StrongScalingRow(
+                    model.name, chips, algorithm,
+                    str(block.mesh), block.utilization(hw),
+                )
+            )
+    return rows
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     sizes: Sequence[int] = CLUSTER_SIZES,
     batch_size: int = 32,
     algorithms: Sequence[str] = STRONG_SCALING_ALGORITHMS,
     hw: HardwareParams = TPUV4,
+    jobs: Optional[int] = None,
 ) -> List[StrongScalingRow]:
-    """Produce every Figure 12 data point."""
-    rows: List[StrongScalingRow] = []
-    for model in models:
-        for chips in sizes:
-            for algorithm in algorithms:
-                block = best_block_run(algorithm, model, batch_size, chips, hw)
-                if block is None:
-                    rows.append(
-                        StrongScalingRow(model.name, chips, algorithm, None, None)
-                    )
-                else:
-                    rows.append(
-                        StrongScalingRow(
-                            model.name, chips, algorithm,
-                            str(block.mesh), block.utilization(hw),
-                        )
-                    )
-    return rows
+    """Produce every Figure 12 data point.
+
+    Grid points are independent (model, chips) pairs and run in worker
+    processes when ``jobs`` (or ``REPRO_JOBS``) allows.
+    """
+    points = [
+        (model, chips, batch_size, tuple(algorithms), hw)
+        for model in models
+        for chips in sizes
+    ]
+    return [row for rows in grid_map(_point_rows, points, jobs=jobs)
+            for row in rows]
 
 
 def main(hw: HardwareParams = TPUV4, sizes: Sequence[int] = CLUSTER_SIZES) -> str:

@@ -15,7 +15,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.autotuner.dataflow import plan_model
 from repro.autotuner.search import tune_mesh
-from repro.experiments.common import render_table, run_block, weak_scaling_batch
+from repro.experiments.common import (
+    grid_map,
+    render_table,
+    run_block,
+    weak_scaling_batch,
+)
 from repro.hw.params import HardwareParams
 from repro.hw.presets import TPUV4
 from repro.mesh.topology import Mesh2D, mesh_shapes
@@ -32,33 +37,48 @@ class MeshShapeRow:
     simulated_utilization: float
 
 
+def _point_row(point) -> MeshShapeRow:
+    """One Figure 13 (model, mesh) data point.
+
+    Module-level so it can run in a ``grid_map`` worker process. The
+    plans are re-derived per point, but ``plan_model`` is memoized so
+    points sharing a worker pay once.
+    """
+    model, chips, mesh, hw = point
+    batch = weak_scaling_batch(chips)
+    tokens = model.tokens(batch)
+    plans = plan_model(model, tokens, optimize_dataflow=True)
+    flops_per_chip = block_fc_flops(model, tokens) / chips
+    _tuned, estimated_seconds = tune_mesh(plans, mesh, hw)
+    estimated_util = flops_per_chip / (estimated_seconds * hw.peak_flops)
+    block = run_block("meshslice", plans, mesh, hw)
+    return MeshShapeRow(
+        model=model.name,
+        mesh=mesh.shape,
+        estimated_utilization=estimated_util,
+        simulated_utilization=block.utilization(hw),
+    )
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     chips: int = 256,
     hw: HardwareParams = TPUV4,
     meshes: Optional[Sequence[Mesh2D]] = None,
+    jobs: Optional[int] = None,
 ) -> List[MeshShapeRow]:
-    """Produce the Figure 13 series."""
-    rows: List[MeshShapeRow] = []
+    """Produce the Figure 13 series.
+
+    The (model, mesh shape) grid points are independent and run in
+    worker processes when ``jobs`` (or ``REPRO_JOBS``) allows.
+    """
     candidates = list(meshes or mesh_shapes(chips, min_dim=2))
-    for model in models:
-        batch = weak_scaling_batch(chips)
-        tokens = model.tokens(batch)
-        plans = plan_model(model, tokens, optimize_dataflow=True)
-        flops_per_chip = block_fc_flops(model, tokens) / chips
-        for mesh in candidates:
-            _tuned, estimated_seconds = tune_mesh(plans, mesh, hw)
-            estimated_util = flops_per_chip / (estimated_seconds * hw.peak_flops)
-            block = run_block("meshslice", plans, mesh, hw)
-            rows.append(
-                MeshShapeRow(
-                    model=model.name,
-                    mesh=mesh.shape,
-                    estimated_utilization=estimated_util,
-                    simulated_utilization=block.utilization(hw),
-                )
-            )
-    return rows
+    points = [
+        (model, chips, mesh, hw)
+        for model in models
+        for mesh in candidates
+    ]
+    return grid_map(_point_row, points, jobs=jobs)
 
 
 def optimal_shapes(

@@ -126,6 +126,26 @@ class HardwareParams:
         if self.network == "shared-nic" and self.nic_bandwidth <= 0:
             raise ValueError("shared-nic network requires nic_bandwidth > 0")
 
+    def __hash__(self) -> int:
+        # Instances are hashed on every memoized-cost-model lookup, and
+        # the generated dataclass hash walks all 22 fields each time;
+        # cache it (frozen instances never change).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(
+                tuple(getattr(self, f.name) for f in dataclasses.fields(self))
+            )
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # Drop the cached hash when pickling (e.g. into grid-runner
+        # worker processes): ``name`` is a string, whose hash is not
+        # stable across processes under hash randomization.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     @property
     def has_shared_nic(self) -> bool:
         """Whether ring traffic contends for a single NIC (Section 6)."""

@@ -22,6 +22,7 @@ import dataclasses
 import math
 
 from repro.hw.params import HardwareParams
+from repro.perf.cache import memoize
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,13 +68,8 @@ def gemm_hbm_bytes(m: int, n: int, k: int, hw: HardwareParams) -> float:
     return float((a_reads + b_reads + c_traffic) * dtype)
 
 
-def gemm_cost(m: int, n: int, k: int, hw: HardwareParams) -> ComputeCost:
-    """Execution cost of one local ``m x n x k`` GeMM kernel.
-
-    The kernel time is the roofline maximum of compute time (with MXU
-    padding and pipeline fill) and HBM time, plus the kernel launch
-    overhead ``t_kernel``.
-    """
+@memoize("gemm_cost")
+def _gemm_cost(m: int, n: int, k: int, hw: HardwareParams) -> ComputeCost:
     if min(m, n, k) <= 0:
         return ComputeCost(seconds=hw.t_kernel, hbm_bytes=0.0, flops=0.0)
     flops = 2.0 * m * n * k
@@ -94,14 +90,20 @@ def gemm_cost(m: int, n: int, k: int, hw: HardwareParams) -> ComputeCost:
     )
 
 
-def slice_cost(sub_shard_bytes: float, hw: HardwareParams) -> ComputeCost:
-    """Cost of one blocked slicing operation (Algorithm 2).
+def gemm_cost(m: int, n: int, k: int, hw: HardwareParams) -> ComputeCost:
+    """Execution cost of one local ``m x n x k`` GeMM kernel.
 
-    Slicing is a strided HBM-to-HBM copy of one sub-shard (read plus
-    write), with a small relative overhead for the non-unit stride.
-    The paper measures the total slicing overhead at ~1.3% of execution
-    time on real hardware, i.e. small but not free.
+    The kernel time is the roofline maximum of compute time (with MXU
+    padding and pipeline fill) and HBM time, plus the kernel launch
+    overhead ``t_kernel``. Results are memoized on ``(m, n, k, hw)``:
+    a design-space sweep evaluates the same local kernel once per mesh
+    candidate and slice count.
     """
+    return _gemm_cost(m, n, k, hw)
+
+
+@memoize("slice_cost")
+def _slice_cost(sub_shard_bytes: float, hw: HardwareParams) -> ComputeCost:
     if sub_shard_bytes < 0:
         raise ValueError("sub_shard_bytes must be non-negative")
     bytes_moved = 2.0 * sub_shard_bytes * (1.0 + hw.slicing_overhead)
@@ -110,6 +112,18 @@ def slice_cost(sub_shard_bytes: float, hw: HardwareParams) -> ComputeCost:
         hbm_bytes=bytes_moved,
         flops=0.0,
     )
+
+
+def slice_cost(sub_shard_bytes: float, hw: HardwareParams) -> ComputeCost:
+    """Cost of one blocked slicing operation (Algorithm 2).
+
+    Slicing is a strided HBM-to-HBM copy of one sub-shard (read plus
+    write), with a small relative overhead for the non-unit stride.
+    The paper measures the total slicing overhead at ~1.3% of execution
+    time on real hardware, i.e. small but not free. Memoized like
+    :func:`gemm_cost`.
+    """
+    return _slice_cost(sub_shard_bytes, hw)
 
 
 def effective_gemm_seconds(m: int, n: int, k: int, hw: HardwareParams) -> float:

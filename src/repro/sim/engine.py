@@ -26,13 +26,45 @@ every activity's progress rate is scaled by ``capacity / total_demand``
 (proportional sharing). Rates are recomputed whenever any activity
 starts or finishes, so the simulation is exact for piecewise-constant
 demand.
+
+Implementation notes (the event-driven core)
+--------------------------------------------
+
+The original engine re-sorted the full ready list, rescanned every
+waiting activity, and rebuilt every shared-demand total on *every*
+event. This version is event-driven:
+
+* **Ready heap.** Dependency-satisfied activities live in a binary heap
+  keyed ``(ready_time, aid)``, so the priority scan of the start phase
+  pops candidates in order instead of sorting a list per event.
+* **Per-resource wait queues.** An activity blocked on a busy exclusive
+  resource parks in that resource's wait queue and is only reconsidered
+  when the resource actually frees (resources free exactly at activity
+  completion, so a parked activity can never become startable at any
+  other moment). Woken waiters re-enter the ready heap, which restores
+  the global ``(ready_time, aid)`` service order of the original
+  full-list scan.
+* **Incremental shared-demand totals.** Each shared resource tracks its
+  set of running consumers (in start order). Totals, contention
+  factors, and per-activity rates are recomputed only for resources
+  whose membership changed at the current event, and only for the
+  activities consuming those resources.
+
+Bit-exactness: per-resource totals are re-accumulated from the ordered
+consumer set (never incrementally adjusted with ``+= / -=``), which
+reproduces the seed engine's left-to-right summation exactly; the time
+accumulation, remaining-work decrements, and completion thresholds are
+the same floating-point expressions in the same order. The engine is
+therefore span-for-span bit-identical with the reference step-loop
+implementation kept under ``tests/reference_engine.py`` (enforced by
+``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Canonical resource names used by program builders.
 CORE = "core"
@@ -128,137 +160,230 @@ class Engine:
         self.shared_capacities = dict(shared_capacities or {})
 
     def run(self) -> List[Span]:
-        """Execute the DAG; returns spans sorted by start time."""
+        """Execute the DAG; returns spans sorted by start time.
+
+        Activity ids and resource names are interned to dense list
+        indices up front, so the event loops below are pure list/int
+        operations; heap entries carry ``(ready_time, aid, index)``,
+        which orders identically to ``(ready_time, aid)`` because aids
+        are unique.
+        """
         acts = self.activities
-        remaining_deps = {aid: set(a.deps) for aid, a in acts.items()}
-        dependents: Dict[int, List[int]] = {aid: [] for aid in acts}
-        for aid, act in acts.items():
-            for dep in act.deps:
-                dependents[dep].append(aid)
+        n_acts = len(acts)
+        act_list = list(acts.values())
+        index_of = {act.aid: i for i, act in enumerate(act_list)}
 
-        ready: List[Tuple[float, int]] = [
-            (0.0, aid) for aid, deps in remaining_deps.items() if not deps
+        res_index: Dict[str, int] = {}
+        aids: List[int] = [0] * n_acts
+        durations: List[float] = [0.0] * n_acts
+        exclusives: List[Tuple[int, ...]] = [()] * n_acts
+        shareds: List[Dict[int, float]] = [{}] * n_acts
+        dep_count: List[int] = [0] * n_acts
+        dependents: List[List[int]] = [[] for _ in range(n_acts)]
+        for i, act in enumerate(act_list):
+            aids[i] = act.aid
+            durations[i] = act.duration
+            excl = []
+            for name in act.exclusive:
+                r = res_index.get(name)
+                if r is None:
+                    r = res_index[name] = len(res_index)
+                excl.append(r)
+            exclusives[i] = tuple(excl)
+            shared: Dict[int, float] = {}
+            for name, demand in act.shared.items():
+                r = res_index.get(name)
+                if r is None:
+                    r = res_index[name] = len(res_index)
+                shared[r] = demand
+            shareds[i] = shared
+            # Duplicate dep ids collapse, exactly as the reference
+            # engine's per-activity dependency *set* collapses them.
+            unique_deps = set(act.deps)
+            dep_count[i] = len(unique_deps)
+            for dep in unique_deps:
+                dependents[index_of[dep]].append(i)
+
+        n_res = len(res_index)
+        capacities: List[Optional[float]] = [None] * n_res
+        for name, value in self.shared_capacities.items():
+            r = res_index.get(name)
+            if r is not None:
+                capacities[r] = value
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        ready_heap = [
+            (0.0, aids[i], i) for i in range(n_acts) if not dep_count[i]
         ]
-        ready.sort(key=lambda item: (item[0], item[1]))
-        busy: Dict[str, int] = {}
-        running: Dict[int, _Running] = {}
-        spans: List[Span] = []
-        finished = set()
-        now = 0.0
-        # Guard against infinite loops on malformed inputs.
-        max_steps = 10 * len(acts) + 100
+        heapq.heapify(ready_heap)
 
-        for _step in itertools.count():
+        busy: List[bool] = [False] * n_res
+        # index -> [start, remaining, completion threshold, rate], in
+        # start order.
+        running: Dict[int, List[float]] = {}
+        # Per exclusive resource: a min-heap of (ready_time, aid, index)
+        # entries parked on it. Only the front waiter is woken when the
+        # resource frees; if it re-parks elsewhere while the resource is
+        # still free, the next waiter is cascaded into the ready heap.
+        # Waiters therefore surface in global (ready_time, aid) order —
+        # each cascade releases an entry ranking after its predecessor —
+        # which reproduces the reference engine's full rescan without
+        # its quadratic wake-all churn.
+        wait_q: List[list] = [[] for _ in range(n_res)]
+        # index -> resource whose freeing woke it (pending cascade).
+        wake_origin: Dict[int, int] = {}
+        # Per shared resource: {running index: demand}, in start order,
+        # so that re-accumulating a total replays the reference
+        # engine's left-to-right summation bit-for-bit.
+        members: List[Dict[int, float]] = [{} for _ in range(n_res)]
+        factors: List[float] = [1.0] * n_res
+        # Shared resources whose consumer set changed since their last
+        # total/factor recompute.
+        changed: Set[int] = set()
+
+        spans: List[Span] = []
+        finished = 0
+        now = 0.0
+        inf = float("inf")
+        # Guard against infinite loops on malformed inputs.
+        max_steps = 10 * n_acts + 100
+
+        _step = 0
+        while True:
+            _step += 1
             if _step > max_steps:
                 raise SimulationError("simulation did not converge (internal error)")
-            self._start_ready(ready, busy, running, acts, now)
+
+            # -- Start phase: serve newly-ready and woken activities in
+            # (ready_time, aid) order; blocked ones park on the first
+            # busy resource they need.
+            while ready_heap:
+                item = heappop(ready_heap)
+                i = item[2]
+                origin = wake_origin.pop(i, -1) if wake_origin else -1
+                exclusive = exclusives[i]
+                blocked_on = -1
+                for r in exclusive:
+                    if busy[r]:
+                        blocked_on = r
+                        break
+                if blocked_on >= 0:
+                    heappush(wait_q[blocked_on], item)
+                    # This waiter moved on while its wake-origin is
+                    # still free: give the origin's next waiter a turn.
+                    if origin >= 0 and not busy[origin]:
+                        queue = wait_q[origin]
+                        if queue:
+                            nxt = heappop(queue)
+                            wake_origin[nxt[2]] = origin
+                            heappush(ready_heap, nxt)
+                    continue
+                for r in exclusive:
+                    busy[r] = True
+                duration = durations[i]
+                running[i] = [
+                    now,
+                    duration if duration > 0.0 else 0.0,
+                    _EPS * (duration if duration > 1.0 else 1.0),
+                    1.0,
+                ]
+                shared = shareds[i]
+                if shared:
+                    for r, demand in shared.items():
+                        members[r][i] = demand
+                        changed.add(r)
+
             if not running:
-                if any(remaining_deps[aid] for aid in acts if aid not in finished):
-                    unresolved = [
-                        acts[aid].label
-                        for aid in acts
-                        if aid not in finished and remaining_deps[aid]
-                    ]
+                unresolved = [
+                    act_list[i].label for i in range(n_acts) if dep_count[i]
+                ]
+                if unresolved:
                     raise SimulationError(
                         f"dependency cycle or starvation among: {unresolved[:5]}"
                     )
-                if len(finished) == len(acts):
+                if finished == n_acts:
                     break
                 raise SimulationError("no runnable activities but work remains")
-            rates = self._compute_rates(running)
-            dt = min(
-                run.remaining / rates[aid] for aid, run in running.items()
-            )
+
+            # -- Rate phase: refresh totals/factors of changed resources
+            # only, then the rates of their consumers only.
+            if changed:
+                dirty: Set[int] = set()
+                for r in changed:
+                    consumers = members[r]
+                    if not consumers:
+                        continue
+                    total = 0.0
+                    for demand in consumers.values():
+                        total = total + demand
+                    capacity = capacities[r]
+                    if capacity is None or total <= capacity or total <= 0:
+                        factors[r] = 1.0
+                    else:
+                        factors[r] = capacity / total
+                    dirty.update(consumers)
+                changed.clear()
+                for i in dirty:
+                    state = running.get(i)
+                    if state is None:
+                        continue
+                    rate = 1.0
+                    for r in shareds[i]:
+                        factor = factors[r]
+                        if factor < rate:
+                            rate = factor
+                    state[3] = rate if rate > _EPS else _EPS
+
+            # -- Advance phase: earliest completion defines the step.
+            dt = inf
+            for state in running.values():
+                quotient = state[1] / state[3]
+                if quotient < dt:
+                    dt = quotient
             if dt < 0:
                 raise SimulationError("negative time step (internal error)")
             now += dt
-            completed = []
-            for aid, run in running.items():
-                run.remaining -= rates[aid] * dt
-                if run.remaining <= _EPS * max(1.0, run.nominal):
-                    completed.append(aid)
-            for aid in completed:
-                run = running.pop(aid)
-                act = acts[aid]
-                for res in act.exclusive:
-                    del busy[res]
+            completed: List[int] = []
+            for i, state in running.items():
+                remaining = state[1] - state[3] * dt
+                state[1] = remaining
+                if remaining <= state[2]:
+                    completed.append(i)
+
+            # -- Completion phase: free resources, record spans, wake
+            # dependents and parked waiters.
+            freed: List[int] = []
+            for i in completed:
+                state = running.pop(i)
+                act = act_list[i]
+                for r in exclusives[i]:
+                    busy[r] = False
+                    freed.append(r)
+                shared = shareds[i]
+                if shared:
+                    for r in shared:
+                        del members[r][i]
+                        changed.add(r)
                 spans.append(
-                    Span(
-                        aid=aid,
-                        label=act.label,
-                        kind=act.kind,
-                        start=run.start,
-                        end=now,
-                        exclusive=act.exclusive,
-                        meta=act.meta,
-                    )
+                    Span(aids[i], act.label, act.kind, state[0], now,
+                         act.exclusive, act.meta)
                 )
-                finished.add(aid)
-                for child in dependents[aid]:
-                    remaining_deps[child].discard(aid)
-                    if not remaining_deps[child]:
-                        ready.append((now, child))
-            ready.sort(key=lambda item: (item[0], item[1]))
+                finished += 1
+                for child in dependents[i]:
+                    count = dep_count[child] - 1
+                    dep_count[child] = count
+                    if not count:
+                        heappush(ready_heap, (now, aids[child], child))
+            for r in freed:
+                queue = wait_q[r]
+                if queue:
+                    nxt = heappop(queue)
+                    wake_origin[nxt[2]] = r
+                    heappush(ready_heap, nxt)
 
         spans.sort(key=lambda s: (s.start, s.aid))
         return spans
-
-    def _start_ready(
-        self,
-        ready: List[Tuple[float, int]],
-        busy: Dict[str, int],
-        running: Dict[int, "_Running"],
-        acts: Dict[int, Activity],
-        now: float,
-    ) -> None:
-        """Start every ready activity whose exclusive resources are free.
-
-        Scans in (ready-time, id) order so that an activity blocked on
-        the core does not prevent a later link activity from starting.
-        """
-        still_waiting: List[Tuple[float, int]] = []
-        for ready_time, aid in ready:
-            act = acts[aid]
-            if any(res in busy for res in act.exclusive):
-                still_waiting.append((ready_time, aid))
-                continue
-            for res in act.exclusive:
-                busy[res] = aid
-            running[aid] = _Running(
-                start=now,
-                remaining=max(act.duration, 0.0),
-                nominal=max(act.duration, _EPS),
-            )
-        ready[:] = still_waiting
-
-    def _compute_rates(self, running: Dict[int, "_Running"]) -> Dict[int, float]:
-        """Proportional-share progress rates under shared capacities."""
-        totals: Dict[str, float] = {}
-        for aid in running:
-            for res, demand in self.activities[aid].shared.items():
-                totals[res] = totals.get(res, 0.0) + demand
-        factors: Dict[str, float] = {}
-        for res, total in totals.items():
-            capacity = self.shared_capacities.get(res)
-            if capacity is None or total <= capacity or total <= 0:
-                factors[res] = 1.0
-            else:
-                factors[res] = capacity / total
-        rates = {}
-        for aid in running:
-            act = self.activities[aid]
-            rate = 1.0
-            for res in act.shared:
-                rate = min(rate, factors[res])
-            rates[aid] = max(rate, _EPS)
-        return rates
-
-
-@dataclasses.dataclass
-class _Running:
-    start: float
-    remaining: float
-    nominal: float
 
 
 def makespan(spans: Iterable[Span]) -> float:

@@ -63,7 +63,7 @@ class ProgramBuilder:
 
     def __init__(self, hw: HardwareParams):
         self.hw = hw
-        self.costs = CommCostModel(hw)
+        self.costs = CommCostModel.for_hw(hw)
         self._activities: List[Activity] = []
         self._next_id = 0
 
@@ -346,18 +346,34 @@ class ProgramBuilder:
         deps: Sequence[int],
         meta: Optional[Dict[str, object]] = None,
     ) -> int:
+        # Takes ownership of ``shared``: every call site above passes a
+        # freshly built dict, so no defensive copy is made. The Activity
+        # is assembled by swapping in its instance dict wholesale — this
+        # is the hottest allocation site of a sweep (one call per
+        # activity of every built program), and the dataclass
+        # ``__init__`` costs about as much as the rest of the call. The
+        # ``__post_init__`` checks are inlined with identical messages.
+        if duration < 0:
+            raise ValueError(f"activity {label!r} has negative duration")
+        for demand in shared.values():
+            if demand < 0:
+                raise ValueError(f"activity {label!r} has negative demand")
         aid = self._next_id
         self._next_id += 1
-        self._activities.append(
-            Activity(
-                aid=aid,
-                label=label,
-                kind=kind,
-                duration=duration,
-                exclusive=tuple(exclusive),
-                shared=dict(shared),
-                deps=tuple(deps),
-                meta=meta or {},
-            )
-        )
+        if type(exclusive) is not tuple:
+            exclusive = tuple(exclusive)
+        if type(deps) is not tuple:
+            deps = tuple(deps)
+        act = Activity.__new__(Activity)
+        act.__dict__ = {
+            "aid": aid,
+            "label": label,
+            "kind": kind,
+            "duration": duration,
+            "exclusive": exclusive,
+            "shared": shared,
+            "deps": deps,
+            "meta": meta if meta is not None else {},
+        }
+        self._activities.append(act)
         return aid

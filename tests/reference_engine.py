@@ -1,0 +1,177 @@
+"""Frozen copy of the seed step-loop simulation engine.
+
+This is the original ``repro.sim.engine.Engine`` implementation, kept
+verbatim as the behavioral reference for the event-driven engine that
+replaced it. ``tests/test_engine_equivalence.py`` pins the production
+engine's ``Span`` lists bit-exactly against this one on representative
+programs, so any scheduling or floating-point divergence introduced by
+future engine work fails loudly.
+
+Do not "improve" this module: its step loop (full ready-list rescan and
+full rate recompute per event) is intentionally the slow-but-obviously-
+correct formulation. It shares ``Activity``/``Span``/``SimulationError``
+with the production engine so both can execute the same program objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Activity, SimulationError, Span
+
+_EPS = 1e-15
+
+
+class ReferenceEngine:
+    """The seed engine: one full rescan of every structure per event."""
+
+    def __init__(
+        self,
+        activities: Sequence[Activity],
+        shared_capacities: Optional[Dict[str, float]] = None,
+    ):
+        self.activities = {a.aid: a for a in activities}
+        if len(self.activities) != len(activities):
+            raise SimulationError("duplicate activity ids")
+        for act in activities:
+            for dep in act.deps:
+                if dep not in self.activities:
+                    raise SimulationError(
+                        f"activity {act.label!r} depends on unknown id {dep}"
+                    )
+        self.shared_capacities = dict(shared_capacities or {})
+
+    def run(self) -> List[Span]:
+        """Execute the DAG; returns spans sorted by start time."""
+        acts = self.activities
+        remaining_deps = {aid: set(a.deps) for aid, a in acts.items()}
+        dependents: Dict[int, List[int]] = {aid: [] for aid in acts}
+        for aid, act in acts.items():
+            for dep in act.deps:
+                dependents[dep].append(aid)
+
+        ready: List[Tuple[float, int]] = [
+            (0.0, aid) for aid, deps in remaining_deps.items() if not deps
+        ]
+        ready.sort(key=lambda item: (item[0], item[1]))
+        busy: Dict[str, int] = {}
+        running: Dict[int, _Running] = {}
+        spans: List[Span] = []
+        finished = set()
+        now = 0.0
+        # Guard against infinite loops on malformed inputs.
+        max_steps = 10 * len(acts) + 100
+
+        for _step in itertools.count():
+            if _step > max_steps:
+                raise SimulationError("simulation did not converge (internal error)")
+            self._start_ready(ready, busy, running, acts, now)
+            if not running:
+                if any(remaining_deps[aid] for aid in acts if aid not in finished):
+                    unresolved = [
+                        acts[aid].label
+                        for aid in acts
+                        if aid not in finished and remaining_deps[aid]
+                    ]
+                    raise SimulationError(
+                        f"dependency cycle or starvation among: {unresolved[:5]}"
+                    )
+                if len(finished) == len(acts):
+                    break
+                raise SimulationError("no runnable activities but work remains")
+            rates = self._compute_rates(running)
+            dt = min(
+                run.remaining / rates[aid] for aid, run in running.items()
+            )
+            if dt < 0:
+                raise SimulationError("negative time step (internal error)")
+            now += dt
+            completed = []
+            for aid, run in running.items():
+                run.remaining -= rates[aid] * dt
+                if run.remaining <= _EPS * max(1.0, run.nominal):
+                    completed.append(aid)
+            for aid in completed:
+                run = running.pop(aid)
+                act = acts[aid]
+                for res in act.exclusive:
+                    del busy[res]
+                spans.append(
+                    Span(
+                        aid=aid,
+                        label=act.label,
+                        kind=act.kind,
+                        start=run.start,
+                        end=now,
+                        exclusive=act.exclusive,
+                        meta=act.meta,
+                    )
+                )
+                finished.add(aid)
+                for child in dependents[aid]:
+                    remaining_deps[child].discard(aid)
+                    if not remaining_deps[child]:
+                        ready.append((now, child))
+            ready.sort(key=lambda item: (item[0], item[1]))
+
+        spans.sort(key=lambda s: (s.start, s.aid))
+        return spans
+
+    def _start_ready(
+        self,
+        ready: List[Tuple[float, int]],
+        busy: Dict[str, int],
+        running: Dict[int, "_Running"],
+        acts: Dict[int, Activity],
+        now: float,
+    ) -> None:
+        """Start every ready activity whose exclusive resources are free.
+
+        Scans in (ready-time, id) order so that an activity blocked on
+        the core does not prevent a later link activity from starting.
+        """
+        still_waiting: List[Tuple[float, int]] = []
+        for ready_time, aid in ready:
+            act = acts[aid]
+            if any(res in busy for res in act.exclusive):
+                still_waiting.append((ready_time, aid))
+                continue
+            for res in act.exclusive:
+                busy[res] = aid
+            running[aid] = _Running(
+                start=now,
+                remaining=max(act.duration, 0.0),
+                nominal=max(act.duration, _EPS),
+            )
+        ready[:] = still_waiting
+
+    def _compute_rates(self, running: Dict[int, "_Running"]) -> Dict[int, float]:
+        """Proportional-share progress rates under shared capacities."""
+        totals: Dict[str, float] = {}
+        for aid in running:
+            for res, demand in self.activities[aid].shared.items():
+                totals[res] = totals.get(res, 0.0) + demand
+        factors: Dict[str, float] = {}
+        for res, total in totals.items():
+            capacity = self.shared_capacities.get(res)
+            if capacity is None or total <= capacity or total <= 0:
+                factors[res] = 1.0
+            else:
+                factors[res] = capacity / total
+        rates = {}
+        for aid in running:
+            act = self.activities[aid]
+            rate = 1.0
+            for res in act.shared:
+                rate = min(rate, factors[res])
+            rates[aid] = max(rate, _EPS)
+        return rates
+
+
+@dataclasses.dataclass
+class _Running:
+    start: float
+    remaining: float
+    nominal: float

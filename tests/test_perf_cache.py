@@ -1,0 +1,151 @@
+"""Tests for the memoization layer: counters, kill switch, registry."""
+
+import pytest
+
+from repro.algorithms import GeMMConfig
+from repro.core.gemm import GeMMShape
+from repro.mesh import Mesh2D
+from repro.perf import (
+    KILL_SWITCH_ENV,
+    cache_stats,
+    caching_enabled,
+    clear_caches,
+    memoize,
+    registered_caches,
+    simulated_pass,
+)
+
+
+@pytest.fixture
+def cfg():
+    return GeMMConfig(
+        shape=GeMMShape(m=512, n=512, k=512),
+        mesh=Mesh2D(2, 2),
+        slices=2,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches(monkeypatch):
+    # Start from caching-on even when the suite itself runs under
+    # REPRO_NO_CACHE (the CI no-cache lane); each test opts back out.
+    monkeypatch.delenv(KILL_SWITCH_ENV, raising=False)
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def test_hit_and_miss_counters(cfg, hw):
+    first = simulated_pass("meshslice", cfg, hw)
+    stats = cache_stats("simulated_pass")["simulated_pass"]
+    assert stats.misses == 1
+    assert stats.hits == 0
+    assert stats.entries == 1
+
+    second = simulated_pass("meshslice", cfg, hw)
+    stats = cache_stats("simulated_pass")["simulated_pass"]
+    assert stats.misses == 1
+    assert stats.hits == 1
+    assert stats.entries == 1
+    assert second is first  # cached object, not a re-simulation
+    assert stats.calls == 2
+    assert stats.hit_rate == 0.5
+
+
+def test_kill_switch_disables_caching(cfg, hw, monkeypatch):
+    monkeypatch.setenv(KILL_SWITCH_ENV, "1")
+    assert not caching_enabled()
+
+    first = simulated_pass("meshslice", cfg, hw)
+    second = simulated_pass("meshslice", cfg, hw)
+    stats = cache_stats("simulated_pass")["simulated_pass"]
+    assert stats.hits == 0
+    assert stats.misses == 0
+    assert stats.entries == 0
+    # Two independent simulations of the same configuration agree.
+    assert second is not first
+    assert second.makespan == first.makespan
+    assert second.spans == first.spans
+
+
+def test_kill_switch_is_per_call(cfg, hw, monkeypatch):
+    cached = simulated_pass("meshslice", cfg, hw)
+    monkeypatch.setenv(KILL_SWITCH_ENV, "true")
+    assert not caching_enabled()
+    bypassed = simulated_pass("meshslice", cfg, hw)
+    stats = cache_stats("simulated_pass")["simulated_pass"]
+    assert (stats.hits, stats.misses, stats.entries) == (0, 1, 1)
+    assert bypassed is not cached
+
+    monkeypatch.delenv(KILL_SWITCH_ENV)
+    assert caching_enabled()
+    again = simulated_pass("meshslice", cfg, hw)
+    assert again is cached
+    stats = cache_stats("simulated_pass")["simulated_pass"]
+    assert (stats.hits, stats.misses) == (1, 1)
+
+
+def test_kill_switch_falsy_values_keep_caching(cfg, hw, monkeypatch):
+    for value in ("", "0", "no", "off", "false"):
+        monkeypatch.setenv(KILL_SWITCH_ENV, value)
+        assert caching_enabled(), value
+
+
+def test_clear_caches_resets_counters(cfg, hw):
+    simulated_pass("meshslice", cfg, hw)
+    simulated_pass("meshslice", cfg, hw)
+    clear_caches(("simulated_pass",))
+    stats = cache_stats("simulated_pass")["simulated_pass"]
+    assert (stats.hits, stats.misses, stats.entries) == (0, 0, 0)
+
+
+def test_pipeline_caches_are_registered():
+    # Caches register at module import; pull in every layer first.
+    import repro.autotuner.costmodel  # noqa: F401
+    import repro.autotuner.dataflow  # noqa: F401
+    import repro.perf.pipeline  # noqa: F401
+    import repro.sim.chip  # noqa: F401
+
+    names = registered_caches()
+    for expected in (
+        "gemm_cost",
+        "meshslice_estimate",
+        "best_slice_count",
+        "plan_model",
+        "built_program",
+        "simulated_pass",
+        "pass_lower_bound",
+    ):
+        assert expected in names
+
+
+def test_memoize_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="already registered"):
+        memoize("simulated_pass")
+
+
+def test_memoize_unhashable_arguments_fall_through():
+    calls = []
+
+    @memoize("test_unhashable_fallback")
+    def fn(x):
+        calls.append(x)
+        return len(calls)
+
+    try:
+        assert fn([1, 2]) == 1
+        assert fn([1, 2]) == 2  # lists are unhashable: never cached
+        stats = cache_stats("test_unhashable_fallback")[
+            "test_unhashable_fallback"
+        ]
+        assert (stats.hits, stats.misses, stats.entries) == (0, 0, 0)
+        assert fn(7) == 3
+        assert fn(7) == 3
+        stats = cache_stats("test_unhashable_fallback")[
+            "test_unhashable_fallback"
+        ]
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+    finally:
+        from repro.perf.cache import _REGISTRY
+
+        _REGISTRY.pop("test_unhashable_fallback", None)
