@@ -15,7 +15,7 @@ from repro.core.gemm import GeMMShape
 from repro.experiments import fig09_weak_scaling
 from repro.hw import TPUV4
 from repro.mesh import Mesh2D
-from repro.perf import cache_stats, clear_caches, simulated_pass
+from repro.perf import cache_stats, clear_caches
 from repro.perf.pipeline import built_program
 from repro.sim.engine import Engine
 

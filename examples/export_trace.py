@@ -17,7 +17,7 @@ from repro.experiments import run_block
 from repro.hw import TPUV4
 from repro.mesh import Mesh2D
 from repro.models import GPT3_175B
-from repro.sim import write_chrome_trace
+from repro.sim import Trace
 
 
 def main(path: str = "trace.json") -> None:
@@ -40,9 +40,10 @@ def main(path: str = "trace.json") -> None:
                 )
             )
         offset += result.makespan
-    write_chrome_trace(merged, path)
+    trace = Trace.from_spans(merged)
+    trace.write_chrome(path)
     print(
-        f"wrote {len(merged)} spans ({offset * 1e3:.2f} ms of simulated "
+        f"wrote {len(trace.spans)} spans ({offset * 1e3:.2f} ms of simulated "
         f"time) to {path}"
     )
     print("open chrome://tracing or https://ui.perfetto.dev and load it")

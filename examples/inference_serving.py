@@ -17,7 +17,7 @@ from repro.algorithms import GeMMConfig, get_algorithm
 from repro.core.dataflow import Dataflow
 from repro.experiments import render_table, tuned_slices
 from repro.hw import TPUV4
-from repro.mesh import Mesh2D, mesh_shapes
+from repro.mesh import mesh_shapes
 from repro.models import GPT3_175B
 from repro.models.inference import (
     InferenceWorkload,

@@ -18,7 +18,7 @@ from repro import Mesh2D, meshslice_os
 from repro.algorithms import GeMMConfig, get_algorithm
 from repro.core import Dataflow, GeMMShape
 from repro.hw import TPUV4
-from repro.sim import ascii_timeline, simulate
+from repro.sim import simulate
 
 
 def functional_demo() -> None:
@@ -46,7 +46,7 @@ def timing_demo() -> None:
             f"{name:>10s}: {result.makespan * 1e3:6.2f} ms, "
             f"FLOP utilization {result.flop_utilization():.1%}"
         )
-        print(ascii_timeline(result.spans, width=76))
+        print(result.trace.timeline(width=76))
         print()
 
 

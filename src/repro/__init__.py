@@ -18,6 +18,20 @@ Quickstart::
     c = meshslice_os(a, b, Mesh2D(4, 2), slices=4)
     assert np.allclose(c, a @ b)
 
+The timing plane is one import away — the stable entry points are
+:func:`simulate` (run a built program on a hardware preset, optionally
+under a :class:`FaultPlan`), :func:`tune` / :func:`robust_tune` (the
+autotuner, nominal and fault-aware), and :func:`get_algorithm` /
+:func:`algorithm_names` (the distributed GeMM algorithm registry)::
+
+    from repro import TPUV4, get_algorithm, simulate
+
+    alg = get_algorithm("meshslice")
+    result = simulate(alg.build_program(cfg, TPUV4), TPUV4)
+
+These heavier names load lazily (PEP 562), so ``import repro`` stays
+cheap for functional-plane users.
+
 See ``README.md`` and ``docs/`` for the architecture, ``DESIGN.md`` for
 the system inventory, and ``EXPERIMENTS.md`` for the paper-vs-
 reproduction results.
@@ -43,26 +57,68 @@ from repro.hw import (
 )
 from repro.mesh import Mesh2D, MeshExecutor, Ring1D, mesh_shapes
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Lazily-loaded stable API (PEP 562): name -> (module, attribute).
+#: Importing these eagerly would pull the whole timing plane (and the
+#: numpy functional checkers) into every ``import repro``.
+_LAZY_EXPORTS = {
+    "FaultPlan": ("repro.faults", "FaultPlan"),
+    "FaultSpec": ("repro.faults", "FaultSpec"),
+    "NULL_PLAN": ("repro.faults", "NULL_PLAN"),
+    "SimResult": ("repro.sim.cluster", "SimResult"),
+    "Trace": ("repro.sim.trace", "Trace"),
+    "algorithm_names": ("repro.algorithms", "algorithm_names"),
+    "get_algorithm": ("repro.algorithms", "get_algorithm"),
+    "robust_tune": ("repro.autotuner", "robust_tune"),
+    "simulate": ("repro.sim.cluster", "simulate"),
+    "tune": ("repro.autotuner", "tune"),
+}
 
 __all__ = [
     "Dataflow",
+    "FaultPlan",
+    "FaultSpec",
     "GPU_LOGICAL_MESH",
     "GeMMShape",
     "HardwareParams",
     "Mesh2D",
     "MeshExecutor",
+    "NULL_PLAN",
     "Ring1D",
+    "SimResult",
     "TPUV4",
     "TPUV4_CLOUD_4X4",
+    "Trace",
+    "algorithm_names",
+    "get_algorithm",
     "get_preset",
     "mesh_shapes",
     "meshslice_gemm",
     "meshslice_ls",
     "meshslice_os",
     "meshslice_rs",
+    "robust_tune",
+    "simulate",
     "slice_col",
     "slice_row",
+    "tune",
     "valid_slice_counts",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -17,13 +17,21 @@ from repro.autotuner.dataflow import (
     plan_layer,
     plan_model,
 )
-from repro.autotuner.search import TunedPass, TuningResult, tune, tune_mesh
+from repro.autotuner.search import (
+    RobustTuningResult,
+    TunedPass,
+    TuningResult,
+    robust_tune,
+    tune,
+    tune_mesh,
+)
 
 __all__ = [
     "CostEstimate",
     "LayerPlan",
     "PASSES",
     "PassPlan",
+    "RobustTuningResult",
     "STATIONARY_CHOICES",
     "TunedPass",
     "TuningResult",
@@ -34,6 +42,7 @@ __all__ = [
     "pass_plans",
     "plan_layer",
     "plan_model",
+    "robust_tune",
     "tune",
     "tune_mesh",
     "valid_slice_counts_for",

@@ -7,16 +7,25 @@ models, then picks the mesh shape with the shortest total FC execution
 time. The search space is small — a handful of integer factorizations
 times a handful of divisors — so tuning completes in well under a
 second.
+
+:func:`robust_tune` adds a fault-aware mode on top: instead of the
+nominal analytical block time, the mesh shape is chosen to minimize a
+tail quantile (p95 by default) of the *simulated* block time over a
+seeded ensemble of :class:`repro.faults.FaultPlan` realizations — the
+deployment question "which shape degrades most gracefully when chips
+straggle and links degrade", which the nominal tuner cannot see.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import GeMMConfig
 from repro.autotuner.costmodel import CostEstimate, best_slice_count
 from repro.autotuner.dataflow import LayerPlan, PassPlan, plan_model
+from repro.faults import FaultPlan, FaultSpec
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import Mesh2D, mesh_shapes
 from repro.models.config import LLMConfig
@@ -143,3 +152,145 @@ def tune(
                 per_mesh_seconds={},
             )
     return dataclasses.replace(best, per_mesh_seconds=per_mesh)
+
+
+# --------------------------------------------------------------- robust mode
+
+
+@dataclasses.dataclass(frozen=True)
+class RobustTuningResult:
+    """Output of :func:`robust_tune`.
+
+    Attributes:
+        mesh: The mesh shape minimizing the robust objective.
+        passes: Tuned per-layer, per-pass configurations (slice counts
+            are tuned nominally; the mesh choice is what the fault
+            ensemble decides).
+        quantile: The optimized tail quantile (0.95 = p95).
+        robust_seconds: The optimized objective — the ensemble
+            ``quantile`` of the simulated FC block time on ``mesh``.
+        mean_seconds: Ensemble mean block time on ``mesh``.
+        nominal_seconds: Simulated block time on ``mesh`` with no
+            faults (the clean baseline the inflation is judged against).
+        per_mesh_robust: Robust objective of every candidate shape.
+        fault_plans: The sampled ensemble (reproducible from the spec).
+    """
+
+    mesh: Mesh2D
+    passes: Tuple[TunedPass, ...]
+    quantile: float
+    robust_seconds: float
+    mean_seconds: float
+    nominal_seconds: float
+    per_mesh_robust: Dict[Tuple[int, int], float]
+    fault_plans: Tuple[FaultPlan, ...]
+
+    @property
+    def inflation(self) -> float:
+        """Robust over nominal block time (>= 1 for any valid plan)."""
+        if self.nominal_seconds <= 0:
+            return 1.0
+        return self.robust_seconds / self.nominal_seconds
+
+
+def _quantile(values: Sequence[float], q: float) -> float:
+    """The empirical ``q``-quantile (nearest-rank, upper)."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def robust_tune(
+    model: LLMConfig,
+    batch_size: int,
+    chips: int,
+    hw: HardwareParams,
+    spec: FaultSpec,
+    ensemble: int = 16,
+    quantile: float = 0.95,
+    algorithm: str = "meshslice",
+    optimize_dataflow: bool = True,
+    mesh_candidates: Optional[Sequence[Mesh2D]] = None,
+    min_mesh_dim: int = 2,
+    max_slices: int = 64,
+) -> RobustTuningResult:
+    """Pick the mesh shape minimizing a tail quantile under faults.
+
+    Per candidate shape, slice counts are tuned with the nominal
+    analytical models (faults rescale every slice count's cost roughly
+    alike, so the per-pass optima barely move), then the full block is
+    *simulated* under each plan of a seeded fault ensemble and the
+    shape with the smallest ``quantile`` of those block times wins.
+    With a null ``spec`` every ensemble member equals the clean
+    simulation, so the search degrades to picking the simulated-best
+    shape. All fault sampling derives from ``spec.seed``: the same
+    call returns the same result, bit for bit.
+
+    Args:
+        spec: Cluster-level fault description (see
+            :class:`repro.faults.FaultSpec`).
+        ensemble: Number of sampled fault plans.
+        quantile: Tail quantile to minimize (nearest-rank; 0.95 = p95).
+        algorithm: Distributed GeMM algorithm to simulate (the slice
+            tuning always uses MeshSlice's shared analytical model, as
+            the evaluation's fairness rule does).
+
+    Raises:
+        ValueError: if no candidate mesh supports the algorithm.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    from repro.algorithms import get_algorithm
+    from repro.perf.pipeline import faulted_pass, simulated_pass
+
+    tokens = model.tokens(batch_size)
+    plans = plan_model(model, tokens, optimize_dataflow=optimize_dataflow)
+    if mesh_candidates is not None:
+        candidates = list(mesh_candidates)
+    else:
+        candidates = mesh_shapes(chips, min_dim=min_mesh_dim)
+    if not candidates:
+        raise ValueError(f"no candidate mesh shapes for {chips} chips")
+    fault_plans = spec.ensemble(chips, hw, ensemble)
+    alg = get_algorithm(algorithm)
+
+    best_mesh: Optional[Mesh2D] = None
+    best_tuned: List[TunedPass] = []
+    best_robust = 0.0
+    best_mean = 0.0
+    per_mesh: Dict[Tuple[int, int], float] = {}
+    for mesh in candidates:
+        tuned, _estimate = tune_mesh(plans, mesh, hw, max_slices)
+        configs = [t.config(mesh) for t in tuned]
+        if any(alg.check_support(cfg) for cfg in configs):
+            continue
+        totals = [
+            sum(faulted_pass(algorithm, cfg, hw, plan).makespan
+                for cfg in configs)
+            for plan in fault_plans
+        ]
+        robust = _quantile(totals, quantile)
+        per_mesh[mesh.shape] = robust
+        if best_mesh is None or robust < best_robust:
+            best_mesh = mesh
+            best_tuned = tuned
+            best_robust = robust
+            best_mean = sum(totals) / len(totals)
+    if best_mesh is None:
+        raise ValueError(
+            f"no candidate mesh supports {algorithm!r} at {chips} chips"
+        )
+    nominal = sum(
+        simulated_pass(algorithm, t.config(best_mesh), hw).makespan
+        for t in best_tuned
+    )
+    return RobustTuningResult(
+        mesh=best_mesh,
+        passes=tuple(best_tuned),
+        quantile=quantile,
+        robust_seconds=best_robust,
+        mean_seconds=best_mean,
+        nominal_seconds=nominal,
+        per_mesh_robust=per_mesh,
+        fault_plans=fault_plans,
+    )

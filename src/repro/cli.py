@@ -2,16 +2,21 @@
 
 Experiment reproduction::
 
-    meshslice list                 # enumerate experiments
-    meshslice fig9                 # run one (any name from `list`)
-    meshslice all                  # run everything
-    meshslice fig9 --jobs 8        # spread grid points over 8 processes
+    meshslice list                    # enumerate experiments
+    meshslice run fig9                # run one (any name from `list`)
+    meshslice run all                 # run everything
+    meshslice run fig9 --jobs 8       # spread grid points over 8 processes
 
 Deployment planning and introspection::
 
     meshslice tune gpt3-175b --chips 256 --batch 128 [--hw tpuv4-sim]
-    meshslice models               # model zoo
-    meshslice presets              # hardware presets
+    meshslice faults gpt3-175b --chips 256 --stragglers 2
+    meshslice models                  # model zoo
+    meshslice presets                 # hardware presets
+
+Bare experiment names keep working as aliases of ``run`` —
+``meshslice fig9 --jobs 8`` and ``meshslice all`` behave exactly as
+they did before the subcommand interface existed.
 """
 
 from __future__ import annotations
@@ -23,42 +28,130 @@ from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS
 
+#: The real subcommands; anything else in command position is treated
+#: as an experiment name and routed through ``run`` (legacy alias).
+COMMANDS = ("run", "list", "tune", "faults", "models", "presets")
+
+
+def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    """Model/cluster selection shared by ``tune`` and ``faults``."""
+    parser.add_argument(
+        "model", nargs="?", default=None,
+        help="model name (see 'models')",
+    )
+    parser.add_argument(
+        "--chips", type=int, default=256, help="cluster size",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None,
+        help="global batch (default: chips / 2)",
+    )
+    parser.add_argument(
+        "--hw", default="tpuv4-sim",
+        help="hardware preset name (see 'presets')",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="meshslice",
         description="MeshSlice (ISCA 2025) reproduction toolkit",
     )
-    parser.add_argument(
-        "command",
-        help=(
-            "an experiment name ('list' to enumerate, 'all' for every "
-            "experiment), or one of: tune, models, presets"
-        ),
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    run = sub.add_parser(
+        "run",
+        help="run experiments by name ('all' for every one)",
+        description="Run one or more experiment reproductions.",
     )
-    parser.add_argument(
-        "model", nargs="?", default=None,
-        help="model name for the 'tune' command",
+    run.add_argument(
+        "experiments", nargs="+", metavar="experiment",
+        help="experiment names from 'list', or 'all'",
     )
-    parser.add_argument(
-        "--chips", type=int, default=256, help="cluster size for 'tune'"
-    )
-    parser.add_argument(
-        "--batch", type=int, default=None,
-        help="global batch for 'tune' (default: chips / 2)",
-    )
-    parser.add_argument(
-        "--hw", default="tpuv4-sim",
-        help="hardware preset name for 'tune' (see 'presets')",
-    )
-    parser.add_argument(
+    run.add_argument(
         "--jobs", type=int, default=None,
         help=(
             "worker processes for experiment grids "
             "(default: REPRO_JOBS env var, then the CPU count)"
         ),
     )
+
+    sub.add_parser("list", help="enumerate the available experiments")
+
+    tune = sub.add_parser(
+        "tune",
+        help="autotune mesh shape and slice counts for a model",
+        description="Run the two-phase autotuner (Section 3.2).",
+    )
+    _add_cluster_arguments(tune)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-aware robust tuning over a straggler/link ensemble",
+        description=(
+            "Choose the mesh shape minimizing a tail quantile of the "
+            "simulated block time over a seeded ensemble of fault plans "
+            "(stragglers, degraded links, jitter, outages)."
+        ),
+    )
+    _add_cluster_arguments(faults)
+    faults.add_argument(
+        "--algorithm", default="meshslice",
+        help="distributed GeMM algorithm to simulate (default: meshslice)",
+    )
+    faults.add_argument(
+        "--stragglers", type=int, default=1,
+        help="straggling chips per fault plan (default: 1)",
+    )
+    faults.add_argument(
+        "--straggler-slowdown", type=float, default=1.5,
+        help="worst-case straggler compute slowdown factor (default: 1.5)",
+    )
+    faults.add_argument(
+        "--degraded-links", type=int, default=0,
+        help="degraded mesh links per fault plan (default: 0)",
+    )
+    faults.add_argument(
+        "--link-slowdown", type=float, default=2.0,
+        help="worst-case link bandwidth degradation factor (default: 2.0)",
+    )
+    faults.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="max extra collective launch latency, seconds (default: 0)",
+    )
+    faults.add_argument(
+        "--outage-rate", type=float, default=0.0,
+        help="per-transfer transient outage probability (default: 0)",
+    )
+    faults.add_argument(
+        "--ensemble", type=int, default=16,
+        help="number of sampled fault plans (default: 16)",
+    )
+    faults.add_argument(
+        "--quantile", type=float, default=0.95,
+        help="tail quantile to minimize (default: 0.95)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed of the fault ensemble (default: 0)",
+    )
+
+    sub.add_parser("models", help="list the model zoo")
+    sub.add_parser("presets", help="list the hardware presets")
     return parser
+
+
+def normalize_argv(argv: List[str]) -> List[str]:
+    """Rewrite legacy invocations into the subcommand form.
+
+    ``meshslice fig9 --jobs 8`` and ``meshslice all`` predate the
+    subcommand interface; when the first positional token is not a
+    known subcommand it is an experiment name, so ``run`` is inserted
+    in front of it.
+    """
+    if argv and not argv[0].startswith("-") and argv[0] not in COMMANDS:
+        return ["run", *argv]
+    return list(argv)
 
 
 def run_experiment(name: str) -> str:
@@ -122,16 +215,21 @@ def _cmd_presets() -> int:
     return 0
 
 
-def _cmd_tune(args: argparse.Namespace) -> int:
-    from repro.autotuner import tune
-    from repro.experiments.common import render_table
+def _resolve_cluster(args: argparse.Namespace):
+    """Shared model/hw/batch resolution of ``tune`` and ``faults``.
+
+    Returns ``(model, hw, batch)`` or an exit code on bad input.
+    """
+    if args.model is None:
+        print(
+            f"usage: meshslice {args.command} <model> "
+            "[--chips N] [--batch B] [--hw P]",
+            file=sys.stderr,
+        )
+        return 2
     from repro.hw import get_preset
     from repro.models import get_model
 
-    if args.model is None:
-        print("usage: meshslice tune <model> [--chips N] [--batch B] [--hw P]",
-              file=sys.stderr)
-        return 2
     try:
         model = get_model(args.model)
         hw = get_preset(args.hw)
@@ -139,6 +237,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     batch = args.batch if args.batch is not None else max(1, args.chips // 2)
+    return model, hw, batch
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    resolved = _resolve_cluster(args)
+    if isinstance(resolved, int):
+        return resolved
+    model, hw, batch = resolved
+    from repro.autotuner import tune
+    from repro.experiments.common import render_table
+
     result = tune(model, batch, args.chips, hw)
     print(
         f"{model.name}: {args.chips} chips ({hw.name}), batch {batch}\n"
@@ -157,16 +266,65 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _cmd_faults(args: argparse.Namespace) -> int:
+    resolved = _resolve_cluster(args)
+    if isinstance(resolved, int):
+        return resolved
+    model, hw, batch = resolved
+    from repro.autotuner import robust_tune
+    from repro.experiments.common import render_table
+    from repro.faults import FaultSpec
+
     try:
-        return _main(argv)
-    except BrokenPipeError:
-        # Output piped into a pager/head that closed early; not an error.
-        return 0
+        spec = FaultSpec(
+            stragglers=args.stragglers,
+            straggler_slowdown=args.straggler_slowdown,
+            degraded_links=args.degraded_links,
+            link_slowdown=args.link_slowdown,
+            launch_jitter=args.jitter,
+            outage_rate=args.outage_rate,
+            seed=args.seed,
+        )
+        result = robust_tune(
+            model, batch, args.chips, hw,
+            spec=spec,
+            ensemble=args.ensemble,
+            quantile=args.quantile,
+            algorithm=args.algorithm,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    pct = f"p{args.quantile * 100:g}"
+    print(
+        f"{model.name}: {args.chips} chips ({hw.name}), batch {batch}, "
+        f"{args.algorithm}\n"
+        f"fault spec: {args.stragglers} straggler(s) up to "
+        f"{args.straggler_slowdown:g}x, {args.degraded_links} degraded "
+        f"link(s) up to {args.link_slowdown:g}x, jitter {args.jitter:g}s, "
+        f"outage rate {args.outage_rate:g} (seed {args.seed}, "
+        f"{args.ensemble} plans)\n"
+        f"robust mesh: {result.mesh}; {pct} FC block "
+        f"{result.robust_seconds * 1e3:.2f} ms "
+        f"(mean {result.mean_seconds * 1e3:.2f} ms, clean "
+        f"{result.nominal_seconds * 1e3:.2f} ms, "
+        f"inflation {result.inflation:.3f}x)\n"
+    )
+    print(
+        render_table(
+            ["mesh", f"{pct} block (ms)"],
+            [
+                (f"{rows}x{cols}", seconds * 1e3)
+                for (rows, cols), seconds in sorted(
+                    result.per_mesh_robust.items()
+                )
+            ],
+        )
+    )
+    return 0
 
 
-def _main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         # The experiment main()s read the worker count from the
         # environment, so one flag reaches every grid they run.
@@ -175,16 +333,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.common import JOBS_ENV
 
         os.environ[JOBS_ENV] = str(args.jobs)
-    command = args.command
-    if command == "list":
-        return _cmd_list()
-    if command == "models":
-        return _cmd_models()
-    if command == "presets":
-        return _cmd_presets()
-    if command == "tune":
-        return _cmd_tune(args)
-    names = sorted(EXPERIMENTS) if command == "all" else [command]
+    names: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            names.extend(sorted(EXPERIMENTS))
+        else:
+            names.append(name)
     for name in names:
         start = time.time()
         try:
@@ -196,6 +350,33 @@ def _main(argv: Optional[List[str]] = None) -> int:
         print(report)
         print(f"--- {name} done in {time.time() - start:.1f}s\n")
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = build_parser()
+    args = parser.parse_args(normalize_argv(list(argv)))
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
+    handlers = {
+        "run": lambda: _cmd_run(args),
+        "list": _cmd_list,
+        "tune": lambda: _cmd_tune(args),
+        "faults": lambda: _cmd_faults(args),
+        "models": _cmd_models,
+        "presets": _cmd_presets,
+    }
+    return handlers[args.command]()
 
 
 if __name__ == "__main__":

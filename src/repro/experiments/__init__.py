@@ -7,6 +7,7 @@ rows and ``main()`` rendering a text table with paper reference points.
 from repro.experiments import (
     ablation_25d,
     ablation_3d,
+    ablation_faults,
     ablation_inference,
     ablation_logical_mesh,
     ablation_unrolling,
@@ -25,9 +26,11 @@ from repro.experiments.common import (
     ALL_ALGORITHMS,
     CLUSTER_SIZES,
     BlockRun,
+    GridPointError,
     best_block_run,
     candidate_meshes,
     end_to_end_step_seconds,
+    grid_map,
     pass_config,
     render_table,
     run_block,
@@ -49,6 +52,7 @@ EXPERIMENTS = {
     "table3": table3_real_hw,
     "ablation-2.5d": ablation_25d,
     "ablation-3d": ablation_3d,
+    "ablation-faults": ablation_faults,
     "ablation-inference": ablation_inference,
     "ablation-logical-mesh": ablation_logical_mesh,
     "ablation-unrolling": ablation_unrolling,
@@ -59,9 +63,11 @@ __all__ = [
     "CLUSTER_SIZES",
     "BlockRun",
     "EXPERIMENTS",
+    "GridPointError",
     "best_block_run",
     "candidate_meshes",
     "end_to_end_step_seconds",
+    "grid_map",
     "pass_config",
     "render_table",
     "run_block",

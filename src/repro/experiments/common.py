@@ -407,6 +407,44 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class GridPointError(RuntimeError):
+    """A grid worker failed; the message names the offending point.
+
+    A bare exception out of a process pool loses which input caused it
+    (``pool.map`` reraises the first failure with no argument context),
+    so :func:`grid_map` wraps worker exceptions in this type. The
+    original exception is the ``__cause__`` in serial mode; across a
+    process pool only its rendering inside the message survives
+    pickling.
+    """
+
+    def __init__(self, message: str, point: object = None):
+        super().__init__(message)
+        self.point = point
+
+    def __reduce__(self):
+        return (GridPointError, (self.args[0], self.point))
+
+
+@dataclasses.dataclass
+class _GridWorker:
+    """Picklable wrapper attaching the grid point to worker failures."""
+
+    fn: Callable
+
+    def __call__(self, point):
+        try:
+            return self.fn(point)
+        except GridPointError:
+            raise
+        except Exception as exc:
+            raise GridPointError(
+                f"grid point {point!r} failed: "
+                f"{type(exc).__name__}: {exc}",
+                point,
+            ) from exc
+
+
 def grid_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
@@ -417,21 +455,23 @@ def grid_map(
     With more than one worker the points run in a process pool (``fn``
     and the items must be picklable, i.e. module-level functions).
     Falls back to the serial map when worker processes cannot be
-    spawned (restricted sandboxes) or the pool breaks. Exceptions
-    raised by ``fn`` itself propagate unchanged in both modes.
+    spawned (restricted sandboxes) or the pool breaks. An exception
+    raised by ``fn`` itself aborts the map with a
+    :class:`GridPointError` naming the failing point, in both modes.
     """
     points = list(items)
     workers = min(resolve_jobs(jobs), len(points))
+    worker = _GridWorker(fn)
     if workers <= 1:
-        return [fn(point) for point in points]
+        return [worker(point) for point in points]
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, points))
+            return list(pool.map(worker, points))
     except (OSError, PermissionError, BrokenProcessPool):
-        return [fn(point) for point in points]
+        return [worker(point) for point in points]
 
 
 def render_table(

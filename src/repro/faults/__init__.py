@@ -1,0 +1,31 @@
+"""Deterministic fault & variability injection over the simulator.
+
+The paper's evaluation assumes perfectly uniform chips and links. This
+package perturbs the simulated cluster — compute stragglers, degraded
+links, launch jitter, transient link outages — as a seeded, fully
+reproducible rewrite of activity durations at the program/engine
+boundary:
+
+* :class:`FaultSpec` — the cluster-level description (how many
+  stragglers, how severe, ...), sampled deterministically from a seed;
+* :class:`FaultPlan` — the reduced representative-chip perturbation
+  the simulator consumes; ``plan.apply(program)`` (or
+  ``program.run(faults=plan)`` / ``simulate(program, hw, faults=plan)``)
+  executes a program under it.
+
+A zero-perturbation plan is the identity: it returns the input program
+object unchanged, so unfaulted results stay bit-identical to the plain
+engine. ``experiments/ablation_faults.py`` sweeps straggler severity
+over the paper's algorithms, and ``repro.autotuner.robust_tune``
+optimizes the p95 makespan over a seeded ensemble of plans.
+"""
+
+from repro.faults.plan import NULL_PLAN, FaultPlan
+from repro.faults.spec import DEFAULT_RETRY_TIMEOUT, FaultSpec
+
+__all__ = [
+    "DEFAULT_RETRY_TIMEOUT",
+    "FaultPlan",
+    "FaultSpec",
+    "NULL_PLAN",
+]

@@ -1,0 +1,201 @@
+"""Representative-chip fault plans: seeded perturbations of programs.
+
+A :class:`FaultPlan` describes how one simulated execution deviates
+from the uniform cluster the paper evaluates: a compute slowdown
+(stragglers), per-link-direction bandwidth degradation, host
+launch-latency jitter, and transient link outages that cost a retry.
+The plan is applied at the program/engine boundary — it rewrites
+activity *durations* (and rescales shared-resource demand rates so the
+total demanded units are conserved) and hands the engine an ordinary
+activity DAG. The event-heap engine itself is untouched, and a
+zero-perturbation plan returns the input program object unchanged, so
+its spans are bit-identical to an unfaulted run by construction.
+
+Determinism: all randomness comes from ``random.Random(plan.seed)``,
+consumed in activity order, so the same plan applied to the same
+program always produces the same perturbed DAG — across processes and
+platforms (the Mersenne Twister stream is specified).
+
+The representative-chip reduction
+---------------------------------
+
+The simulator models *one* chip of an SPMD cluster (see
+``docs/simulator.md``). Cluster-level nonuniformity reduces onto that
+chip as follows, mirroring how ring synchronization propagates delays:
+
+* a straggling chip slows every lockstep compute phase of the whole
+  cluster, so the representative chip's compute/slicing activities run
+  at the *worst* straggler's rate;
+* a ring collective progresses at the rate of the slowest link in its
+  ring, so each link direction carries the *worst* degradation factor
+  among its sampled faulty links;
+* launch jitter and outages hit individual operations, sampled
+  per-activity from the plan's seed.
+
+:class:`repro.faults.spec.FaultSpec` performs that reduction from a
+cluster-level description.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim -> faults)
+    from repro.sim.engine import Activity
+    from repro.sim.program import Program
+
+#: Kinds of activities a compute slowdown applies to: GeMM kernels and
+#: blocked slicing copies both run on the straggler's core.
+_COMPUTE_KINDS = ("compute", "slice")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic perturbation of one representative-chip program.
+
+    Attributes:
+        compute_slowdown: Duration multiplier (>= 1) for compute and
+            slicing activities — the worst straggler's slowdown.
+        link_degradation: Sorted ``(link resource, factor)`` pairs; a
+            factor ``f >= 1`` multiplies the transfer component of every
+            communication activity holding that link (bandwidth reduced
+            to ``1/f`` of nominal).
+        launch_jitter: Maximum extra host launch latency (seconds).
+            Each communication activity with a non-zero launch
+            component draws a uniform ``[0, launch_jitter)`` addition.
+        outage_rate: Per-activity probability (in ``[0, 1]``) that a
+            transferring communication activity hits a transient link
+            outage.
+        outage_penalty: Dead time (seconds) of one outage — the
+            detection timeout plus reconnection cost — charged on top
+            of a full retransmission of the activity's (degraded)
+            transfer time.
+        seed: Seed of the per-activity jitter/outage draws.
+    """
+
+    compute_slowdown: float = 1.0
+    link_degradation: Tuple[Tuple[str, float], ...] = ()
+    launch_jitter: float = 0.0
+    outage_rate: float = 0.0
+    outage_penalty: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.compute_slowdown < 1.0:
+            raise ValueError("compute_slowdown must be >= 1 (faults add time)")
+        for link, factor in self.link_degradation:
+            if not isinstance(link, str):
+                raise ValueError(f"link name must be a string, got {link!r}")
+            if factor < 1.0:
+                raise ValueError(
+                    f"link degradation factor for {link!r} must be >= 1"
+                )
+        if self.launch_jitter < 0.0:
+            raise ValueError("launch_jitter must be non-negative")
+        if not 0.0 <= self.outage_rate <= 1.0:
+            raise ValueError("outage_rate must be in [0, 1]")
+        if self.outage_penalty < 0.0:
+            raise ValueError("outage_penalty must be non-negative")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether applying this plan is guaranteed to change nothing."""
+        return (
+            self.compute_slowdown == 1.0
+            and all(factor == 1.0 for _link, factor in self.link_degradation)
+            and self.launch_jitter == 0.0
+            and self.outage_rate == 0.0
+        )
+
+    # ------------------------------------------------------------ application
+
+    def apply(self, program: "Program") -> "Program":
+        """Return ``program`` with this plan's perturbations applied.
+
+        A null plan returns the *same* ``Program`` object, so the
+        unfaulted fast path stays bit-identical. Otherwise a new
+        program is built; the input is never mutated (activities that
+        the plan does not touch are shared between the two).
+        """
+        if self.is_null:
+            return program
+        rng = random.Random(self.seed)
+        factors = dict(self.link_degradation)
+        activities = [
+            self._perturb(act, rng, factors) for act in program.activities
+        ]
+        faulted = dataclasses.replace(program, activities=activities)
+        faulted.meta = dict(program.meta)
+        faulted.meta["fault_plan"] = self
+        return faulted
+
+    def _perturb(
+        self,
+        act: "Activity",
+        rng: random.Random,
+        factors: Dict[str, float],
+    ) -> "Activity":
+        """One activity under this plan (the original if untouched).
+
+        Shared-resource demand rates are rescaled by
+        ``old_duration / new_duration`` so the *total units* demanded
+        (bytes of HBM/NIC traffic) are conserved: a slower operation
+        moves the same data over a longer window.
+        """
+        if act.kind in _COMPUTE_KINDS:
+            if self.compute_slowdown == 1.0 or act.duration <= 0.0:
+                return act
+            return self._stretched(act, act.duration * self.compute_slowdown)
+        if act.kind != "comm":
+            return act
+
+        meta = act.meta
+        launch = float(meta.get("launch", 0.0))
+        transfer = float(meta.get("transfer", 0.0))
+        degradation = 1.0
+        for resource in act.exclusive:
+            factor = factors.get(resource)
+            if factor is not None and factor > degradation:
+                degradation = factor
+        slowed_transfer = transfer * degradation
+        extra = slowed_transfer - transfer
+        jitter = 0.0
+        if self.launch_jitter > 0.0 and launch > 0.0:
+            jitter = rng.random() * self.launch_jitter
+        retry = 0.0
+        retransmit = 0.0
+        if self.outage_rate > 0.0 and transfer > 0.0:
+            if rng.random() < self.outage_rate:
+                retry = self.outage_penalty
+                retransmit = slowed_transfer
+        delta = extra + jitter + retry + retransmit
+        if delta == 0.0:
+            return act
+        stretched = self._stretched(act, act.duration + delta)
+        new_meta = dict(meta)
+        if jitter:
+            new_meta["launch"] = launch + jitter
+        if extra or retransmit:
+            new_meta["transfer"] = slowed_transfer + retransmit
+        if retry:
+            # The outage's dead time is a synchronization stall: the
+            # chip waits out the timeout before retransmitting.
+            new_meta["sync"] = float(meta.get("sync", 0.0)) + retry
+            new_meta["retries"] = int(meta.get("retries", 0)) + 1
+        stretched.meta = new_meta
+        return stretched
+
+    @staticmethod
+    def _stretched(act: "Activity", new_duration: float) -> "Activity":
+        """Copy of ``act`` at ``new_duration`` with demand units conserved."""
+        shared = act.shared
+        if shared and new_duration > 0.0 and act.duration > 0.0:
+            scale = act.duration / new_duration
+            shared = {r: demand * scale for r, demand in shared.items()}
+        return dataclasses.replace(act, duration=new_duration, shared=shared)
+
+
+#: The identity plan: applying it returns the input program unchanged.
+NULL_PLAN = FaultPlan()

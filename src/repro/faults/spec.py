@@ -1,0 +1,151 @@
+"""Cluster-level fault specifications and their seeded sampling.
+
+A :class:`FaultSpec` describes nonuniformity the way an operator would:
+"k straggler chips up to 1.5x slower, three degraded links, 20 us of
+launch jitter". :meth:`FaultSpec.sample` draws one concrete cluster
+from that description — which chips straggle and by how much, which
+link directions are degraded — and reduces it to the representative-
+chip :class:`~repro.faults.plan.FaultPlan` the simulator consumes (see
+that module's docstring for the reduction rules).
+
+Sampling is fully determined by ``spec.seed``: the same spec always
+yields the same plan, and :meth:`FaultSpec.ensemble` derives a
+reproducible family of plans from consecutive seeds — the ensemble the
+robust autotuner optimizes its p95 makespan over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.hw.params import HardwareParams
+
+#: Fallback outage dead time (seconds) when no hardware parameters are
+#: supplied: detection timeout plus reconnection, a few hundred
+#: microseconds on an ICI-class fabric.
+DEFAULT_RETRY_TIMEOUT = 500e-6
+
+#: The two ring-link directions of the 2D mesh (mirrors
+#: ``repro.sim.engine.LINK_H`` / ``LINK_V`` without importing the
+#: package-initialization chain of ``repro.sim``).
+_LINK_DIRECTIONS = ("link_h", "link_v")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """A cluster-level description of faults and variability.
+
+    Attributes:
+        stragglers: Number of straggling chips in the cluster. Each
+            straggler draws a compute slowdown uniformly from
+            ``[1, straggler_slowdown)``; ring synchronization makes the
+            worst draw the effective cluster slowdown.
+        straggler_slowdown: Severity bound of one straggler (>= 1).
+        degraded_links: Number of degraded ICI link directions across
+            the cluster (each chip contributes one horizontal and one
+            vertical ring-link slot).
+        link_slowdown: Transfer-time multiplier bound of one degraded
+            link (>= 1); the worst sampled factor per direction is what
+            the representative chip sees.
+        launch_jitter: Maximum extra launch latency per communication
+            operation (seconds).
+        outage_rate: Per-operation probability of a transient link
+            outage (retry modelled as timeout + retransmission).
+        outage_penalty: Outage dead time in seconds; ``None`` uses the
+            hardware's ``link_retry_timeout`` (or
+            :data:`DEFAULT_RETRY_TIMEOUT` when no hardware is given).
+        seed: Root seed of all sampling.
+    """
+
+    stragglers: int = 0
+    straggler_slowdown: float = 1.5
+    degraded_links: int = 0
+    link_slowdown: float = 2.0
+    launch_jitter: float = 0.0
+    outage_rate: float = 0.0
+    outage_penalty: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stragglers < 0:
+            raise ValueError("stragglers must be non-negative")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        if self.degraded_links < 0:
+            raise ValueError("degraded_links must be non-negative")
+        if self.link_slowdown < 1.0:
+            raise ValueError("link_slowdown must be >= 1")
+        if self.launch_jitter < 0.0:
+            raise ValueError("launch_jitter must be non-negative")
+        if not 0.0 <= self.outage_rate <= 1.0:
+            raise ValueError("outage_rate must be in [0, 1]")
+        if self.outage_penalty is not None and self.outage_penalty < 0.0:
+            raise ValueError("outage_penalty must be non-negative")
+
+    def sample(
+        self, chips: int, hw: Optional[HardwareParams] = None
+    ) -> FaultPlan:
+        """Draw one cluster realization, reduced to a representative-chip plan."""
+        if chips < 1:
+            raise ValueError("chips must be >= 1")
+        rng = random.Random(self.seed)
+        slowdown = 1.0
+        if self.stragglers and self.straggler_slowdown > 1.0:
+            span = self.straggler_slowdown - 1.0
+            for _ in range(min(self.stragglers, chips)):
+                draw = 1.0 + span * rng.random()
+                if draw > slowdown:
+                    slowdown = draw
+        degradation: Tuple[Tuple[str, float], ...] = ()
+        if self.degraded_links and self.link_slowdown > 1.0:
+            # One horizontal and one vertical ring-link slot per chip;
+            # even slots are horizontal, odd vertical.
+            slots = 2 * chips
+            span = self.link_slowdown - 1.0
+            worst = {}
+            for slot in rng.sample(range(slots), min(self.degraded_links, slots)):
+                direction = _LINK_DIRECTIONS[slot % 2]
+                factor = 1.0 + span * rng.random()
+                if factor > worst.get(direction, 1.0):
+                    worst[direction] = factor
+            degradation = tuple(sorted(worst.items()))
+        penalty = self.outage_penalty
+        if penalty is None:
+            penalty = (
+                hw.link_retry_timeout if hw is not None else DEFAULT_RETRY_TIMEOUT
+            )
+        return FaultPlan(
+            compute_slowdown=slowdown,
+            link_degradation=degradation,
+            launch_jitter=self.launch_jitter,
+            outage_rate=self.outage_rate,
+            outage_penalty=penalty,
+            seed=rng.getrandbits(32),
+        )
+
+    def ensemble(
+        self,
+        chips: int,
+        hw: Optional[HardwareParams] = None,
+        count: int = 16,
+    ) -> Tuple[FaultPlan, ...]:
+        """``count`` plans sampled from consecutive seeds (reproducible)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return tuple(
+            dataclasses.replace(self, seed=self.seed + i).sample(chips, hw)
+            for i in range(count)
+        )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether every sampled plan is guaranteed to be a no-op."""
+        return (
+            (self.stragglers == 0 or self.straggler_slowdown == 1.0)
+            and (self.degraded_links == 0 or self.link_slowdown == 1.0)
+            and self.launch_jitter == 0.0
+            and self.outage_rate == 0.0
+        )

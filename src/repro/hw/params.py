@@ -49,6 +49,11 @@ class HardwareParams:
         t_kernel: Cost of launching one compute kernel (a GeMM or a
             slicing copy) on the chip (seconds). This is what makes very
             fine-grain partial GeMMs inefficient (Section 5.3.1).
+        link_retry_timeout: Dead time of one transient link outage
+            (seconds): failure detection timeout plus reconnection,
+            before the interrupted transfer is retried. Used by
+            ``repro.faults`` as the default outage penalty; the
+            unfaulted simulator never charges it.
         dtype_bytes: Bytes per matrix element (2 for bf16 training).
         memory_block: Architecture block size ``B`` for MeshSlice's
             blocked slicing (Algorithm 2). TPUs access memory in
@@ -92,6 +97,7 @@ class HardwareParams:
     t_sync: float = 4e-6
     t_launch: float = 8e-6
     t_kernel: float = 4e-6
+    link_retry_timeout: float = 500e-6
     dtype_bytes: int = 2
     memory_block: int = 8
     overlap_collectives: bool = True
@@ -111,6 +117,8 @@ class HardwareParams:
             raise ValueError("link_bandwidth must be positive")
         if self.links_per_direction not in (1, 2):
             raise ValueError("links_per_direction must be 1 or 2")
+        if self.link_retry_timeout < 0:
+            raise ValueError("link_retry_timeout must be non-negative")
         if self.dtype_bytes <= 0:
             raise ValueError("dtype_bytes must be positive")
         if self.memory_block <= 0:
@@ -128,7 +136,7 @@ class HardwareParams:
 
     def __hash__(self) -> int:
         # Instances are hashed on every memoized-cost-model lookup, and
-        # the generated dataclass hash walks all 22 fields each time;
+        # the generated dataclass hash walks all 23 fields each time;
         # cache it (frozen instances never change).
         h = self.__dict__.get("_hash")
         if h is None:

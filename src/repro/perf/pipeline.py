@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.algorithms import GeMMConfig, get_algorithm
+from repro.faults.plan import FaultPlan
 from repro.hw.params import HardwareParams
 from repro.perf.cache import memoize
 from repro.sim.cluster import SimResult, simulate
@@ -58,6 +59,29 @@ def simulated_pass(
 ) -> SimResult:
     """Simulate one pass configuration, reusing any cached result."""
     return _simulated_pass(algorithm, cfg, hw)
+
+
+@memoize("faulted_pass")
+def _faulted_pass(
+    algorithm: str, cfg: GeMMConfig, hw: HardwareParams, plan: FaultPlan
+) -> SimResult:
+    return simulate(_built_program(algorithm, cfg, hw), hw, faults=plan)
+
+
+def faulted_pass(
+    algorithm: str, cfg: GeMMConfig, hw: HardwareParams, plan: FaultPlan
+) -> SimResult:
+    """Simulate one pass under a fault plan (memoized, like the rest).
+
+    Fault-plan ensembles revisit the same ``(algorithm, cfg, hw)``
+    triple once per plan, and robust tuning revisits the same plan
+    across mesh candidates, so results are content-keyed on all four.
+    A null plan short-circuits to :func:`simulated_pass` — same cache
+    entry, bit-identical result.
+    """
+    if plan.is_null:
+        return _simulated_pass(algorithm, cfg, hw)
+    return _faulted_pass(algorithm, cfg, hw, plan)
 
 
 @memoize("pass_lower_bound")

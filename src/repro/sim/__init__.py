@@ -16,7 +16,10 @@ from repro.sim.engine import (
 )
 from repro.sim.program import Program, ProgramBuilder
 from repro.sim.trace import (
+    DEFAULT_LANES,
+    ZERO_BREAKDOWN,
     CommBreakdown,
+    Trace,
     ascii_timeline,
     busy_time,
     comm_breakdown,
@@ -31,6 +34,7 @@ __all__ = [
     "CORE",
     "CommBreakdown",
     "ComputeCost",
+    "DEFAULT_LANES",
     "Engine",
     "HBM",
     "LINK_H",
@@ -41,6 +45,8 @@ __all__ = [
     "SimResult",
     "SimulationError",
     "Span",
+    "Trace",
+    "ZERO_BREAKDOWN",
     "ascii_timeline",
     "busy_time",
     "comm_breakdown",

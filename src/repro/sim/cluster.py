@@ -8,12 +8,15 @@ peak, Section 5.1.1), and the communication breakdown of Figure 10.
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.hw.params import HardwareParams
 from repro.sim.engine import Span, makespan
 from repro.sim.program import Program
-from repro.sim.trace import CommBreakdown, comm_breakdown, compute_time
+from repro.sim.trace import CommBreakdown, Trace, comm_breakdown, compute_time
+
+if TYPE_CHECKING:  # pragma: no cover - avoid the sim <-> faults cycle
+    from repro.faults.plan import FaultPlan
 
 
 @dataclasses.dataclass
@@ -24,6 +27,11 @@ class SimResult:
     spans: List[Span]
     makespan: float
     flops_per_chip: float
+
+    @property
+    def trace(self) -> Trace:
+        """The execution's spans wrapped for analysis and export."""
+        return Trace.from_spans(self.spans)
 
     @property
     def compute_seconds(self) -> float:
@@ -48,9 +56,19 @@ class SimResult:
         return self.flops_per_chip / (self.makespan * peak)
 
 
-def simulate(program: Program, hw: HardwareParams) -> SimResult:
-    """Run ``program`` and collect cluster metrics."""
-    spans = program.run()
+def simulate(
+    program: Program,
+    hw: HardwareParams,
+    faults: Optional["FaultPlan"] = None,
+) -> SimResult:
+    """Run ``program`` and collect cluster metrics.
+
+    ``faults`` executes the program under a
+    :class:`repro.faults.FaultPlan` (see :meth:`Program.run`); the
+    recorded per-chip FLOPs are unchanged, so ``flop_utilization``
+    naturally reports the degradation.
+    """
+    spans = program.run(faults)
     return SimResult(
         hw=hw,
         spans=spans,

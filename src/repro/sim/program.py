@@ -15,7 +15,7 @@ claims the core.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.comm.cost import CommCost, CommCostModel
 from repro.hw.params import HardwareParams
@@ -31,6 +31,9 @@ from repro.sim.engine import (
     Span,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - avoid the sim <-> faults cycle
+    from repro.faults.plan import FaultPlan
+
 
 @dataclasses.dataclass
 class Program:
@@ -40,9 +43,17 @@ class Program:
     shared_capacities: Dict[str, float]
     meta: Dict[str, object] = dataclasses.field(default_factory=dict)
 
-    def run(self) -> List[Span]:
-        """Simulate the program; returns the execution trace."""
-        return Engine(self.activities, self.shared_capacities).run()
+    def run(self, faults: Optional["FaultPlan"] = None) -> List[Span]:
+        """Simulate the program; returns the execution trace.
+
+        ``faults`` applies a :class:`repro.faults.FaultPlan` at the
+        engine boundary: the plan rewrites activity durations and the
+        unmodified engine runs the perturbed DAG. ``None`` (and any
+        null plan) runs the program exactly as built — bit-identical
+        to the unfaulted engine.
+        """
+        program = self if faults is None else faults.apply(self)
+        return Engine(program.activities, program.shared_capacities).run()
 
     @property
     def total_flops(self) -> float:

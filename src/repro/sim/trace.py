@@ -1,8 +1,12 @@
 """Trace analysis: aggregating spans into the paper's reported metrics.
 
-Provides the communication-time breakdown of Figure 10 (launch /
-transfer / sync, overlapped plus non-overlapped), FLOP utilization, and
-an ASCII timeline renderer in the spirit of the paper's Figure 4.
+:class:`Trace` wraps one simulated span list and exposes every
+aggregation in one place: the communication-time breakdown of Figure 10
+(launch / transfer / sync, overlapped plus non-overlapped), per-resource
+busy time, an ASCII timeline renderer in the spirit of the paper's
+Figure 4, and Chrome/Perfetto trace export. The module-level functions
+(:func:`comm_breakdown`, :func:`busy_time`, ...) are thin delegates kept
+for callers that hold a bare span list.
 """
 
 from __future__ import annotations
@@ -11,6 +15,13 @@ import dataclasses
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.sim.engine import CORE, LINK_H, LINK_V, Span, makespan
+
+#: Default resource lanes of the ASCII timeline (Figure 4's rows).
+DEFAULT_LANES: Tuple[Tuple[str, str], ...] = (
+    ("compute", CORE),
+    ("inter-col", LINK_H),
+    ("inter-row", LINK_V),
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,144 +57,192 @@ class CommBreakdown:
 ZERO_BREAKDOWN = CommBreakdown(0.0, 0.0, 0.0)
 
 
-def comm_breakdown(spans: Iterable[Span]) -> CommBreakdown:
-    """Sum the nominal launch/transfer/sync components of all comm spans.
+@dataclasses.dataclass(frozen=True)
+class Trace:
+    """One simulated execution's spans, with every aggregation on it."""
 
-    Uses the components recorded when the operation was modelled, not
-    the (possibly contention-stretched) wall-clock span, matching the
-    paper's definition of total (overlapped plus non-overlapped)
-    communication time.
-    """
-    launch = transfer = sync = 0.0
-    for span in spans:
-        if span.kind != "comm":
-            continue
-        launch += float(span.meta.get("launch", 0.0))
-        transfer += float(span.meta.get("transfer", 0.0))
-        sync += float(span.meta.get("sync", 0.0))
-    return CommBreakdown(launch=launch, transfer=transfer, sync=sync)
+    spans: Tuple[Span, ...]
+
+    @classmethod
+    def from_spans(cls, spans: Iterable[Span]) -> "Trace":
+        """Build a trace from any span iterable (consumed once)."""
+        return cls(spans=tuple(spans))
+
+    @property
+    def makespan(self) -> float:
+        """End time of the last span (0 for an empty trace)."""
+        return makespan(self.spans)
+
+    def breakdown(self) -> CommBreakdown:
+        """Nominal launch/transfer/sync totals of all comm spans.
+
+        Uses the components recorded when the operation was modelled,
+        not the (possibly contention-stretched) wall-clock span,
+        matching the paper's definition of total (overlapped plus
+        non-overlapped) communication time.
+        """
+        launch = transfer = sync = 0.0
+        for span in self.spans:
+            if span.kind != "comm":
+                continue
+            launch += float(span.meta.get("launch", 0.0))
+            transfer += float(span.meta.get("transfer", 0.0))
+            sync += float(span.meta.get("sync", 0.0))
+        return CommBreakdown(launch=launch, transfer=transfer, sync=sync)
+
+    def busy_time(self, resource: str) -> float:
+        """Total wall-clock time ``resource`` was held by any span."""
+        intervals = sorted(
+            (s.start, s.end) for s in self.spans if resource in s.exclusive
+        )
+        total = 0.0
+        cursor = None
+        for start, end in intervals:
+            if cursor is None or start > cursor:
+                total += end - start
+                cursor = end
+            elif end > cursor:
+                total += end - cursor
+                cursor = end
+        return total
+
+    def compute_time(self) -> float:
+        """Total wall-clock time spent in GeMM compute spans."""
+        return sum(s.duration for s in self.spans if s.kind == "compute")
+
+    def kind_durations(self) -> Dict[str, float]:
+        """Total span duration per activity kind."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.kind] = totals.get(span.kind, 0.0) + span.duration
+        return totals
+
+    def timeline(
+        self,
+        width: int = 100,
+        lanes: Sequence[Tuple[str, str]] = DEFAULT_LANES,
+    ) -> str:
+        """Render the spans as an ASCII Gantt chart (one row per lane).
+
+        Each lane shows when its exclusive resource was busy; this is
+        the textual analogue of the paper's Figure 4 timelines.
+        """
+        end = self.makespan
+        if end <= 0:
+            return "(empty timeline)"
+        label_width = max(len(name) for name, _ in lanes) + 1
+        scale = width / end
+        lines = []
+        for name, resource in lanes:
+            row = [" "] * width
+            for span in self.spans:
+                if resource not in span.exclusive or span.duration <= 0:
+                    continue
+                lo = min(int(span.start * scale), width - 1)
+                hi = min(max(int(span.end * scale), lo + 1), width)
+                char = "#" if span.kind == "compute" else (
+                    "." if span.kind == "slice" else "="
+                )
+                for x in range(lo, hi):
+                    row[x] = char
+            lines.append(f"{name:<{label_width}}|{''.join(row)}|")
+        lines.append(
+            f"{'':<{label_width}} 0{'':{width - 12}}{end * 1e3:9.3f} ms"
+        )
+        return "\n".join(lines)
+
+    def to_chrome(self) -> List[Dict[str, object]]:
+        """Convert the spans to Chrome tracing's JSON event format.
+
+        Load the result (after ``json.dump``) in ``chrome://tracing``
+        or Perfetto to inspect a simulated timeline interactively.
+        Each exclusive resource becomes a track (``tid``); activities
+        without exclusive resources land on a ``"free"`` track. Times
+        are emitted in microseconds, as the format requires.
+        """
+        track_ids: Dict[str, int] = {}
+        events: List[Dict[str, object]] = []
+
+        def track(resource: str) -> int:
+            if resource not in track_ids:
+                track_ids[resource] = len(track_ids) + 1
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 1,
+                        "tid": track_ids[resource],
+                        "args": {"name": resource},
+                    }
+                )
+            return track_ids[resource]
+
+        for span in self.spans:
+            resources = span.exclusive or ("free",)
+            for resource in resources:
+                events.append(
+                    {
+                        "name": span.label,
+                        "cat": span.kind,
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": track(resource),
+                        "ts": span.start * 1e6,
+                        "dur": span.duration * 1e6,
+                        "args": {
+                            key: value
+                            for key, value in span.meta.items()
+                            if isinstance(value, (int, float, str, bool))
+                        },
+                    }
+                )
+        return events
+
+    def write_chrome(self, path: str) -> None:
+        """Write a Chrome/Perfetto-loadable trace file."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+
+
+# ------------------------------------------------------- thin delegates
+
+
+def comm_breakdown(spans: Iterable[Span]) -> CommBreakdown:
+    """Nominal comm breakdown of a span list (:meth:`Trace.breakdown`)."""
+    return Trace.from_spans(spans).breakdown()
 
 
 def busy_time(spans: Iterable[Span], resource: str) -> float:
-    """Total wall-clock time ``resource`` was held by any span."""
-    intervals = sorted(
-        (s.start, s.end) for s in spans if resource in s.exclusive
-    )
-    total = 0.0
-    cursor = None
-    for start, end in intervals:
-        if cursor is None or start > cursor:
-            total += end - start
-            cursor = end
-        elif end > cursor:
-            total += end - cursor
-            cursor = end
-    return total
+    """Wall-clock busy time of one resource (:meth:`Trace.busy_time`)."""
+    return Trace.from_spans(spans).busy_time(resource)
 
 
 def compute_time(spans: Iterable[Span]) -> float:
-    """Total wall-clock time spent in GeMM compute spans."""
-    return sum(s.duration for s in spans if s.kind == "compute")
+    """Total GeMM compute span time (:meth:`Trace.compute_time`)."""
+    return Trace.from_spans(spans).compute_time()
 
 
 def kind_durations(spans: Iterable[Span]) -> Dict[str, float]:
-    """Total span duration per activity kind."""
-    totals: Dict[str, float] = {}
-    for span in spans:
-        totals[span.kind] = totals.get(span.kind, 0.0) + span.duration
-    return totals
+    """Span duration per activity kind (:meth:`Trace.kind_durations`)."""
+    return Trace.from_spans(spans).kind_durations()
 
 
 def ascii_timeline(
     spans: Sequence[Span],
     width: int = 100,
-    lanes: Sequence[Tuple[str, str]] = (
-        ("compute", CORE),
-        ("inter-col", LINK_H),
-        ("inter-row", LINK_V),
-    ),
+    lanes: Sequence[Tuple[str, str]] = DEFAULT_LANES,
 ) -> str:
-    """Render spans as an ASCII Gantt chart (one row per resource lane).
-
-    Each lane shows when its exclusive resource was busy; this is the
-    textual analogue of the paper's Figure 4 timelines.
-    """
-    end = makespan(spans)
-    if end <= 0:
-        return "(empty timeline)"
-    label_width = max(len(name) for name, _ in lanes) + 1
-    scale = width / end
-    lines = []
-    for name, resource in lanes:
-        row = [" "] * width
-        for span in spans:
-            if resource not in span.exclusive or span.duration <= 0:
-                continue
-            lo = min(int(span.start * scale), width - 1)
-            hi = min(max(int(span.end * scale), lo + 1), width)
-            char = "#" if span.kind == "compute" else (
-                "." if span.kind == "slice" else "="
-            )
-            for x in range(lo, hi):
-                row[x] = char
-        lines.append(f"{name:<{label_width}}|{''.join(row)}|")
-    lines.append(
-        f"{'':<{label_width}} 0{'':{width - 12}}{end * 1e3:9.3f} ms"
-    )
-    return "\n".join(lines)
+    """ASCII Gantt chart of a span list (:meth:`Trace.timeline`)."""
+    return Trace.from_spans(spans).timeline(width=width, lanes=lanes)
 
 
 def to_chrome_trace(spans: Sequence[Span]) -> List[Dict[str, object]]:
-    """Convert spans to Chrome tracing's JSON event format.
-
-    Load the result (after ``json.dump``) in ``chrome://tracing`` or
-    Perfetto to inspect a simulated timeline interactively. Each
-    exclusive resource becomes a track (``tid``); activities without
-    exclusive resources land on a ``"free"`` track. Times are emitted
-    in microseconds, as the format requires.
-    """
-    track_ids: Dict[str, int] = {}
-    events: List[Dict[str, object]] = []
-
-    def track(resource: str) -> int:
-        if resource not in track_ids:
-            track_ids[resource] = len(track_ids) + 1
-            events.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": 1,
-                    "tid": track_ids[resource],
-                    "args": {"name": resource},
-                }
-            )
-        return track_ids[resource]
-
-    for span in spans:
-        resources = span.exclusive or ("free",)
-        for resource in resources:
-            events.append(
-                {
-                    "name": span.label,
-                    "cat": span.kind,
-                    "ph": "X",
-                    "pid": 1,
-                    "tid": track(resource),
-                    "ts": span.start * 1e6,
-                    "dur": span.duration * 1e6,
-                    "args": {
-                        key: value
-                        for key, value in span.meta.items()
-                        if isinstance(value, (int, float, str, bool))
-                    },
-                }
-            )
-    return events
+    """Chrome tracing events of a span list (:meth:`Trace.to_chrome`)."""
+    return Trace.from_spans(spans).to_chrome()
 
 
 def write_chrome_trace(spans: Sequence[Span], path: str) -> None:
-    """Write a Chrome/Perfetto-loadable trace file."""
-    import json
-
-    with open(path, "w") as handle:
-        json.dump(to_chrome_trace(spans), handle)
+    """Write a Chrome/Perfetto trace (:meth:`Trace.write_chrome`)."""
+    Trace.from_spans(spans).write_chrome(path)

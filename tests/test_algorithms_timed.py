@@ -23,7 +23,7 @@ from repro.algorithms import (
 from repro.core import Dataflow, GeMMShape
 from repro.hw import TPUV4, TPUV4_CLOUD_4X4
 from repro.mesh import Mesh2D
-from repro.sim import LINK_H, LINK_V, simulate
+from repro.sim import LINK_H, simulate
 
 #: A deliberately communication-heavy GeMM on a small mesh.
 COMM_HEAVY = GeMMShape(m=8192, n=8192, k=8192)

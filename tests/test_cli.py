@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main, run_experiment
+from repro.cli import build_parser, main, normalize_argv, run_experiment
 
 
 class TestCli:
@@ -12,6 +12,7 @@ class TestCli:
         assert "fig9" in out
         assert "table3" in out
         assert "ablation-2.5d" in out
+        assert "ablation-faults" in out
 
     def test_unknown_experiment(self, capsys):
         assert main(["figure-nope"]) == 2
@@ -23,6 +24,11 @@ class TestCli:
         assert "MeshSlice+DP" in out
         assert "done in" in out
 
+    def test_run_subcommand(self, capsys):
+        assert main(["run", "ablation-2.5d"]) == 0
+        out = capsys.readouterr().out
+        assert "MeshSlice+DP" in out
+
     def test_run_experiment_returns_report(self):
         report = run_experiment("ablation-2.5d")
         assert "2.5D GeMM" in report
@@ -32,8 +38,30 @@ class TestCli:
             run_experiment("nope")
 
     def test_parser(self):
-        args = build_parser().parse_args(["fig9"])
-        assert args.command == "fig9"
+        args = build_parser().parse_args(["run", "fig9"])
+        assert args.command == "run"
+        assert args.experiments == ["fig9"]
+
+    def test_parser_jobs_flag(self):
+        args = build_parser().parse_args(["run", "fig9", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_normalize_legacy_experiment(self):
+        assert normalize_argv(["fig9"]) == ["run", "fig9"]
+        assert normalize_argv(["fig9", "--jobs", "8"]) == [
+            "run", "fig9", "--jobs", "8"
+        ]
+        assert normalize_argv(["all"]) == ["run", "all"]
+
+    def test_normalize_keeps_subcommands(self):
+        assert normalize_argv(["run", "fig9"]) == ["run", "fig9"]
+        assert normalize_argv(["tune", "gpt3-175b"]) == ["tune", "gpt3-175b"]
+        assert normalize_argv(["list"]) == ["list"]
+        assert normalize_argv([]) == []
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage: meshslice" in capsys.readouterr().err
 
     def test_models_command(self, capsys):
         assert main(["models"]) == 0
@@ -55,3 +83,30 @@ class TestCli:
 
     def test_tune_unknown_model(self, capsys):
         assert main(["tune", "gpt5", "--chips", "16"]) == 2
+
+
+class TestFaultsCommand:
+    def test_requires_model(self, capsys):
+        assert main(["faults"]) == 2
+        assert "usage: meshslice faults" in capsys.readouterr().err
+
+    def test_unknown_model(self, capsys):
+        assert main(["faults", "gpt5", "--chips", "16"]) == 2
+
+    def test_robust_tuning_report(self, capsys):
+        assert main([
+            "faults", "gpt3-175b", "--chips", "16",
+            "--stragglers", "2", "--straggler-slowdown", "2.0",
+            "--ensemble", "4", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "robust mesh" in out
+        assert "p95" in out
+        assert "inflation" in out
+
+    def test_rejects_bad_spec(self, capsys):
+        assert main([
+            "faults", "gpt3-175b", "--chips", "16",
+            "--straggler-slowdown", "0.5",
+        ]) == 2
+        assert capsys.readouterr().err.strip()

@@ -18,7 +18,7 @@ from repro.comm import (
     shift_col,
     shift_row,
 )
-from repro.mesh import Mesh2D, shard_matrix
+from repro.mesh import Mesh2D
 
 
 def _shards(rng, mesh, shape=(4, 4)):

@@ -7,7 +7,6 @@ bounded below by the critical path and resource load, and FLOPs
 conserved across granularities.
 """
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings, strategies as st

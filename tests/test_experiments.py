@@ -9,6 +9,7 @@ import pytest
 
 from repro.experiments import (
     ablation_25d,
+    ablation_faults,
     fig09_weak_scaling,
     fig10_comm_breakdown,
     fig11_matrix_shapes,
@@ -19,7 +20,6 @@ from repro.experiments import (
     table2_dataflow_opt,
     table3_real_hw,
 )
-from repro.hw import TPUV4
 from repro.mesh import Mesh2D
 from repro.models import GPT3_175B
 
@@ -192,6 +192,46 @@ class TestAblation25D:
             )
 
 
+class TestAblationFaults:
+    def _rows(self, severities=(1.5,), counts=(2,)):
+        return ablation_faults.run(
+            chips=16,
+            algorithms=("meshslice", "collective"),
+            severities=severities,
+            counts=counts,
+            ensemble=2,
+            jobs=1,
+        )
+
+    def test_covers_grid(self):
+        rows = self._rows(severities=(1.25, 2.0), counts=(1, 4))
+        assert len(rows) == 8
+        assert {r.algorithm for r in rows} == {"meshslice", "collective"}
+
+    def test_faults_only_inflate(self):
+        for row in self._rows():
+            assert row.faulted_ms >= row.clean_ms
+            assert row.inflation >= 1.0
+
+    def test_severity_monotone(self):
+        rows = self._rows(severities=(1.25, 2.0), counts=(2,))
+        by_key = {(r.algorithm, r.severity): r for r in rows}
+        for algorithm in ("meshslice", "collective"):
+            assert (
+                by_key[(algorithm, 2.0)].inflation
+                >= by_key[(algorithm, 1.25)].inflation
+            )
+
+    def test_deterministic(self):
+        assert self._rows() == self._rows()
+
+    def test_compute_faults_shrink_comm_share(self):
+        # Stragglers inflate compute, so communication's share of the
+        # block can only fall.
+        for row in self._rows(severities=(2.0,), counts=(4,)):
+            assert row.comm_share_faulted <= row.comm_share_clean
+
+
 class TestMains:
     """Every experiment's main() renders a non-empty report."""
 
@@ -205,6 +245,7 @@ class TestMains:
             (table3_real_hw, {}),
             (fig15_comm_model_accuracy, {}),
             (ablation_25d, {}),
+            (ablation_faults, {}),
         ],
     )
     def test_main_renders(self, module, kwargs):

@@ -4,14 +4,15 @@ import pytest
 
 from repro.autotuner import plan_model
 from repro.experiments import (
+    GridPointError,
     best_block_run,
     candidate_meshes,
     end_to_end_step_seconds,
+    grid_map,
     render_table,
     run_block,
     weak_scaling_batch,
 )
-from repro.hw import TPUV4
 from repro.mesh import Mesh2D
 from repro.models import GPT3_175B
 
@@ -90,3 +91,53 @@ class TestHelpers:
     def test_render_table_empty(self):
         table = render_table(["col"], [])
         assert "col" in table
+
+
+def _double(x):
+    return 2 * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestGridMap:
+    def test_serial_preserves_order(self):
+        assert grid_map(_double, [3, 1, 2], jobs=1) == [6, 2, 4]
+
+    def test_parallel_matches_serial(self):
+        points = list(range(8))
+        assert grid_map(_double, points, jobs=2) == [2 * p for p in points]
+
+    def test_empty(self):
+        assert grid_map(_double, [], jobs=4) == []
+
+    def test_wraps_failures_with_point(self):
+        with pytest.raises(GridPointError, match=r"grid point 3 failed"):
+            grid_map(_fail_on_three, [1, 2, 3], jobs=1)
+
+    def test_error_carries_point_and_cause(self):
+        with pytest.raises(GridPointError) as excinfo:
+            grid_map(_fail_on_three, [1, 2, 3], jobs=1)
+        assert excinfo.value.point == 3
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert "ValueError: boom" in str(excinfo.value)
+
+    def test_wraps_failures_across_pool(self):
+        with pytest.raises(GridPointError, match=r"grid point 3 failed"):
+            grid_map(_fail_on_three, [1, 2, 3, 4], jobs=2)
+
+    def test_error_survives_pickling(self):
+        import pickle
+
+        try:
+            grid_map(_fail_on_three, [3], jobs=1)
+        except GridPointError as exc:
+            clone = pickle.loads(pickle.dumps(exc))
+            assert isinstance(clone, GridPointError)
+            assert clone.point == 3
+            assert str(clone) == str(exc)
+        else:
+            pytest.fail("expected GridPointError")

@@ -1,0 +1,260 @@
+"""Tests for the fault & variability injection subsystem."""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms import GeMMConfig, get_algorithm
+from repro.core import Dataflow, GeMMShape
+from repro.faults import DEFAULT_RETRY_TIMEOUT, NULL_PLAN, FaultPlan, FaultSpec
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D
+from repro.sim import LINK_H, LINK_V, ProgramBuilder, simulate
+
+
+def _program(hw=TPUV4):
+    builder = ProgramBuilder(hw)
+    ag = builder.allgather("ag", 4, 50e6, LINK_H)
+    g = builder.gemm("g", 2048, 2048, 2048, deps=[ag])
+    builder.reducescatter("rds", 4, 50e6, LINK_V, deps=[g])
+    return builder.build()
+
+
+def _pass_program(hw=TPUV4):
+    cfg = GeMMConfig(
+        GeMMShape(8192, 8192, 8192), Mesh2D(4, 4), Dataflow.OS, slices=4
+    )
+    return get_algorithm("meshslice").build_program(cfg, hw)
+
+
+class TestFaultPlanValidation:
+    def test_null_plan_is_null(self):
+        assert NULL_PLAN.is_null
+        assert FaultPlan().is_null
+
+    def test_unit_factors_are_null(self):
+        plan = FaultPlan(link_degradation=(("link_h", 1.0),))
+        assert plan.is_null
+
+    def test_rejects_speedups(self):
+        with pytest.raises(ValueError):
+            FaultPlan(compute_slowdown=0.9)
+        with pytest.raises(ValueError):
+            FaultPlan(link_degradation=(("link_h", 0.5),))
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultPlan(outage_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(launch_jitter=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(outage_penalty=-1.0)
+
+    def test_hashable(self):
+        plan = FaultPlan(compute_slowdown=1.5, seed=3)
+        assert hash(plan) == hash(FaultPlan(compute_slowdown=1.5, seed=3))
+
+
+class TestNullPlanBitIdentical:
+    def test_apply_returns_same_object(self):
+        program = _program()
+        assert NULL_PLAN.apply(program) is program
+
+    def test_spans_bit_identical(self):
+        """Pins the tentpole guarantee: null plan == unfaulted run."""
+        program = _pass_program()
+        clean = program.run()
+        faulted = program.run(NULL_PLAN)
+        assert clean == faulted
+
+    def test_simulate_bit_identical(self):
+        program = _program()
+        clean = simulate(program, TPUV4)
+        nulled = simulate(program, TPUV4, faults=NULL_PLAN)
+        assert clean.makespan == nulled.makespan
+        assert clean.spans == nulled.spans
+
+
+class TestPerturbations:
+    def test_compute_slowdown_stretches_compute_only(self):
+        program = _program()
+        plan = FaultPlan(compute_slowdown=2.0)
+        faulted = plan.apply(program)
+        assert faulted is not program
+        for before, after in zip(program.activities, faulted.activities):
+            if before.kind in ("compute", "slice") and before.duration > 0:
+                assert after.duration == pytest.approx(2 * before.duration)
+            else:
+                assert after.duration == before.duration
+
+    def test_link_degradation_hits_matching_direction(self):
+        program = _program()
+        plan = FaultPlan(link_degradation=((LINK_H, 3.0),))
+        faulted = plan.apply(program)
+        for before, after in zip(program.activities, faulted.activities):
+            if before.kind != "comm":
+                assert after.duration == before.duration
+                continue
+            transfer = before.meta.get("transfer", 0.0)
+            if LINK_H in before.exclusive and transfer > 0:
+                extra = after.duration - before.duration
+                assert extra == pytest.approx(2 * transfer)
+                assert after.meta["transfer"] == pytest.approx(3 * transfer)
+            else:
+                assert after.duration == before.duration
+
+    def test_shared_demand_units_conserved(self):
+        program = _program()
+        plan = FaultPlan(compute_slowdown=2.0, link_degradation=((LINK_H, 2.0),))
+        faulted = plan.apply(program)
+        for before, after in zip(program.activities, faulted.activities):
+            for resource, demand in before.shared.items():
+                assert before.duration * demand == pytest.approx(
+                    after.duration * after.shared[resource]
+                )
+
+    def test_outage_adds_sync_and_retransmit(self):
+        program = _program()
+        plan = FaultPlan(outage_rate=1.0, outage_penalty=1e-3, seed=5)
+        faulted = plan.apply(program)
+        retried = [
+            (before, after)
+            for before, after in zip(program.activities, faulted.activities)
+            if after.meta.get("retries")
+        ]
+        assert retried
+        for before, after in retried:
+            transfer = before.meta.get("transfer", 0.0)
+            sync = before.meta.get("sync", 0.0)
+            assert after.meta["sync"] == pytest.approx(sync + 1e-3)
+            assert after.meta["transfer"] == pytest.approx(2 * transfer)
+            assert after.duration == pytest.approx(
+                before.duration + 1e-3 + transfer
+            )
+
+    def test_jitter_deterministic_per_seed(self):
+        program = _program()
+        plan = FaultPlan(launch_jitter=5e-6, seed=11)
+        a = plan.apply(program).run()
+        b = plan.apply(program).run()
+        assert a == b
+        other = FaultPlan(launch_jitter=5e-6, seed=12).apply(program).run()
+        assert a != other
+
+    def test_input_program_never_mutated(self):
+        program = _program()
+        baseline = [
+            (act.duration, dict(act.shared), dict(act.meta))
+            for act in program.activities
+        ]
+        FaultPlan(
+            compute_slowdown=2.0,
+            link_degradation=((LINK_H, 2.0), (LINK_V, 1.5)),
+            launch_jitter=1e-6,
+            outage_rate=1.0,
+            outage_penalty=1e-3,
+        ).apply(program)
+        for act, (duration, shared, meta) in zip(program.activities, baseline):
+            assert act.duration == duration
+            assert act.shared == shared
+            assert act.meta == meta
+
+    def test_faulted_makespan_grows(self):
+        program = _pass_program()
+        plan = FaultPlan(compute_slowdown=1.5, link_degradation=((LINK_H, 2.0),))
+        clean = simulate(program, TPUV4)
+        faulted = simulate(program, TPUV4, faults=plan)
+        assert faulted.makespan > clean.makespan
+        # FLOPs are unchanged, so utilization reports the degradation.
+        assert faulted.flop_utilization() < clean.flop_utilization()
+
+    def test_plan_recorded_in_program_meta(self):
+        program = _program()
+        plan = FaultPlan(compute_slowdown=2.0)
+        assert plan.apply(program).meta["fault_plan"] is plan
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(stragglers=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(straggler_slowdown=0.9)
+        with pytest.raises(ValueError):
+            FaultSpec(link_slowdown=0.5)
+        with pytest.raises(ValueError):
+            FaultSpec(outage_rate=2.0)
+
+    def test_null_spec_samples_null_plans(self):
+        spec = FaultSpec()
+        assert spec.is_null
+        plan = spec.sample(16)
+        assert plan.is_null
+
+    def test_sample_deterministic(self):
+        spec = FaultSpec(
+            stragglers=2, straggler_slowdown=2.0,
+            degraded_links=3, link_slowdown=3.0, seed=9,
+        )
+        assert spec.sample(16) == spec.sample(16)
+        assert spec.sample(16) != dataclasses.replace(spec, seed=10).sample(16)
+
+    def test_sample_bounds(self):
+        spec = FaultSpec(
+            stragglers=4, straggler_slowdown=1.5,
+            degraded_links=6, link_slowdown=2.0, seed=1,
+        )
+        plan = spec.sample(64)
+        assert 1.0 <= plan.compute_slowdown < 1.5
+        assert plan.link_degradation
+        for link, factor in plan.link_degradation:
+            assert link in ("link_h", "link_v")
+            assert 1.0 <= factor < 2.0
+
+    def test_outage_penalty_defaults(self):
+        spec = FaultSpec(outage_rate=0.1)
+        assert spec.sample(16).outage_penalty == DEFAULT_RETRY_TIMEOUT
+        assert (
+            spec.sample(16, TPUV4).outage_penalty == TPUV4.link_retry_timeout
+        )
+        explicit = FaultSpec(outage_rate=0.1, outage_penalty=2e-3)
+        assert explicit.sample(16, TPUV4).outage_penalty == 2e-3
+
+    def test_ensemble_reproducible_and_distinct(self):
+        spec = FaultSpec(stragglers=2, straggler_slowdown=2.0, seed=4)
+        plans = spec.ensemble(16, TPUV4, count=5)
+        assert plans == spec.ensemble(16, TPUV4, count=5)
+        assert len(plans) == 5
+        assert len({p.compute_slowdown for p in plans}) > 1
+
+    def test_ensemble_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FaultSpec().ensemble(16, count=0)
+
+    def test_sample_rejects_no_chips(self):
+        with pytest.raises(ValueError):
+            FaultSpec().sample(0)
+
+
+class TestFaultedPassCache:
+    def test_null_plan_shares_clean_cache_entry(self, hw):
+        from repro.perf.pipeline import faulted_pass, simulated_pass
+
+        cfg = GeMMConfig(
+            GeMMShape(4096, 4096, 4096), Mesh2D(2, 2), Dataflow.OS, slices=2
+        )
+        clean = simulated_pass("meshslice", cfg, hw)
+        assert faulted_pass("meshslice", cfg, hw, NULL_PLAN) is clean
+
+    def test_faulted_result_memoized(self, hw):
+        from repro.perf.pipeline import faulted_pass
+
+        cfg = GeMMConfig(
+            GeMMShape(4096, 4096, 4096), Mesh2D(2, 2), Dataflow.OS, slices=2
+        )
+        plan = FaultPlan(compute_slowdown=1.5, seed=2)
+        first = faulted_pass("meshslice", cfg, hw, plan)
+        assert faulted_pass("meshslice", cfg, hw, plan) is first
+        assert first.makespan > faulted_pass(
+            "meshslice", cfg, hw, NULL_PLAN
+        ).makespan

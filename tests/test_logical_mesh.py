@@ -1,6 +1,5 @@
 """Tests for the logical-mesh / shared-NIC network extension (Sec. 6)."""
 
-import dataclasses
 
 import pytest
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.comm import CommCostModel
-from repro.hw import TPUV4, HardwareParams
+from repro.hw import TPUV4
 from repro.sim.ring import (
     simulate_allgather,
     simulate_broadcast,

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.sim import (
-    Activity,
     CORE,
-    Engine,
     LINK_H,
     Span,
+    Trace,
     ascii_timeline,
     busy_time,
     comm_breakdown,
@@ -101,3 +100,71 @@ class TestAsciiTimeline:
 
     def test_empty(self):
         assert ascii_timeline([]) == "(empty timeline)"
+
+
+class TestTraceClass:
+    """The Trace wrapper and its module-level delegates agree."""
+
+    def _spans(self, hw):
+        from repro.sim import ProgramBuilder
+
+        builder = ProgramBuilder(hw)
+        ag = builder.allgather("ag", 4, 50e6, LINK_H)
+        builder.gemm("g", 2048, 2048, 2048, deps=[ag])
+        return builder.build().run()
+
+    def test_from_spans_accepts_iterator(self, hw):
+        spans = self._spans(hw)
+        trace = Trace.from_spans(iter(spans))
+        assert trace.spans == tuple(spans)
+
+    def test_makespan(self, hw):
+        spans = self._spans(hw)
+        trace = Trace.from_spans(spans)
+        assert trace.makespan == max(s.end for s in spans)
+        assert Trace.from_spans([]).makespan == 0.0
+
+    def test_delegates_match_methods(self, hw):
+        spans = self._spans(hw)
+        trace = Trace.from_spans(spans)
+        assert trace.breakdown() == comm_breakdown(spans)
+        assert trace.busy_time(CORE) == busy_time(spans, CORE)
+        assert trace.compute_time() == compute_time(spans)
+        assert trace.kind_durations() == kind_durations(spans)
+        assert trace.timeline(width=60) == ascii_timeline(spans, width=60)
+
+    def test_to_chrome_matches_function(self, hw):
+        from repro.sim import to_chrome_trace
+
+        spans = self._spans(hw)
+        assert Trace.from_spans(spans).to_chrome() == to_chrome_trace(spans)
+
+    def test_write_chrome_roundtrip(self, hw, tmp_path):
+        import json
+
+        trace = Trace.from_spans(self._spans(hw))
+        path = tmp_path / "trace.json"
+        trace.write_chrome(str(path))
+        events = json.loads(path.read_text())
+        assert events == json.loads(json.dumps(trace.to_chrome()))
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_simresult_trace_property(self, hw):
+        from repro.sim import ProgramBuilder, simulate
+
+        builder = ProgramBuilder(hw)
+        builder.gemm("g", 2048, 2048, 2048)
+        result = simulate(builder.build(), hw)
+        trace = result.trace
+        assert isinstance(trace, Trace)
+        assert trace.spans == tuple(result.spans)
+        assert trace.breakdown() == result.comm
+
+    def test_busy_time_merges_on_known_spans(self):
+        spans = [
+            span(0, "compute", 0.0, 2.0, exclusive=[CORE]),
+            span(1, "compute", 1.0, 3.0, exclusive=[CORE]),
+            span(2, "compute", 2.5, 4.0, exclusive=[CORE]),
+            span(3, "compute", 10.0, 11.0, exclusive=[CORE]),
+        ]
+        assert Trace.from_spans(spans).busy_time(CORE) == pytest.approx(5.0)
