@@ -57,47 +57,61 @@ from repro.hw import (
 )
 from repro.mesh import Mesh2D, MeshExecutor, Ring1D, mesh_shapes
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Lazily-loaded stable API (PEP 562): name -> (module, attribute).
 #: Importing these eagerly would pull the whole timing plane (and the
 #: numpy functional checkers) into every ``import repro``.
 _LAZY_EXPORTS = {
+    "CheckpointModel": ("repro.recovery", "CheckpointModel"),
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "FaultSpec": ("repro.faults", "FaultSpec"),
+    "HardFault": ("repro.faults", "HardFault"),
     "NULL_PLAN": ("repro.faults", "NULL_PLAN"),
+    "RetryPolicy": ("repro.recovery", "RetryPolicy"),
+    "SimFailure": ("repro.sim.engine", "SimFailure"),
     "SimResult": ("repro.sim.cluster", "SimResult"),
     "Trace": ("repro.sim.trace", "Trace"),
     "algorithm_names": ("repro.algorithms", "algorithm_names"),
+    "chip_down": ("repro.faults", "chip_down"),
     "get_algorithm": ("repro.algorithms", "get_algorithm"),
+    "link_down": ("repro.faults", "link_down"),
+    "retune_degraded": ("repro.recovery", "retune_degraded"),
     "robust_tune": ("repro.autotuner", "robust_tune"),
     "simulate": ("repro.sim.cluster", "simulate"),
     "tune": ("repro.autotuner", "tune"),
 }
 
 __all__ = [
+    "CheckpointModel",
     "Dataflow",
     "FaultPlan",
     "FaultSpec",
     "GPU_LOGICAL_MESH",
     "GeMMShape",
+    "HardFault",
     "HardwareParams",
     "Mesh2D",
     "MeshExecutor",
     "NULL_PLAN",
+    "RetryPolicy",
     "Ring1D",
+    "SimFailure",
     "SimResult",
     "TPUV4",
     "TPUV4_CLOUD_4X4",
     "Trace",
     "algorithm_names",
+    "chip_down",
     "get_algorithm",
     "get_preset",
+    "link_down",
     "mesh_shapes",
     "meshslice_gemm",
     "meshslice_ls",
     "meshslice_os",
     "meshslice_rs",
+    "retune_degraded",
     "robust_tune",
     "simulate",
     "slice_col",

@@ -11,6 +11,7 @@ Deployment planning and introspection::
 
     meshslice tune gpt3-175b --chips 256 --batch 128 [--hw tpuv4-sim]
     meshslice faults gpt3-175b --chips 256 --stragglers 2
+    meshslice recovery gpt3-175b --chips 256 --chip-mtbf-hours 2000
     meshslice models                  # model zoo
     meshslice presets                 # hardware presets
 
@@ -30,7 +31,7 @@ from repro.experiments import EXPERIMENTS
 
 #: The real subcommands; anything else in command position is treated
 #: as an experiment name and routed through ``run`` (legacy alias).
-COMMANDS = ("run", "list", "tune", "faults", "models", "presets")
+COMMANDS = ("run", "list", "tune", "faults", "recovery", "models", "presets")
 
 
 def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
@@ -134,6 +135,38 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--seed", type=int, default=0,
         help="base seed of the fault ensemble (default: 0)",
+    )
+
+    recovery = sub.add_parser(
+        "recovery",
+        help="goodput of recovery policies (restart vs degraded mesh)",
+        description=(
+            "Compare end-to-end goodput of checkpoint-restart against "
+            "degraded-mesh continuation: tune the model, re-tune it on "
+            "the torus surviving one dead chip, and combine both step "
+            "times with the Young/Daly checkpoint model."
+        ),
+    )
+    _add_cluster_arguments(recovery)
+    recovery.add_argument(
+        "--chip-mtbf-hours", type=float, default=2000.0,
+        help="per-chip mean time between failures, hours (default: 2000)",
+    )
+    recovery.add_argument(
+        "--repair-minutes", type=float, default=60.0,
+        help="chip repair/replacement time, minutes (default: 60)",
+    )
+    recovery.add_argument(
+        "--checkpoint-seconds", type=float, default=60.0,
+        help="checkpoint write cost, seconds (default: 60)",
+    )
+    recovery.add_argument(
+        "--restart-seconds", type=float, default=180.0,
+        help="restart (reload + reschedule) cost, seconds (default: 180)",
+    )
+    recovery.add_argument(
+        "--policy", choices=("restart", "degrade", "both"), default="both",
+        help="recovery policy to evaluate (default: both)",
     )
 
     sub.add_parser("models", help="list the model zoo")
@@ -266,7 +299,47 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bad_flag(command: str, flag: str, value: object, requirement: str) -> int:
+    """One-line exit-2 diagnostic naming the offending flag."""
+    print(
+        f"meshslice {command}: invalid {flag} {value} ({requirement})",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _check_flags(command: str, checks) -> int:
+    """Validate ``(flag, value, ok, requirement)`` tuples; 0 if all pass."""
+    for flag, value, ok, requirement in checks:
+        if not ok:
+            return _bad_flag(command, flag, value, requirement)
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
+    bad = _check_flags(
+        "faults",
+        [
+            ("--stragglers", args.stragglers,
+             args.stragglers >= 0, "must be non-negative"),
+            ("--straggler-slowdown", args.straggler_slowdown,
+             args.straggler_slowdown >= 1.0, "must be >= 1"),
+            ("--degraded-links", args.degraded_links,
+             args.degraded_links >= 0, "must be non-negative"),
+            ("--link-slowdown", args.link_slowdown,
+             args.link_slowdown >= 1.0, "must be >= 1"),
+            ("--jitter", args.jitter,
+             args.jitter >= 0.0, "must be non-negative"),
+            ("--outage-rate", args.outage_rate,
+             0.0 <= args.outage_rate <= 1.0, "must be in [0, 1]"),
+            ("--ensemble", args.ensemble,
+             args.ensemble >= 1, "must be >= 1"),
+            ("--quantile", args.quantile,
+             0.0 < args.quantile <= 1.0, "must be in (0, 1]"),
+        ],
+    )
+    if bad:
+        return bad
     resolved = _resolve_cluster(args)
     if isinstance(resolved, int):
         return resolved
@@ -324,6 +397,78 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    bad = _check_flags(
+        "recovery",
+        [
+            ("--chip-mtbf-hours", args.chip_mtbf_hours,
+             args.chip_mtbf_hours > 0.0, "must be positive"),
+            ("--repair-minutes", args.repair_minutes,
+             args.repair_minutes >= 0.0, "must be non-negative"),
+            ("--checkpoint-seconds", args.checkpoint_seconds,
+             args.checkpoint_seconds > 0.0, "must be positive"),
+            ("--restart-seconds", args.restart_seconds,
+             args.restart_seconds >= 0.0, "must be non-negative"),
+            ("--chips", args.chips, args.chips >= 4,
+             "need at least a 2x2 mesh to survive a dead chip"),
+        ],
+    )
+    if bad:
+        return bad
+    resolved = _resolve_cluster(args)
+    if isinstance(resolved, int):
+        return resolved
+    model, hw, batch = resolved
+    from repro.experiments.ablation_recovery import _point
+    from repro.experiments.common import GridPointError, render_table
+
+    try:
+        row = _point(
+            (args.chips, model, hw, args.chip_mtbf_hours,
+             args.repair_minutes, args.checkpoint_seconds,
+             args.restart_seconds)
+        )
+    except (GridPointError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if row is None:
+        print(
+            f"meshslice recovery: no tunable mesh for {args.chips} chips",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"{model.name}: {args.chips} chips ({hw.name}), batch {batch}\n"
+        f"cluster MTBF {row.cluster_mtbf_hours:.1f} h "
+        f"(chip MTBF {args.chip_mtbf_hours:g} h), repair "
+        f"{args.repair_minutes:g} min, checkpoint "
+        f"{args.checkpoint_seconds:g} s + restart {args.restart_seconds:g} s\n"
+        f"full mesh {row.mesh[0]}x{row.mesh[1]}: step {row.step_ms:.1f} ms; "
+        f"degraded {row.degraded_mesh[0]}x{row.degraded_mesh[1]} "
+        f"(dropped {row.dropped}): step {row.degraded_step_ms:.1f} ms "
+        f"({row.degraded_slowdown:.2f}x)\n"
+        f"Young/Daly checkpoint interval: {row.checkpoint_interval_s:.0f} s\n"
+    )
+    estimates = []
+    if args.policy in ("restart", "both"):
+        estimates.append(("restart", row.restart_goodput))
+    if args.policy in ("degrade", "both"):
+        estimates.append(("degrade", row.degrade_goodput))
+    print(
+        render_table(
+            ["policy", "goodput", "effective step (ms)"],
+            [
+                (name, f"{goodput * 100:.2f}%", row.step_ms / goodput)
+                for name, goodput in estimates
+            ],
+        )
+    )
+    if len(estimates) == 2:
+        gap = (row.degrade_goodput - row.restart_goodput) * 100
+        print(f"\nbest policy: {row.best_policy} ({gap:+.2f} points)")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         # The experiment main()s read the worker count from the
@@ -373,6 +518,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "tune": lambda: _cmd_tune(args),
         "faults": lambda: _cmd_faults(args),
+        "recovery": lambda: _cmd_recovery(args),
         "models": _cmd_models,
         "presets": _cmd_presets,
     }

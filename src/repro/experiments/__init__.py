@@ -10,6 +10,7 @@ from repro.experiments import (
     ablation_faults,
     ablation_inference,
     ablation_logical_mesh,
+    ablation_recovery,
     ablation_unrolling,
     fig04_timelines,
     fig09_weak_scaling,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "ablation-faults": ablation_faults,
     "ablation-inference": ablation_inference,
     "ablation-logical-mesh": ablation_logical_mesh,
+    "ablation-recovery": ablation_recovery,
     "ablation-unrolling": ablation_unrolling,
 }
 

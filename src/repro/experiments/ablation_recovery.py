@@ -1,0 +1,208 @@
+"""Recovery ablation: goodput vs scale vs policy for multi-day runs.
+
+Per-step simulation says how fast a healthy mesh trains; this ablation
+asks what survives contact with failures. For each cluster size the
+tuned MeshSlice configuration provides the full-mesh step time; the
+degraded-mesh retune (:func:`repro.perf.pipeline.degraded_retune`)
+provides the step time after one chip dies and its row or column is
+drained; and the analytical checkpoint/goodput models
+(:mod:`repro.recovery`) convert both into end-to-end goodput — the
+fraction of wall-clock banked as useful training — under the two
+recovery policies:
+
+* **restart**: checkpoint at the Young/Daly-optimal interval, and on a
+  failure wait out the chip repair before resuming on the full mesh;
+* **degrade**: checkpoint identically, but ride out each repair window
+  on the shrunk torus at the re-tuned (slower) step rate.
+
+The grid sweeps cluster size — the cluster MTBF shrinks as ``1 / chips``
+while the repair window stays fixed, so the policy gap widens with
+scale. Every simulated pass and every degraded retune flows through
+the memoized pipeline; revisits across policies and scales are cache
+hits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    best_block_run,
+    end_to_end_step_seconds,
+    grid_map,
+    render_table,
+    weak_scaling_batch,
+)
+from repro.hw.params import HardwareParams
+from repro.hw.presets import TPUV4
+from repro.models import GPT3_175B
+from repro.models.config import LLMConfig
+from repro.perf.pipeline import degraded_retune, simulated_pass
+from repro.recovery import (
+    ClusterReliability,
+    degrade_goodput,
+    restart_goodput,
+)
+
+#: Cluster sizes swept (weak scaling, like Figure 9).
+CLUSTER_SIZES = (16, 64, 256)
+
+#: Per-chip mean time between failures (hours). TPU-class fleet number:
+#: a few months per chip, so a 256-chip pod fails every day or two.
+DEFAULT_CHIP_MTBF_HOURS = 2000.0
+
+#: Chip replacement / repair time (minutes).
+DEFAULT_REPAIR_MINUTES = 60.0
+
+#: Checkpoint write and restart (reload + reschedule) costs (seconds).
+DEFAULT_CHECKPOINT_SECONDS = 60.0
+DEFAULT_RESTART_SECONDS = 180.0
+
+ALGORITHM = "meshslice"
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryRow:
+    """One cluster size of the goodput-vs-policy grid."""
+
+    chips: int
+    mesh: Tuple[int, int]
+    degraded_mesh: Tuple[int, int]
+    dropped: str
+    step_ms: float
+    degraded_step_ms: float
+    cluster_mtbf_hours: float
+    checkpoint_interval_s: float
+    restart_goodput: float
+    degrade_goodput: float
+
+    @property
+    def best_policy(self) -> str:
+        if self.degrade_goodput > self.restart_goodput:
+            return "degrade"
+        return "restart"
+
+    @property
+    def degraded_slowdown(self) -> float:
+        """Degraded over full-mesh step time (>= 1)."""
+        if self.step_ms <= 0:
+            return 1.0
+        return self.degraded_step_ms / self.step_ms
+
+
+def _degraded_step_seconds(
+    model: LLMConfig,
+    batch: int,
+    retune,
+    hw: HardwareParams,
+) -> float:
+    """Simulated end-to-end step time of the re-tuned shrunk torus.
+
+    The retune's analytical block estimate picked the configuration;
+    the reported time re-simulates it pass by pass through the
+    memoized pipeline, same as the healthy baseline.
+    """
+    block = sum(
+        simulated_pass(ALGORITHM, tuned.config(retune.mesh), hw).makespan
+        for tuned in retune.result.passes
+    )
+    return end_to_end_step_seconds(
+        model, batch, retune.surviving_chips, hw, block
+    )
+
+
+def _point(
+    args: Tuple[int, LLMConfig, HardwareParams, float, float, float, float],
+) -> Optional[RecoveryRow]:
+    """One cluster size, shaped for :func:`grid_map` (picklable)."""
+    (chips, model, hw, chip_mtbf_hours, repair_minutes,
+     checkpoint_seconds, restart_seconds) = args
+    batch = weak_scaling_batch(chips)
+    clean = best_block_run(ALGORITHM, model, batch, chips, hw)
+    if clean is None:
+        return None
+    step = end_to_end_step_seconds(model, batch, chips, hw, clean.seconds)
+    # Any single dead chip yields the same shrunk candidates, so (0, 0)
+    # is fully general (pinned by tests/test_recovery.py).
+    retune = degraded_retune(model, batch, clean.mesh, (0, 0), hw)
+    degraded_step = _degraded_step_seconds(model, batch, retune, hw)
+    reliability = ClusterReliability(
+        chip_mtbf=chip_mtbf_hours * 3600.0,
+        chips=chips,
+        repair_seconds=repair_minutes * 60.0,
+    )
+    restart = restart_goodput(
+        step, reliability, checkpoint_seconds, restart_seconds
+    )
+    degrade = degrade_goodput(
+        step, degraded_step, reliability, checkpoint_seconds, restart_seconds
+    )
+    return RecoveryRow(
+        chips=chips,
+        mesh=clean.mesh.shape,
+        degraded_mesh=retune.mesh.shape,
+        dropped=retune.dropped,
+        step_ms=step * 1e3,
+        degraded_step_ms=degraded_step * 1e3,
+        cluster_mtbf_hours=reliability.mtbf / 3600.0,
+        checkpoint_interval_s=restart.checkpoint_interval,
+        restart_goodput=restart.goodput,
+        degrade_goodput=degrade.goodput,
+    )
+
+
+def run(
+    model: LLMConfig = GPT3_175B,
+    sizes: Sequence[int] = CLUSTER_SIZES,
+    hw: HardwareParams = TPUV4,
+    chip_mtbf_hours: float = DEFAULT_CHIP_MTBF_HOURS,
+    repair_minutes: float = DEFAULT_REPAIR_MINUTES,
+    checkpoint_seconds: float = DEFAULT_CHECKPOINT_SECONDS,
+    restart_seconds: float = DEFAULT_RESTART_SECONDS,
+    jobs: Optional[int] = None,
+) -> List[RecoveryRow]:
+    """Goodput of both recovery policies at every cluster size."""
+    points = [
+        (chips, model, hw, chip_mtbf_hours, repair_minutes,
+         checkpoint_seconds, restart_seconds)
+        for chips in sizes
+    ]
+    rows = grid_map(_point, points, jobs=jobs)
+    return [row for row in rows if row is not None]
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    rows = run(hw=hw)
+    table = render_table(
+        ["chips", "mesh", "degraded", "dropped", "step (ms)",
+         "degraded step (ms)", "MTBF (h)", "ckpt interval (s)",
+         "restart goodput", "degrade goodput", "best"],
+        [(r.chips, f"{r.mesh[0]}x{r.mesh[1]}",
+          f"{r.degraded_mesh[0]}x{r.degraded_mesh[1]}", r.dropped,
+          r.step_ms, r.degraded_step_ms, f"{r.cluster_mtbf_hours:.0f}",
+          f"{r.checkpoint_interval_s:.0f}",
+          f"{r.restart_goodput * 100:.2f}%",
+          f"{r.degrade_goodput * 100:.2f}%", r.best_policy)
+         for r in rows],
+    )
+    lines = [table, ""]
+    if rows:
+        largest = rows[-1]
+        gap = (largest.degrade_goodput - largest.restart_goodput) * 100
+        lines.append(
+            f"at {largest.chips} chips the degrade policy keeps "
+            f"{gap:+.2f} points of goodput over restart-and-wait "
+            f"(degraded step {largest.degraded_slowdown:.2f}x the full mesh)"
+        )
+        lines.append(
+            "(cluster MTBF shrinks as 1/chips while the repair window is "
+            "fixed, so riding out repairs on the shrunk torus pays off "
+            "more the larger the pod — exactly the regime where "
+            "checkpoint-restart alone bleeds goodput)"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

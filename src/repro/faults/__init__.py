@@ -18,8 +18,17 @@ object unchanged, so unfaulted results stay bit-identical to the plain
 engine. ``experiments/ablation_faults.py`` sweeps straggler severity
 over the paper's algorithms, and ``repro.autotuner.robust_tune``
 optimizes the p95 makespan over a seeded ensemble of plans.
+
+Hard failures — a chip or link permanently dying mid-run — are first
+class too: :func:`chip_down` / :func:`link_down` build
+:class:`HardFault` events that a plan carries in ``hard_faults``; the
+engine halts at the fault time and surfaces a structured
+``SimFailure``. Responses to them (retry/backoff, degraded-mesh
+reconfiguration, checkpoint-restart goodput) live in
+:mod:`repro.recovery`.
 """
 
+from repro.faults.hard import HardFault, chip_down, earliest, link_down
 from repro.faults.plan import NULL_PLAN, FaultPlan
 from repro.faults.spec import DEFAULT_RETRY_TIMEOUT, FaultSpec
 
@@ -27,5 +36,9 @@ __all__ = [
     "DEFAULT_RETRY_TIMEOUT",
     "FaultPlan",
     "FaultSpec",
+    "HardFault",
     "NULL_PLAN",
+    "chip_down",
+    "earliest",
+    "link_down",
 ]

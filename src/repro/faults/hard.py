@@ -1,0 +1,104 @@
+"""First-class hard-failure events: a chip or a link dies mid-run.
+
+Transient faults (:mod:`repro.faults.plan`) stretch activity durations
+and the run still finishes. A *hard* fault is different in kind: at a
+known simulated time a resource is simply gone, and the lockstep SPMD
+step it interrupts can never complete — every chip executes the same
+schedule, and every ring synchronizes through every chip and link, so
+one dead chip (or one dead ring link) stalls the whole cluster within
+one collective. The engine therefore halts the simulation at the fault
+time and surfaces a structured :class:`repro.sim.engine.SimFailure`
+(failure time, victim resource, in-flight activities) instead of an
+exception or a silently-wrong finish.
+
+This module defines the event vocabulary. It deliberately avoids
+importing :mod:`repro.sim` (mirroring :mod:`repro.faults.spec`): the
+resource names are the engine's canonical strings, duplicated as
+literals so building a fault plan never pulls the simulator package in.
+
+Usage::
+
+    from repro.faults import FaultPlan, chip_down, link_down
+
+    plan = FaultPlan(hard_faults=(chip_down(2e-3),))
+    result = simulate(program, hw, faults=plan)
+    if result.failure is not None:
+        ...  # result.failure.time, .resource, .in_flight
+
+Recovery policies for these events live in :mod:`repro.recovery`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+#: Mirrors ``repro.sim.engine.CORE`` / ``LINK_H`` / ``LINK_V`` without
+#: importing the package-initialization chain of ``repro.sim``.
+_CORE = "core"
+_LINKS = ("link_h", "link_v")
+
+#: Failure categories (reporting only; the engine keys off ``resource``).
+CHIP_FAILURE = "chip"
+LINK_FAILURE = "link"
+
+
+@dataclasses.dataclass(frozen=True)
+class HardFault:
+    """One permanent resource death at a known simulated time.
+
+    Attributes:
+        time: Simulated seconds into the run at which the resource
+            dies. A fault later than the program's makespan never
+            fires.
+        resource: The engine resource that dies — ``"core"`` for a
+            chip, ``"link_h"``/``"link_v"`` for a ring-link direction.
+        kind: ``"chip"`` or ``"link"`` (reporting category).
+    """
+
+    time: float
+    resource: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ValueError("hard fault time must be non-negative")
+        if not isinstance(self.resource, str) or not self.resource:
+            raise ValueError(f"victim resource must be a name, got {self.resource!r}")
+        if self.kind not in (CHIP_FAILURE, LINK_FAILURE):
+            raise ValueError(
+                f"fault kind must be {CHIP_FAILURE!r} or {LINK_FAILURE!r}, "
+                f"got {self.kind!r}"
+            )
+
+
+def chip_down(time: float) -> HardFault:
+    """A chip of the cluster dies at ``time``.
+
+    Under the representative-chip reduction one dead chip halts every
+    lockstep compute phase, so the victim resource is the compute core.
+    """
+    return HardFault(time=time, resource=_CORE, kind=CHIP_FAILURE)
+
+
+def link_down(time: float, link: str = _LINKS[0]) -> HardFault:
+    """An ICI ring-link direction dies at ``time``.
+
+    Args:
+        time: Failure time in simulated seconds.
+        link: ``"link_h"`` (inter-column) or ``"link_v"`` (inter-row).
+    """
+    if link not in _LINKS:
+        raise ValueError(f"link must be one of {_LINKS}, got {link!r}")
+    return HardFault(time=time, resource=link, kind=LINK_FAILURE)
+
+
+def earliest(faults: Tuple[HardFault, ...]) -> "HardFault":
+    """The first fault to fire (ties resolve to the earliest listed)."""
+    if not faults:
+        raise ValueError("no hard faults given")
+    best = faults[0]
+    for fault in faults[1:]:
+        if fault.time < best.time:
+            best = fault
+    return best

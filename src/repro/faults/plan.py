@@ -40,15 +40,22 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.faults.hard import HardFault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim -> faults)
+    from repro.recovery.retry import RetryPolicy
     from repro.sim.engine import Activity
     from repro.sim.program import Program
 
 #: Kinds of activities a compute slowdown applies to: GeMM kernels and
 #: blocked slicing copies both run on the straggler's core.
 _COMPUTE_KINDS = ("compute", "slice")
+
+#: Ring-link resources an exhausted retry sequence can take down
+#: (mirrors ``repro.faults.hard._LINKS``).
+_LINK_RESOURCES = ("link_h", "link_v")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,7 +78,18 @@ class FaultPlan:
         outage_penalty: Dead time (seconds) of one outage — the
             detection timeout plus reconnection cost — charged on top
             of a full retransmission of the activity's (degraded)
-            transfer time.
+            transfer time. Ignored when ``retry_policy`` is set.
+        retry_policy: Optional :class:`repro.recovery.retry.RetryPolicy`.
+            When set, each outage runs the explicit capped-retry /
+            exponential-backoff state machine instead of the flat
+            ``outage_penalty`` charge; an exhausted retry budget marks
+            the activity so the engine declares the link permanently
+            down (a structured ``SimFailure``).
+        hard_faults: Permanent resource deaths
+            (:class:`repro.faults.hard.HardFault`); the earliest one
+            that fires halts the simulation. These do not rewrite
+            durations — :meth:`apply` ignores them — they are consumed
+            by ``Program.execute`` / ``Engine.run_with_failures``.
         seed: Seed of the per-activity jitter/outage draws.
     """
 
@@ -80,6 +98,8 @@ class FaultPlan:
     launch_jitter: float = 0.0
     outage_rate: float = 0.0
     outage_penalty: float = 0.0
+    retry_policy: Optional["RetryPolicy"] = None
+    hard_faults: Tuple[HardFault, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -100,14 +120,19 @@ class FaultPlan:
             raise ValueError("outage_penalty must be non-negative")
 
     @property
-    def is_null(self) -> bool:
-        """Whether applying this plan is guaranteed to change nothing."""
+    def _rewrites_nothing(self) -> bool:
+        """Whether :meth:`apply` is guaranteed to change no durations."""
         return (
             self.compute_slowdown == 1.0
             and all(factor == 1.0 for _link, factor in self.link_degradation)
             and self.launch_jitter == 0.0
             and self.outage_rate == 0.0
         )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether simulating under this plan changes nothing at all."""
+        return self._rewrites_nothing and not self.hard_faults
 
     # ------------------------------------------------------------ application
 
@@ -119,7 +144,7 @@ class FaultPlan:
         program is built; the input is never mutated (activities that
         the plan does not touch are shared between the two).
         """
-        if self.is_null:
+        if self._rewrites_nothing:
             return program
         rng = random.Random(self.seed)
         factors = dict(self.link_degradation)
@@ -166,26 +191,64 @@ class FaultPlan:
             jitter = rng.random() * self.launch_jitter
         retry = 0.0
         retransmit = 0.0
+        attempts = 0
+        failed_link = None
         if self.outage_rate > 0.0 and transfer > 0.0:
             if rng.random() < self.outage_rate:
-                retry = self.outage_penalty
-                retransmit = slowed_transfer
+                if self.retry_policy is not None:
+                    episode = self.retry_policy.episode(
+                        rng, slowed_transfer, self.outage_rate
+                    )
+                    retry = episode.dead_seconds
+                    retransmit = episode.retransmit_seconds
+                    attempts = episode.attempts
+                    if episode.exhausted:
+                        failed_link = self._victim_link(act)
+                else:
+                    retry = self.outage_penalty
+                    retransmit = slowed_transfer
+                    attempts = 1
         delta = extra + jitter + retry + retransmit
-        if delta == 0.0:
+        if delta == 0.0 and failed_link is None:
             return act
         stretched = self._stretched(act, act.duration + delta)
+        if retransmit > 0.0 and stretched.shared and act.duration > 0.0:
+            # Retransmissions move the same bytes again: unlike a
+            # degraded link (same units, longer window), each resend
+            # adds its full HBM/NIC traffic. Charging it (plus the
+            # retry timeout window at the nominal rate — the transport
+            # keeps the path busy while it probes) keeps the demand
+            # rate from dipping below nominal, so an outage can never
+            # *relieve* contention for concurrent work.
+            scale = (act.duration + retry + retransmit) / act.duration
+            stretched.shared = {
+                r: demand * scale for r, demand in stretched.shared.items()
+            }
         new_meta = dict(meta)
         if jitter:
             new_meta["launch"] = launch + jitter
         if extra or retransmit:
             new_meta["transfer"] = slowed_transfer + retransmit
-        if retry:
+        if attempts:
             # The outage's dead time is a synchronization stall: the
-            # chip waits out the timeout before retransmitting.
+            # chip waits out the timeout/backoff before retransmitting.
             new_meta["sync"] = float(meta.get("sync", 0.0)) + retry
-            new_meta["retries"] = int(meta.get("retries", 0)) + 1
+            new_meta["retries"] = int(meta.get("retries", 0)) + attempts
+        if failed_link is not None:
+            # The retry budget ran out: the engine (failure-aware mode)
+            # declares this link permanently dead the instant the last
+            # retransmission completes.
+            new_meta["failed_resource"] = failed_link
         stretched.meta = new_meta
         return stretched
+
+    @staticmethod
+    def _victim_link(act: "Activity") -> str:
+        """The link resource an exhausted retry sequence takes down."""
+        for resource in act.exclusive:
+            if resource in _LINK_RESOURCES:
+                return resource
+        return _LINK_RESOURCES[0]
 
     @staticmethod
     def _stretched(act: "Activity", new_duration: float) -> "Activity":

@@ -18,15 +18,21 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
+from repro.faults.hard import HardFault
 from repro.faults.plan import FaultPlan
 from repro.hw.params import HardwareParams
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery -> faults)
+    from repro.recovery.retry import RetryPolicy
+
 #: Fallback outage dead time (seconds) when no hardware parameters are
-#: supplied: detection timeout plus reconnection, a few hundred
-#: microseconds on an ICI-class fabric.
-DEFAULT_RETRY_TIMEOUT = 500e-6
+#: supplied. Derived from the ``HardwareParams.link_retry_timeout``
+#: default so the two can never silently diverge.
+DEFAULT_RETRY_TIMEOUT = HardwareParams.__dataclass_fields__[
+    "link_retry_timeout"
+].default
 
 #: The two ring-link directions of the 2D mesh (mirrors
 #: ``repro.sim.engine.LINK_H`` / ``LINK_V`` without importing the
@@ -57,6 +63,12 @@ class FaultSpec:
         outage_penalty: Outage dead time in seconds; ``None`` uses the
             hardware's ``link_retry_timeout`` (or
             :data:`DEFAULT_RETRY_TIMEOUT` when no hardware is given).
+            Ignored when ``retry_policy`` is set.
+        retry_policy: Optional capped-retry/backoff state machine
+            (:class:`repro.recovery.retry.RetryPolicy`) carried through
+            to every sampled plan in place of the flat outage penalty.
+        hard_faults: Permanent resource deaths carried through to every
+            sampled plan (see :mod:`repro.faults.hard`).
         seed: Root seed of all sampling.
     """
 
@@ -67,6 +79,8 @@ class FaultSpec:
     launch_jitter: float = 0.0
     outage_rate: float = 0.0
     outage_penalty: Optional[float] = None
+    retry_policy: Optional["RetryPolicy"] = None
+    hard_faults: Tuple[HardFault, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -123,6 +137,8 @@ class FaultSpec:
             launch_jitter=self.launch_jitter,
             outage_rate=self.outage_rate,
             outage_penalty=penalty,
+            retry_policy=self.retry_policy,
+            hard_faults=self.hard_faults,
             seed=rng.getrandbits(32),
         )
 
@@ -148,4 +164,5 @@ class FaultSpec:
             and (self.degraded_links == 0 or self.link_slowdown == 1.0)
             and self.launch_jitter == 0.0
             and self.outage_rate == 0.0
+            and not self.hard_faults
         )

@@ -51,6 +51,32 @@ class Mesh2D:
         """The mesh with rows and columns exchanged."""
         return Mesh2D(self.cols, self.rows)
 
+    def without_row(self, i: int) -> "Mesh2D":
+        """The degraded mesh after dropping row ``i`` entirely.
+
+        When a chip dies, torus rerouting cannot heal its row and
+        column rings (a ring with a hole is a line); the standard
+        recovery drains the whole row and re-forms the wrap-around
+        links between rows ``i - 1`` and ``i + 1``, leaving a smaller
+        but fully functional torus. Which row died does not matter —
+        the surviving topology is ``(rows-1) x cols`` regardless.
+        """
+        self._check_row(i)
+        if self.rows == 1:
+            raise ValueError(f"cannot drop the only row of {self}")
+        return Mesh2D(self.rows - 1, self.cols)
+
+    def without_col(self, j: int) -> "Mesh2D":
+        """The degraded mesh after dropping column ``j`` entirely.
+
+        See :meth:`without_row`; the surviving topology is
+        ``rows x (cols-1)``.
+        """
+        self._check_col(j)
+        if self.cols == 1:
+            raise ValueError(f"cannot drop the only column of {self}")
+        return Mesh2D(self.rows, self.cols - 1)
+
     def coords(self) -> Iterator[Coord]:
         """Iterate over all chip coordinates in row-major order."""
         for i in range(self.rows):

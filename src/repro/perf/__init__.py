@@ -26,6 +26,7 @@ from repro.perf.cache import (
 
 _PIPELINE_EXPORTS = (
     "built_program",
+    "degraded_retune",
     "faulted_pass",
     "pass_compute_floor",
     "pass_lower_bound",

@@ -23,7 +23,7 @@ of a run that would actually win or tie.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from repro.algorithms import GeMMConfig, get_algorithm
 from repro.faults.plan import FaultPlan
@@ -31,6 +31,11 @@ from repro.hw.params import HardwareParams
 from repro.perf.cache import memoize
 from repro.sim.cluster import SimResult, simulate
 from repro.sim.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - deferred to avoid perf <-> recovery cycle
+    from repro.mesh.topology import Mesh2D
+    from repro.models.config import LLMConfig
+    from repro.recovery.degraded import DegradedRetune
 
 #: Safety margin keeping the lower bound strictly conservative against
 #: the engine's epsilon-relative completion threshold.
@@ -134,6 +139,40 @@ def pass_lower_bound(
 ) -> float:
     """A certified lower bound on the simulated makespan of one pass."""
     return _pass_lower_bound(algorithm, cfg, hw)
+
+
+@memoize("degraded_retune")
+def _degraded_retune(
+    model: "LLMConfig",
+    batch_size: int,
+    mesh: "Mesh2D",
+    dead: "Tuple[int, int]",
+    hw: HardwareParams,
+) -> "DegradedRetune":
+    from repro.recovery.degraded import retune_degraded
+
+    return retune_degraded(model, batch_size, mesh, dead, hw)
+
+
+def degraded_retune(
+    model: "LLMConfig",
+    batch_size: int,
+    mesh: "Mesh2D",
+    dead: "Tuple[int, int]",
+    hw: HardwareParams,
+) -> "DegradedRetune":
+    """Re-tune a model on the torus surviving one dead chip (memoized).
+
+    The recovery ablation revisits the same ``(model, batch, mesh,
+    hw)`` point for every policy and scale, and degraded tuning runs
+    the full autotuner shape/slice search, so results are
+    content-keyed like the rest of the pipeline (all key types are
+    frozen dataclasses; ``dead`` is a plain coordinate tuple). The
+    import is deferred: this module sits below ``repro.algorithms``
+    and an eager ``repro.recovery`` import would cycle back through
+    the autotuner.
+    """
+    return _degraded_retune(model, batch_size, mesh, dead, hw)
 
 
 def pass_compute_floor(flops: float, chips: int, hw: HardwareParams) -> float:

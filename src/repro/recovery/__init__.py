@@ -1,0 +1,51 @@
+"""Recovery policies: what the system does after a fault.
+
+:mod:`repro.faults` injects failures; this package answers them, at
+the three time scales a real training system operates on:
+
+* **microseconds** — :class:`RetryPolicy`, a capped-retry /
+  exponential-backoff state machine for transient link outages
+  (replacing the flat ``link_retry_timeout`` penalty); an exhausted
+  budget declares the link dead and the engine surfaces a structured
+  ``SimFailure``;
+* **minutes** — :func:`retune_degraded`, degraded-mesh
+  reconfiguration: drain the dead chip's row or column, re-form the
+  torus on the shrunk shape, and re-run the autotuner's exhaustive
+  shape/slice search on the surviving candidates;
+* **days** — :class:`CheckpointModel`, the analytical Young/Daly
+  checkpoint-restart model, and the :mod:`~repro.recovery.policy`
+  goodput estimates comparing restart-and-wait against
+  degrade-and-continue for multi-day runs.
+
+Surfaces: the memoized ``degraded_retune`` stage in ``repro.perf``,
+the ``ablation-recovery`` experiment grid, and the
+``meshslice recovery`` CLI subcommand.
+"""
+
+from repro.recovery.checkpoint import CheckpointModel, cluster_mtbf
+from repro.recovery.degraded import (
+    DegradedRetune,
+    degraded_meshes,
+    retune_degraded,
+)
+from repro.recovery.policy import (
+    ClusterReliability,
+    GoodputEstimate,
+    degrade_goodput,
+    restart_goodput,
+)
+from repro.recovery.retry import RetryEpisode, RetryPolicy
+
+__all__ = [
+    "CheckpointModel",
+    "ClusterReliability",
+    "DegradedRetune",
+    "GoodputEstimate",
+    "RetryEpisode",
+    "RetryPolicy",
+    "cluster_mtbf",
+    "degrade_goodput",
+    "degraded_meshes",
+    "restart_goodput",
+    "retune_degraded",
+]

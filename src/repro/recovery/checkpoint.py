@@ -1,0 +1,167 @@
+"""Analytical checkpoint-restart model (Young/Daly optimal interval).
+
+A multi-day training run on a failure-prone cluster checkpoints every
+``tau`` seconds of useful work, and on a failure rolls back to the last
+checkpoint, pays a restart cost, and re-executes the lost work. The
+classical first-order analysis (Young 1974; refined by Daly 2006) gives
+the interval minimizing expected lost time:
+
+* **Young**: ``tau* = sqrt(2 * delta * M)`` where ``delta`` is the
+  checkpoint write cost and ``M`` the mean time between failures.
+* **Daly** (higher order, with the checkpoint cost subtracted)::
+
+      tau* = sqrt(2 delta M) * [1 + (1/3) sqrt(delta / 2M)
+                                  + (1/9) (delta / 2M)] - delta
+
+  valid for ``delta < 2M``, else ``tau* = M``.
+
+Both approximate the exact optimum of the renewal-reward model with
+exponentially distributed failures, which this module also evaluates
+directly: a segment of ``tau`` useful seconds plus a ``delta``-second
+checkpoint, restart cost ``R`` after each failure, has expected
+wall-clock time (Daly 2006, eq. 13)::
+
+    E[T](tau) = M * exp(R / M) * (exp((tau + delta) / M) - 1)
+
+and *goodput* — the fraction of wall-clock spent on useful, kept
+work — is ``tau / E[T](tau)``. :meth:`CheckpointModel.optimal_interval`
+maximizes that goodput numerically (deterministic golden-section
+search); tests pin it within 1% of the closed-form Young/Daly optimum
+in the ``delta << M`` regime where the approximations hold.
+
+Assumptions: failures are Poisson (memoryless, rate ``1/M``), failures
+can also strike during checkpoints and restarts, checkpoint cost is
+independent of the interval, and rollback loses on average half a
+segment (implicit in the renewal model). ``M`` here is the *cluster*
+MTBF — a cluster of ``n`` chips with per-chip MTBF ``m`` has
+``M = m / n``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: Golden ratio step of the deterministic section search.
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointModel:
+    """Checkpoint-restart economics of one cluster configuration.
+
+    Attributes:
+        mtbf: Cluster mean time between failures, seconds (> 0).
+        checkpoint_seconds: Cost of writing one checkpoint (> 0).
+        restart_seconds: Cost of one restart — detection, rescheduling,
+            checkpoint load — before re-execution begins (>= 0).
+    """
+
+    mtbf: float
+    checkpoint_seconds: float
+    restart_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0.0:
+            raise ValueError("mtbf must be positive")
+        if self.checkpoint_seconds <= 0.0:
+            raise ValueError("checkpoint_seconds must be positive")
+        if self.restart_seconds < 0.0:
+            raise ValueError("restart_seconds must be non-negative")
+
+    # ------------------------------------------------------------ closed forms
+
+    @property
+    def young_interval(self) -> float:
+        """Young's first-order optimal interval ``sqrt(2 delta M)``."""
+        return math.sqrt(2.0 * self.checkpoint_seconds * self.mtbf)
+
+    @property
+    def daly_interval(self) -> float:
+        """Daly's higher-order optimal interval (see module docstring)."""
+        delta, M = self.checkpoint_seconds, self.mtbf
+        if delta >= 2.0 * M:
+            return M
+        ratio = delta / (2.0 * M)
+        return (
+            math.sqrt(2.0 * delta * M)
+            * (1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0)
+            - delta
+        )
+
+    # ------------------------------------------------------------ exact model
+
+    def expected_wall_seconds(self, interval: float) -> float:
+        """Expected wall-clock to bank ``interval`` useful seconds.
+
+        The renewal-reward expectation ``M e^{R/M} (e^{(tau+delta)/M} - 1)``
+        for exponential failures striking work, checkpoints, and
+        restarts alike.
+        """
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        M = self.mtbf
+        exponent = (interval + self.checkpoint_seconds) / M
+        return M * math.exp(self.restart_seconds / M) * math.expm1(exponent)
+
+    def goodput(self, interval: float) -> float:
+        """Fraction of wall-clock spent on useful, kept work in ``(0, 1)``."""
+        return interval / self.expected_wall_seconds(interval)
+
+    def optimal_interval(self) -> float:
+        """The interval maximizing :meth:`goodput` (exact model).
+
+        Deterministic golden-section search on a bracket spanning two
+        decades around the Young interval (the optimum of the exact
+        model lies between Young's and Daly's estimates for any
+        ``delta < 2M``, and near ``M`` beyond).
+        """
+        anchor = max(self.young_interval, self.daly_interval, self.mtbf * 1e-9)
+        lo, hi = anchor / 100.0, anchor * 100.0
+        # Keep the exponent sane: beyond ~40 MTBFs the goodput is
+        # numerically zero anyway.
+        hi = min(hi, 40.0 * self.mtbf)
+        if hi <= lo:
+            hi = 2.0 * lo
+        a, b = lo, hi
+        c = b - _INVPHI * (b - a)
+        d = a + _INVPHI * (b - a)
+        fc, fd = self.goodput(c), self.goodput(d)
+        for _ in range(200):
+            if fc >= fd:
+                b, d, fd = d, c, fc
+                c = b - _INVPHI * (b - a)
+                fc = self.goodput(c)
+            else:
+                a, c, fc = c, d, fd
+                d = a + _INVPHI * (b - a)
+                fd = self.goodput(d)
+            if b - a <= 1e-12 * max(1.0, b):
+                break
+        return (a + b) / 2.0
+
+    def optimal_goodput(self) -> float:
+        """Goodput at the numerically optimal interval."""
+        return self.goodput(self.optimal_interval())
+
+    def expected_total_wall(self, useful_seconds: float) -> float:
+        """Expected wall-clock for a run of ``useful_seconds`` of work
+        checkpointed at the optimal interval."""
+        if useful_seconds < 0.0:
+            raise ValueError("useful_seconds must be non-negative")
+        if useful_seconds == 0.0:
+            return 0.0
+        return useful_seconds / self.optimal_goodput()
+
+
+def cluster_mtbf(chip_mtbf: float, chips: int) -> float:
+    """Cluster MTBF of ``chips`` independent chips: ``m / n``.
+
+    With per-chip exponential failures at rate ``1/m`` the cluster's
+    first failure is exponential at rate ``n/m``.
+    """
+    if chip_mtbf <= 0.0:
+        raise ValueError("chip_mtbf must be positive")
+    if chips < 1:
+        raise ValueError("chips must be >= 1")
+    return chip_mtbf / chips

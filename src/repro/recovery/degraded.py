@@ -1,0 +1,110 @@
+"""Degraded-mesh reconfiguration: route around a dead chip and re-tune.
+
+A 2D torus cannot heal a single dead chip by rerouting: the dead chip
+sits on one row ring and one column ring, and a ring with a hole is a
+line — every collective crossing it would serialize. The standard
+recovery (mirroring how TPU pod slices are resized around a failed
+host) instead *drains the whole row or column* containing the dead
+chip and re-forms the wrap-around links between its neighbors, leaving
+a smaller but fully functional ``(rows-1) x cols`` or
+``rows x (cols-1)`` torus.
+
+Which of the two to drop is a tuning question — the shrunk shapes have
+different ring sizes, different per-chip shards, and different optimal
+slice counts — so :func:`retune_degraded` runs the autotuner's
+exhaustive shape/slice search restricted to the surviving candidates
+and returns the faster configuration. Because dropping row ``i`` gives
+the same logical torus for every ``i``, the result depends only on the
+mesh shape, never on *which* chip died.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.autotuner.search import TuningResult, tune
+from repro.hw.params import HardwareParams
+from repro.mesh.topology import Coord, Mesh2D
+from repro.models.config import LLMConfig
+
+
+def degraded_meshes(mesh: Mesh2D, dead: Coord) -> Tuple[Mesh2D, ...]:
+    """The valid shrunk tori after chip ``dead`` dies on ``mesh``.
+
+    Returns the drop-row and drop-column candidates (one of the two
+    when the mesh has a single row or column; a 1x1 mesh has no
+    survivors and raises).
+    """
+    if not mesh.contains(dead):
+        raise ValueError(f"dead chip {dead} is not on mesh {mesh}")
+    candidates = []
+    if mesh.rows > 1:
+        candidates.append(mesh.without_row(dead[0]))
+    if mesh.cols > 1:
+        candidates.append(mesh.without_col(dead[1]))
+    if not candidates:
+        raise ValueError(f"mesh {mesh} has no surviving configuration")
+    return tuple(candidates)
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradedRetune:
+    """The autotuned configuration of a mesh degraded by one dead chip.
+
+    Attributes:
+        original: The healthy mesh.
+        dead: The failed chip's coordinate on ``original``.
+        dropped: ``"row"`` or ``"col"`` — which line was drained.
+        result: Full autotuner output on the surviving candidates;
+            ``result.mesh`` is the chosen shrunk torus and
+            ``result.block_seconds`` its tuned FC block time.
+    """
+
+    original: Mesh2D
+    dead: Coord
+    dropped: str
+    result: TuningResult
+
+    @property
+    def mesh(self) -> Mesh2D:
+        return self.result.mesh
+
+    @property
+    def block_seconds(self) -> float:
+        return self.result.block_seconds
+
+    @property
+    def surviving_chips(self) -> int:
+        return self.result.mesh.size
+
+
+def retune_degraded(
+    model: LLMConfig,
+    batch_size: int,
+    mesh: Mesh2D,
+    dead: Coord,
+    hw: HardwareParams,
+    max_slices: int = 64,
+) -> DegradedRetune:
+    """Re-tune ``model`` on the torus surviving chip ``dead``'s death.
+
+    Runs the autotuner's exhaustive slice-count search on every
+    surviving candidate shape (drop the dead chip's row vs. its
+    column) and picks the faster tuned configuration — exactly the
+    search the healthy mesh was tuned with, restricted to the shrunk
+    candidates.
+    """
+    candidates = degraded_meshes(mesh, dead)
+    result = tune(
+        model,
+        batch_size,
+        mesh.size,
+        hw,
+        mesh_candidates=candidates,
+        max_slices=max_slices,
+    )
+    dropped = "row" if result.mesh.rows == mesh.rows - 1 else "col"
+    return DegradedRetune(
+        original=mesh, dead=dead, dropped=dropped, result=result
+    )

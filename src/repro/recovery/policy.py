@@ -1,0 +1,172 @@
+"""Recovery-policy goodput: what fraction of the cluster's time is kept.
+
+Combines the per-step simulation (how long one training step takes on
+a given mesh) with the analytical checkpoint model
+(:mod:`repro.recovery.checkpoint`) into end-to-end *goodput* — useful,
+kept work per wall-clock second, expressed as a fraction of the ideal
+failure-free full-mesh throughput — for the two recovery policies the
+``meshslice recovery`` surface compares:
+
+* **restart**: on any failure, roll back to the last checkpoint and
+  wait out the repair; the cluster is idle while the chip is replaced.
+  Goodput = (uptime fraction of the repair cycle) x (checkpoint-
+  restart goodput at the Young/Daly-optimal interval).
+* **degrade**: on a chip failure, reconfigure onto the shrunk torus
+  (:mod:`repro.recovery.degraded`), keep training at the degraded
+  step rate until the repair completes, then reconfigure back. The
+  repair window produces work at ``step_full / step_degraded`` of the
+  full rate instead of none; both transitions cost a restart (reload
+  from checkpoint on the new shape).
+
+Both policies model failures as a renewal process: exponential
+failures at the cluster MTBF ``M``, deterministic repair time ``rho``,
+so a mean cycle is ``M + rho`` seconds of wall clock. Within the *up*
+portion the checkpoint model accounts for rollback losses; the
+degraded portion is treated as failure-free (a second failure inside
+one repair window is second-order at realistic MTBFs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.recovery.checkpoint import CheckpointModel, cluster_mtbf
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterReliability:
+    """Failure and repair characteristics of one cluster.
+
+    Attributes:
+        chip_mtbf: Per-chip mean time between failures, seconds.
+        chips: Cluster size; the cluster MTBF is ``chip_mtbf / chips``.
+        repair_seconds: Time to replace/repair a failed chip (>= 0).
+    """
+
+    chip_mtbf: float
+    chips: int
+    repair_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.repair_seconds < 0.0:
+            raise ValueError("repair_seconds must be non-negative")
+        # chip_mtbf / chips validation happens in cluster_mtbf.
+        cluster_mtbf(self.chip_mtbf, self.chips)
+
+    @property
+    def mtbf(self) -> float:
+        """Cluster mean time between failures, seconds."""
+        return cluster_mtbf(self.chip_mtbf, self.chips)
+
+    @property
+    def availability(self) -> float:
+        """Up fraction of the mean failure-repair cycle."""
+        return self.mtbf / (self.mtbf + self.repair_seconds)
+
+
+@dataclasses.dataclass(frozen=True)
+class GoodputEstimate:
+    """End-to-end goodput of one recovery policy on one cluster.
+
+    Attributes:
+        policy: ``"restart"`` or ``"degrade"``.
+        goodput: Useful kept work per wall-clock second, as a fraction
+            of the ideal failure-free full-mesh rate (in ``(0, 1]``).
+        checkpoint_interval: The Young/Daly-optimal interval used
+            (seconds of useful work between checkpoints).
+        checkpoint_goodput: The checkpoint-restart factor alone
+            (rollback + checkpoint-write overhead, no repair idling).
+        step_seconds: Full-mesh step time the estimate is relative to.
+        degraded_step_seconds: Degraded-mesh step time (``None`` for
+            the restart policy).
+    """
+
+    policy: str
+    goodput: float
+    checkpoint_interval: float
+    checkpoint_goodput: float
+    step_seconds: float
+    degraded_step_seconds: Optional[float] = None
+
+    @property
+    def effective_step_seconds(self) -> float:
+        """Wall-clock seconds per banked step at this goodput."""
+        return self.step_seconds / self.goodput
+
+    @property
+    def steps_per_hour(self) -> float:
+        return 3600.0 / self.effective_step_seconds
+
+
+def _checkpointing(model: CheckpointModel) -> Tuple[float, float]:
+    """(optimal interval, goodput factor) of the checkpoint model."""
+    interval = model.optimal_interval()
+    return interval, model.goodput(interval)
+
+
+def restart_goodput(
+    step_seconds: float,
+    reliability: ClusterReliability,
+    checkpoint_seconds: float,
+    restart_seconds: float = 0.0,
+) -> GoodputEstimate:
+    """Goodput of checkpoint-restart with idle repair windows."""
+    if step_seconds <= 0.0:
+        raise ValueError("step_seconds must be positive")
+    model = CheckpointModel(
+        mtbf=reliability.mtbf,
+        checkpoint_seconds=checkpoint_seconds,
+        restart_seconds=restart_seconds,
+    )
+    interval, ckpt = _checkpointing(model)
+    return GoodputEstimate(
+        policy="restart",
+        goodput=reliability.availability * ckpt,
+        checkpoint_interval=interval,
+        checkpoint_goodput=ckpt,
+        step_seconds=step_seconds,
+    )
+
+
+def degrade_goodput(
+    step_seconds: float,
+    degraded_step_seconds: float,
+    reliability: ClusterReliability,
+    checkpoint_seconds: float,
+    restart_seconds: float = 0.0,
+) -> GoodputEstimate:
+    """Goodput of degraded-mesh continuation through repair windows.
+
+    During the mean cycle of ``M + rho`` wall-clock seconds the
+    cluster banks ``M x ckpt`` full-rate seconds while healthy plus
+    ``rho x (step_full / step_degraded)`` full-rate-equivalent seconds
+    on the shrunk torus, minus two reconfiguration restarts (failover
+    and failback, each a checkpoint reload).
+    """
+    if step_seconds <= 0.0:
+        raise ValueError("step_seconds must be positive")
+    if degraded_step_seconds < step_seconds:
+        raise ValueError(
+            "degraded_step_seconds cannot beat the full mesh "
+            f"({degraded_step_seconds} < {step_seconds})"
+        )
+    model = CheckpointModel(
+        mtbf=reliability.mtbf,
+        checkpoint_seconds=checkpoint_seconds,
+        restart_seconds=restart_seconds,
+    )
+    interval, ckpt = _checkpointing(model)
+    M = reliability.mtbf
+    rho = reliability.repair_seconds
+    relative_rate = step_seconds / degraded_step_seconds
+    banked = M * ckpt + rho * relative_rate - 2.0 * restart_seconds
+    goodput = max(0.0, banked) / (M + rho)
+    return GoodputEstimate(
+        policy="degrade",
+        goodput=min(1.0, goodput),
+        checkpoint_interval=interval,
+        checkpoint_goodput=ckpt,
+        step_seconds=step_seconds,
+        degraded_step_seconds=degraded_step_seconds,
+    )

@@ -1,0 +1,117 @@
+"""Capped-retry / exponential-backoff response to transient outages.
+
+The flat outage model of :class:`repro.faults.FaultPlan` charges one
+fixed dead time (``hw.link_retry_timeout``) plus one retransmission per
+outage — the behaviour of a transport that always succeeds on the
+second try. Real fabrics retry with backoff, and a link that keeps
+failing is eventually declared *down*. :class:`RetryPolicy` is that
+state machine, made explicit and deterministic:
+
+* an outage triggers retry attempt 1 after ``base_backoff`` seconds;
+* each further attempt waits ``backoff_factor`` times longer, capped
+  at ``max_backoff`` (classic truncated exponential backoff);
+* every attempt retransmits the full (degraded) transfer and succeeds
+  independently with the plan's outage probability;
+* after ``max_retries`` failed attempts the link is declared
+  permanently dead — the fault plan marks the activity, and the engine
+  surfaces a structured ``SimFailure`` the instant the retry budget
+  exhausts (see ``repro.sim.engine.Engine.run_with_failures``).
+
+The machine is evaluated at plan-application time from the plan's
+seeded ``random.Random`` stream, so a given (plan, program) pair
+always produces the same retry history, bit for bit.
+
+This module imports nothing from the rest of the package so that
+``repro.faults`` can use it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryEpisode:
+    """Outcome of one outage's retry sequence.
+
+    Attributes:
+        dead_seconds: Total backoff (synchronization-stall) time.
+        retransmit_seconds: Total retransmission time over all
+            attempts (each attempt resends the full transfer).
+        attempts: Retry attempts made (including the failed ones).
+        exhausted: Whether the retry budget ran out — the link is then
+            declared permanently down.
+    """
+
+    dead_seconds: float
+    retransmit_seconds: float
+    attempts: int
+    exhausted: bool
+
+    @property
+    def delay_seconds(self) -> float:
+        """Total extra time the episode adds to the activity."""
+        return self.dead_seconds + self.retransmit_seconds
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Truncated exponential backoff with a capped retry budget.
+
+    Attributes:
+        max_retries: Retry attempts before the link is declared dead
+            (>= 0; zero means the first outage is immediately fatal).
+        base_backoff: Wait before the first retry (seconds).
+        backoff_factor: Multiplier between consecutive waits (>= 1).
+        max_backoff: Upper bound of any single wait (seconds).
+    """
+
+    max_retries: int = 5
+    base_backoff: float = 500e-6
+    backoff_factor: float = 2.0
+    max_backoff: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_backoff < 0.0:
+            raise ValueError("base_backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff < self.base_backoff:
+            raise ValueError("max_backoff must be >= base_backoff")
+
+    def backoff(self, attempt: int) -> float:
+        """Wait before retry ``attempt`` (0-based), truncated."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(
+            self.base_backoff * self.backoff_factor**attempt, self.max_backoff
+        )
+
+    def total_backoff(self) -> float:
+        """Dead time of a fully exhausted retry sequence."""
+        return sum(self.backoff(i) for i in range(self.max_retries))
+
+    def episode(
+        self,
+        rng: random.Random,
+        transfer_seconds: float,
+        failure_rate: float,
+    ) -> RetryEpisode:
+        """Run the state machine for one outage.
+
+        Args:
+            rng: The fault plan's seeded stream; one draw per attempt.
+            transfer_seconds: Cost of one (degraded) retransmission.
+            failure_rate: Probability that an attempt fails again.
+        """
+        dead = 0.0
+        sent = 0.0
+        for attempt in range(self.max_retries):
+            dead += self.backoff(attempt)
+            sent += transfer_seconds
+            if rng.random() >= failure_rate:
+                return RetryEpisode(dead, sent, attempt + 1, False)
+        return RetryEpisode(dead, sent, self.max_retries, True)

@@ -11,7 +11,7 @@ import dataclasses
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.hw.params import HardwareParams
-from repro.sim.engine import Span, makespan
+from repro.sim.engine import SimFailure, Span, makespan
 from repro.sim.program import Program
 from repro.sim.trace import CommBreakdown, Trace, comm_breakdown, compute_time
 
@@ -27,6 +27,12 @@ class SimResult:
     spans: List[Span]
     makespan: float
     flops_per_chip: float
+    failure: Optional[SimFailure] = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the run finished (no hard fault killed it)."""
+        return self.failure is None
 
     @property
     def trace(self) -> Trace:
@@ -51,7 +57,9 @@ class SimResult:
         paper reports.
         """
         peak = peak_flops if peak_flops is not None else self.hw.peak_flops
-        if self.makespan <= 0:
+        if self.makespan <= 0 or self.failure is not None:
+            # A killed step produced no usable work: the whole step is
+            # re-executed after recovery, so its utilization is zero.
             return 0.0
         return self.flops_per_chip / (self.makespan * peak)
 
@@ -67,13 +75,19 @@ def simulate(
     :class:`repro.faults.FaultPlan` (see :meth:`Program.run`); the
     recorded per-chip FLOPs are unchanged, so ``flop_utilization``
     naturally reports the degradation.
+
+    If the plan carries hard faults (or an exhaustible retry policy)
+    and the run dies, the result's ``failure`` field holds the
+    structured :class:`SimFailure` and ``makespan`` is the failure
+    time — the wall clock the cluster burned before halting.
     """
-    spans = program.run(faults)
+    spans, failure = program.execute(faults)
     return SimResult(
         hw=hw,
         spans=spans,
-        makespan=makespan(spans),
+        makespan=failure.time if failure is not None else makespan(spans),
         flops_per_chip=program.total_flops,
+        failure=failure,
     )
 
 

@@ -64,7 +64,19 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - avoid the sim -> faults cycle
+    from repro.faults.hard import HardFault
 
 #: Canonical resource names used by program builders.
 CORE = "core"
@@ -132,6 +144,40 @@ class SimulationError(RuntimeError):
     """Raised for structural problems: cycles, unknown dependencies."""
 
 
+@dataclasses.dataclass(frozen=True)
+class SimFailure:
+    """A hard fault interrupted the run (a chip or link died).
+
+    Surfaced by :meth:`Engine.run_with_failures` as a structured result
+    — never an exception, and never a silently-truncated span list that
+    looks like a fast finish.
+
+    Attributes:
+        time: Simulated time at which the victim resource died. The
+            cluster's lockstep step halts here; for goodput modeling
+            this is the wall time the failing step still consumed.
+        resource: The dead resource (``"core"``, ``"link_h"``, ...).
+        kind: ``"chip"`` or ``"link"``.
+        in_flight: Partial spans of the activities running at the
+            failure instant, truncated at ``time`` and marked with
+            ``meta["interrupted"] = True``. Sorted by ``(start, aid)``.
+        finished: Number of activities that completed before the fault.
+        unstarted: Number of activities that never started.
+    """
+
+    time: float
+    resource: str
+    kind: str
+    in_flight: Tuple[Span, ...]
+    finished: int
+    unstarted: int
+
+    @property
+    def total(self) -> int:
+        """Total activities of the interrupted program."""
+        return self.finished + len(self.in_flight) + self.unstarted
+
+
 class Engine:
     """Runs a set of activities to completion.
 
@@ -162,16 +208,73 @@ class Engine:
     def run(self) -> List[Span]:
         """Execute the DAG; returns spans sorted by start time.
 
+        This is the no-failure fast path: no hard-fault bookkeeping
+        runs, and results are bit-identical to the engine before
+        failures existed (pinned by ``tests/test_engine_equivalence``).
+        """
+        spans, _failure = self._run(None, False)
+        return spans
+
+    def run_with_failures(
+        self, hard_faults: Sequence["HardFault"] = ()
+    ) -> Tuple[List[Span], Optional[SimFailure]]:
+        """Execute the DAG under hard faults; may end in a failure.
+
+        Args:
+            hard_faults: Permanent resource deaths (duck-typed objects
+                with ``time``/``resource``/``kind`` attributes — see
+                :mod:`repro.faults.hard`). Only the earliest can fire:
+                the lockstep step halts there.
+
+        Returns:
+            ``(spans, failure)``. ``failure`` is ``None`` when the
+            program completed before any fault time (then ``spans`` is
+            exactly :meth:`run`'s result); otherwise the structured
+            :class:`SimFailure` with the completed spans so far.
+
+        Activities whose fault plan marked them with
+        ``meta["failed_resource"]`` (a transient-outage retry budget
+        that exhausted — see ``repro.recovery.retry``) also end the run:
+        the named link is declared dead at the instant the activity's
+        last backoff expires.
+        """
+        fault = None
+        for candidate in hard_faults:
+            if fault is None or candidate.time < fault.time:
+                fault = candidate
+        return self._run(fault, True)
+
+    def _run(
+        self, fault: Optional["HardFault"], check_poison: bool
+    ) -> Tuple[List[Span], Optional[SimFailure]]:
+        """Shared event loop of :meth:`run` and :meth:`run_with_failures`.
+
         Activity ids and resource names are interned to dense list
         indices up front, so the event loops below are pure list/int
         operations; heap entries carry ``(ready_time, aid, index)``,
         which orders identically to ``(ready_time, aid)`` because aids
         are unique.
+
+        With ``fault is None`` and ``check_poison`` false the loop's
+        arithmetic is untouched — the failure checks are pure
+        comparisons behind constant-false guards, so the no-failure
+        path stays bit-identical.
         """
         acts = self.activities
         n_acts = len(acts)
         act_list = list(acts.values())
         index_of = {act.aid: i for i, act in enumerate(act_list)}
+
+        fail_time = fault.time if fault is not None else None
+        poisoned: Optional[Set[int]] = None
+        if check_poison:
+            marked = {
+                i
+                for i, act in enumerate(act_list)
+                if act.meta.get("failed_resource")
+            }
+            if marked:
+                poisoned = marked
 
         res_index: Dict[str, int] = {}
         aids: List[int] = [0] * n_acts
@@ -248,6 +351,27 @@ class Engine:
         inf = float("inf")
         # Guard against infinite loops on malformed inputs.
         max_steps = 10 * n_acts + 100
+
+        def _interrupted(time: float, resource: str, kind: str) -> SimFailure:
+            """The structured failure at ``time``; reads live loop state."""
+            in_flight = []
+            for i, state in running.items():
+                act = act_list[i]
+                meta = dict(act.meta)
+                meta["interrupted"] = True
+                in_flight.append(
+                    Span(aids[i], act.label, act.kind, state[0], time,
+                         act.exclusive, meta)
+                )
+            in_flight.sort(key=lambda s: (s.start, s.aid))
+            return SimFailure(
+                time=time,
+                resource=resource,
+                kind=kind,
+                in_flight=tuple(in_flight),
+                finished=finished,
+                unstarted=n_acts - finished - len(running),
+            )
 
         _step = 0
         while True:
@@ -343,6 +467,12 @@ class Engine:
                     dt = quotient
             if dt < 0:
                 raise SimulationError("negative time step (internal error)")
+            # A hard fault strictly inside the step interval halts the
+            # run at the fault time; completions landing exactly on the
+            # fault time still count (the step finished as it died).
+            if fail_time is not None and now + dt > fail_time:
+                spans.sort(key=lambda s: (s.start, s.aid))
+                return spans, _interrupted(fail_time, fault.resource, fault.kind)
             now += dt
             completed: List[int] = []
             for i, state in running.items():
@@ -353,6 +483,16 @@ class Engine:
 
             # -- Completion phase: free resources, record spans, wake
             # dependents and parked waiters.
+            if poisoned is not None:
+                # A completing activity whose retry budget exhausted
+                # declares its link permanently dead at this instant;
+                # everything still running (itself included) is
+                # interrupted.
+                for i in completed:
+                    if i in poisoned:
+                        resource = str(act_list[i].meta["failed_resource"])
+                        spans.sort(key=lambda s: (s.start, s.aid))
+                        return spans, _interrupted(now, resource, "link")
             freed: List[int] = []
             for i in completed:
                 state = running.pop(i)
@@ -383,7 +523,7 @@ class Engine:
                     heappush(ready_heap, nxt)
 
         spans.sort(key=lambda s: (s.start, s.aid))
-        return spans
+        return spans, None
 
 
 def makespan(spans: Iterable[Span]) -> float:

@@ -15,7 +15,7 @@ claims the core.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.comm.cost import CommCost, CommCostModel
 from repro.hw.params import HardwareParams
@@ -28,6 +28,8 @@ from repro.sim.engine import (
     NIC,
     Activity,
     Engine,
+    SimFailure,
+    SimulationError,
     Span,
 )
 
@@ -51,9 +53,39 @@ class Program:
         unmodified engine runs the perturbed DAG. ``None`` (and any
         null plan) runs the program exactly as built — bit-identical
         to the unfaulted engine.
+
+        Raises :class:`SimulationError` if the plan carries hard
+        faults (or an exhaustible retry policy) and the run dies; use
+        :meth:`execute` to receive the failure as a value.
         """
-        program = self if faults is None else faults.apply(self)
-        return Engine(program.activities, program.shared_capacities).run()
+        spans, failure = self.execute(faults)
+        if failure is not None:
+            raise SimulationError(
+                f"simulation died at t={failure.time:.6g}s "
+                f"({failure.kind} fault on {failure.resource!r}); "
+                "use Program.execute() to inspect the SimFailure"
+            )
+        return spans
+
+    def execute(
+        self, faults: Optional["FaultPlan"] = None
+    ) -> Tuple[List[Span], Optional[SimFailure]]:
+        """Simulate the program, surfacing hard failures as a value.
+
+        Returns ``(spans, failure)``. ``failure`` is ``None`` for a
+        completed run; otherwise a :class:`SimFailure` describing when
+        and where the run died, with ``spans`` the (truncated) trace up
+        to that instant. With ``faults=None`` this is exactly
+        :meth:`run`'s unfaulted fast path.
+        """
+        if faults is None:
+            spans = Engine(self.activities, self.shared_capacities).run()
+            return spans, None
+        program = faults.apply(self)
+        engine = Engine(program.activities, program.shared_capacities)
+        if faults.is_null:
+            return engine.run(), None
+        return engine.run_with_failures(faults.hard_faults)
 
     @property
     def total_flops(self) -> float:

@@ -110,3 +110,64 @@ class TestFaultsCommand:
             "--straggler-slowdown", "0.5",
         ]) == 2
         assert capsys.readouterr().err.strip()
+
+
+class TestFaultsFlagValidation:
+    @pytest.mark.parametrize("flag,value", [
+        ("--outage-rate", "2.0"),
+        ("--outage-rate", "-0.1"),
+        ("--straggler-slowdown", "0.5"),
+        ("--link-slowdown", "0.9"),
+        ("--stragglers", "-1"),
+        ("--degraded-links", "-2"),
+        ("--jitter", "-1"),
+        ("--ensemble", "0"),
+    ])
+    def test_bad_flag_exits_2_naming_the_flag(self, capsys, flag, value):
+        assert main([
+            "faults", "gpt3-175b", "--chips", "16", flag, value,
+        ]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.count("\n") == 0, "diagnostic must be one line"
+        assert flag in err
+
+
+class TestRecoveryCommand:
+    def test_report(self, capsys):
+        assert main(["recovery", "gpt3-175b", "--chips", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        assert "Young/Daly checkpoint interval" in out
+        assert "restart" in out and "degrade" in out
+        assert "best policy" in out
+
+    def test_requires_model(self, capsys):
+        assert main(["recovery"]) == 2
+        assert "usage: meshslice recovery" in capsys.readouterr().err
+
+    def test_unknown_model(self, capsys):
+        assert main(["recovery", "gpt5", "--chips", "16"]) == 2
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--chip-mtbf-hours", "-5"),
+        ("--chip-mtbf-hours", "0"),
+        ("--repair-minutes", "-1"),
+        ("--checkpoint-seconds", "0"),
+        ("--restart-seconds", "-3"),
+    ])
+    def test_bad_flag_exits_2_naming_the_flag(self, capsys, flag, value):
+        assert main([
+            "recovery", "gpt3-175b", "--chips", "16", flag, value,
+        ]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.count("\n") == 0, "diagnostic must be one line"
+        assert flag in err
+
+    def test_too_few_chips(self, capsys):
+        assert main(["recovery", "gpt3-175b", "--chips", "2"]) == 2
+        assert "--chips" in capsys.readouterr().err
+
+    def test_normalize_keeps_recovery(self):
+        assert normalize_argv(["recovery", "gpt3-175b"]) == [
+            "recovery", "gpt3-175b"
+        ]

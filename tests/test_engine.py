@@ -180,3 +180,77 @@ class TestSpans:
         ).run()
         starts = [s.start for s in spans]
         assert starts == sorted(starts)
+
+
+class TestHardFaultExecution:
+    """Engine.run_with_failures: structured SimFailure semantics."""
+
+    def _dag(self):
+        return [
+            act(0, 1.0, exclusive=[CORE]),
+            act(1, 2.0, exclusive=[LINK_H], deps=[0], kind="comm"),
+            act(2, 4.0, exclusive=[CORE], deps=[0]),
+        ]
+
+    def test_no_faults_equals_fast_path(self):
+        from repro.sim import Engine as E
+
+        acts = self._dag()
+        spans, failure = E(acts).run_with_failures(())
+        assert failure is None
+        assert spans == E(self._dag()).run()
+
+    def test_late_fault_never_fires(self):
+        from repro.faults import chip_down
+
+        acts = self._dag()
+        spans, failure = Engine(acts).run_with_failures((chip_down(100.0),))
+        assert failure is None
+        assert spans == Engine(self._dag()).run()
+
+    def test_fault_truncates_in_flight_work(self):
+        from repro.faults import chip_down
+
+        spans, failure = Engine(self._dag()).run_with_failures(
+            (chip_down(2.5),)
+        )
+        assert failure is not None
+        assert failure.time == 2.5
+        assert failure.kind == "chip"
+        assert failure.resource == CORE
+        # Only activity 0 finished; spans carry completed work only.
+        assert [s.aid for s in spans] == [0]
+        assert failure.finished == 1
+        assert failure.unstarted == 0
+        assert {s.aid for s in failure.in_flight} == {1, 2}
+        for span in failure.in_flight:
+            assert span.end == 2.5
+            assert span.meta.get("interrupted") is True
+        assert failure.total == 3
+
+    def test_completion_exactly_at_fault_time_counts(self):
+        from repro.faults import link_down
+
+        # Activity 1 holds LINK_H over [1, 3]; a link death at exactly
+        # t=3 does not interrupt it — completions at the fault instant
+        # count as finished. The fault still halts the lockstep step,
+        # interrupting the unrelated compute activity 2.
+        spans, failure = Engine(self._dag()).run_with_failures(
+            (link_down(3.0, LINK_H),)
+        )
+        assert failure is not None
+        assert [s.aid for s in spans] == [0, 1]
+        assert spans[1].end == 3.0
+        assert failure.finished == 2
+        assert [s.aid for s in failure.in_flight] == [2]
+
+    def test_earliest_fault_wins(self):
+        from repro.faults import chip_down, link_down
+
+        _spans, failure = Engine(self._dag()).run_with_failures(
+            (chip_down(4.0), link_down(1.5, LINK_H))
+        )
+        assert failure is not None
+        assert failure.time == 1.5
+        assert failure.kind == "link"
+        assert failure.resource == LINK_H

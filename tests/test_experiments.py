@@ -10,6 +10,7 @@ import pytest
 from repro.experiments import (
     ablation_25d,
     ablation_faults,
+    ablation_recovery,
     fig09_weak_scaling,
     fig10_comm_breakdown,
     fig11_matrix_shapes,
@@ -252,3 +253,58 @@ class TestMains:
         report = module.main(**kwargs)
         assert isinstance(report, str)
         assert len(report.splitlines()) > 2
+
+
+class TestAblationRecovery:
+    def _rows(self, sizes=(16,)):
+        return ablation_recovery.run(sizes=sizes, jobs=1)
+
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert EXPERIMENTS["ablation-recovery"] is ablation_recovery
+
+    def test_row_shape(self):
+        rows = self._rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.chips == 16
+        assert row.mesh == (4, 4)
+        assert row.degraded_mesh in ((3, 4), (4, 3))
+        assert row.dropped in ("row", "col")
+        assert row.degraded_step_ms >= row.step_ms
+        assert row.degraded_slowdown >= 1.0
+        assert 0.0 < row.restart_goodput < 1.0
+        assert 0.0 < row.degrade_goodput < 1.0
+        assert row.best_policy in ("restart", "degrade")
+
+    def test_deterministic(self):
+        assert self._rows() == self._rows()
+
+    def test_memoized_pipeline_counters(self, monkeypatch):
+        from repro.perf import cache_stats, clear_caches
+        from repro.perf.cache import KILL_SWITCH_ENV
+
+        # Opt back into caching even under the CI no-cache lane.
+        monkeypatch.delenv(KILL_SWITCH_ENV, raising=False)
+        clear_caches()
+        self._rows()
+        stats = cache_stats()
+        assert stats["degraded_retune"].misses == 1
+        assert stats["degraded_retune"].hits == 0
+        # A warm second run replays entirely from the caches.
+        self._rows()
+        stats = cache_stats()
+        assert stats["degraded_retune"].hits == 1
+        assert stats["degraded_retune"].misses == 1
+
+    def test_degrade_advantage_grows_with_scale(self):
+        rows = self._rows(sizes=(16, 64))
+        gaps = [r.degrade_goodput - r.restart_goodput for r in rows]
+        assert gaps == sorted(gaps)
+
+    def test_main_renders(self):
+        report = ablation_recovery.main()
+        assert "best" in report
+        assert "degrade" in report
+        assert len(report.splitlines()) > 4

@@ -145,3 +145,30 @@ class TestFactorizations:
         assert ds[0] == 1 and ds[-1] == n
         assert all(n % d == 0 for d in ds)
         assert ds == sorted(set(ds))
+
+
+class TestDegradedShapes:
+    """Dropping a dead chip's row/column (see repro.recovery)."""
+
+    def test_without_row(self):
+        assert Mesh2D(4, 8).without_row(2) == Mesh2D(3, 8)
+
+    def test_without_col(self):
+        assert Mesh2D(4, 8).without_col(0) == Mesh2D(4, 7)
+
+    def test_result_shape_ignores_which_index(self):
+        mesh = Mesh2D(5, 6)
+        assert {mesh.without_row(i) for i in range(5)} == {Mesh2D(4, 6)}
+        assert {mesh.without_col(j) for j in range(6)} == {Mesh2D(5, 5)}
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            Mesh2D(4, 4).without_row(4)
+        with pytest.raises(IndexError):
+            Mesh2D(4, 4).without_col(-5)
+
+    def test_cannot_vanish(self):
+        with pytest.raises(ValueError):
+            Mesh2D(1, 8).without_row(0)
+        with pytest.raises(ValueError):
+            Mesh2D(8, 1).without_col(0)
