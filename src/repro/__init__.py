@@ -57,7 +57,7 @@ from repro.hw import (
 )
 from repro.mesh import Mesh2D, MeshExecutor, Ring1D, mesh_shapes
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Lazily-loaded stable API (PEP 562): name -> (module, attribute).
 #: Importing these eagerly would pull the whole timing plane (and the
@@ -67,8 +67,11 @@ _LAZY_EXPORTS = {
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "FaultSpec": ("repro.faults", "FaultSpec"),
     "HardFault": ("repro.faults", "HardFault"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
     "NULL_PLAN": ("repro.faults", "NULL_PLAN"),
+    "ProfileReport": ("repro.obs", "ProfileReport"),
     "RetryPolicy": ("repro.recovery", "RetryPolicy"),
+    "RunMetrics": ("repro.obs", "RunMetrics"),
     "SimFailure": ("repro.sim.engine", "SimFailure"),
     "SimResult": ("repro.sim.cluster", "SimResult"),
     "Trace": ("repro.sim.trace", "Trace"),
@@ -76,6 +79,7 @@ _LAZY_EXPORTS = {
     "chip_down": ("repro.faults", "chip_down"),
     "get_algorithm": ("repro.algorithms", "get_algorithm"),
     "link_down": ("repro.faults", "link_down"),
+    "profile_block": ("repro.obs", "profile_block"),
     "retune_degraded": ("repro.recovery", "retune_degraded"),
     "robust_tune": ("repro.autotuner", "robust_tune"),
     "simulate": ("repro.sim.cluster", "simulate"),
@@ -93,9 +97,12 @@ __all__ = [
     "HardwareParams",
     "Mesh2D",
     "MeshExecutor",
+    "MetricsRegistry",
     "NULL_PLAN",
+    "ProfileReport",
     "RetryPolicy",
     "Ring1D",
+    "RunMetrics",
     "SimFailure",
     "SimResult",
     "TPUV4",
@@ -111,6 +118,7 @@ __all__ = [
     "meshslice_ls",
     "meshslice_os",
     "meshslice_rs",
+    "profile_block",
     "retune_degraded",
     "robust_tune",
     "simulate",

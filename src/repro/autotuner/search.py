@@ -29,6 +29,7 @@ from repro.faults import FaultPlan, FaultSpec
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import Mesh2D, mesh_shapes
 from repro.models.config import LLMConfig
+from repro.obs.registry import registry as _metrics
 
 
 @dataclasses.dataclass(frozen=True)
@@ -151,6 +152,9 @@ def tune(
                 block_seconds=total,
                 per_mesh_seconds={},
             )
+    reg = _metrics()
+    reg.inc("tuner.runs", labels={"model": model.name})
+    reg.inc("tuner.meshes_searched", float(len(candidates)))
     return dataclasses.replace(best, per_mesh_seconds=per_mesh)
 
 
@@ -283,6 +287,13 @@ def robust_tune(
     nominal = sum(
         simulated_pass(algorithm, t.config(best_mesh), hw).makespan
         for t in best_tuned
+    )
+    reg = _metrics()
+    reg.inc("tuner.robust_runs", labels={"model": model.name})
+    reg.inc("tuner.meshes_searched", float(len(candidates)))
+    reg.inc(
+        "tuner.ensemble_simulations",
+        float(len(fault_plans) * len(per_mesh)),
     )
     return RobustTuningResult(
         mesh=best_mesh,

@@ -12,8 +12,13 @@ Deployment planning and introspection::
     meshslice tune gpt3-175b --chips 256 --batch 128 [--hw tpuv4-sim]
     meshslice faults gpt3-175b --chips 256 --stragglers 2
     meshslice recovery gpt3-175b --chips 256 --chip-mtbf-hours 2000
+    meshslice profile gpt3-175b --chips 16 --batch 8
     meshslice models                  # model zoo
     meshslice presets                 # hardware presets
+
+``--metrics out.jsonl`` on ``run``/``tune``/``faults``/``recovery``/
+``profile`` dumps everything the observability layer collected during
+the command (see ``docs/observability.md`` for the schema).
 
 Bare experiment names keep working as aliases of ``run`` —
 ``meshslice fig9 --jobs 8`` and ``meshslice all`` behave exactly as
@@ -31,7 +36,10 @@ from repro.experiments import EXPERIMENTS
 
 #: The real subcommands; anything else in command position is treated
 #: as an experiment name and routed through ``run`` (legacy alias).
-COMMANDS = ("run", "list", "tune", "faults", "recovery", "models", "presets")
+COMMANDS = (
+    "run", "list", "tune", "faults", "recovery", "profile",
+    "models", "presets",
+)
 
 
 def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
@@ -50,6 +58,16 @@ def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--hw", default="tpuv4-sim",
         help="hardware preset name (see 'presets')",
+    )
+
+
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help=(
+            "write collected metrics to a JSONL file after the command "
+            "(schema: docs/observability.md)"
+        ),
     )
 
 
@@ -76,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: REPRO_JOBS env var, then the CPU count)"
         ),
     )
+    _add_metrics_argument(run)
 
     sub.add_parser("list", help="enumerate the available experiments")
 
@@ -85,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run the two-phase autotuner (Section 3.2).",
     )
     _add_cluster_arguments(tune)
+    _add_metrics_argument(tune)
 
     faults = sub.add_parser(
         "faults",
@@ -136,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="base seed of the fault ensemble (default: 0)",
     )
+    _add_metrics_argument(faults)
 
     recovery = sub.add_parser(
         "recovery",
@@ -168,6 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", choices=("restart", "degrade", "both"), default="both",
         help="recovery policy to evaluate (default: both)",
     )
+    _add_metrics_argument(recovery)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one deployment point: where does the time go?",
+        description=(
+            "Simulate one transformer block at the algorithm's optimal "
+            "mesh shape and report per-resource utilization, the "
+            "compute/communication overlap fraction, the communication "
+            "breakdown, queue waits, and memoization hit rates."
+        ),
+    )
+    _add_cluster_arguments(profile)
+    profile.add_argument(
+        "--algorithm", default="meshslice",
+        help="distributed GeMM algorithm to profile (default: meshslice)",
+    )
+    _add_metrics_argument(profile)
 
     sub.add_parser("models", help="list the model zoo")
     sub.add_parser("presets", help="list the hardware presets")
@@ -469,6 +508,41 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Per-run derived metrics a handler wants included in the command's
+#: ``--metrics`` export (filled by ``profile``; others export only the
+#: registry and cache counters).
+_RUN_METRICS: List[object] = []
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    resolved = _resolve_cluster(args)
+    if isinstance(resolved, int):
+        return resolved
+    model, hw, batch = resolved
+    from repro.obs.profile import profile_block
+
+    report = profile_block(
+        model, batch, args.chips, hw, algorithm=args.algorithm
+    )
+    if report is None:
+        print(
+            f"meshslice profile: {args.algorithm} cannot run on "
+            f"{args.chips} chips",
+            file=sys.stderr,
+        )
+        return 2
+    _RUN_METRICS.append(report.metrics)
+    print(report.render())
+    return 0
+
+
+def _write_metrics(path: str) -> None:
+    """Dump everything collected during the command as schema JSONL."""
+    from repro.obs.export import collect_records, write_jsonl
+
+    write_jsonl(collect_records(run_metrics=_RUN_METRICS), path)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         # The experiment main()s read the worker count from the
@@ -519,10 +593,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
         "tune": lambda: _cmd_tune(args),
         "faults": lambda: _cmd_faults(args),
         "recovery": lambda: _cmd_recovery(args),
+        "profile": lambda: _cmd_profile(args),
         "models": _cmd_models,
         "presets": _cmd_presets,
     }
-    return handlers[args.command]()
+    code = handlers[args.command]()
+    metrics_path = getattr(args, "metrics", None)
+    if code == 0 and metrics_path:
+        _write_metrics(metrics_path)
+    return code
 
 
 if __name__ == "__main__":

@@ -51,6 +51,7 @@ from repro.hw.params import HardwareParams
 from repro.mesh.topology import Mesh2D, mesh_shapes, square_mesh
 from repro.models.config import LLMConfig
 from repro.models.nonfc import nonfc_block_seconds
+from repro.obs.registry import MetricRecord, metrics_enabled, registry
 from repro.perf.pipeline import (
     pass_compute_floor,
     pass_lower_bound,
@@ -427,12 +428,36 @@ class GridPointError(RuntimeError):
 
 
 @dataclasses.dataclass
+class _MetricsEnvelope:
+    """A pooled worker's result plus the metric delta it produced."""
+
+    result: object
+    records: List[MetricRecord]
+
+
+@dataclasses.dataclass
 class _GridWorker:
-    """Picklable wrapper attaching the grid point to worker failures."""
+    """Picklable wrapper attaching the grid point to worker failures.
+
+    With ``collect_metrics`` (the process-pool path) each call also
+    snapshots the worker process's registry around ``fn`` and ships the
+    delta home in a :class:`_MetricsEnvelope`, so pooled runs lose no
+    counters. Serial calls never set it — their ``fn`` already writes
+    the parent registry directly, and enveloping would double-count.
+    """
 
     fn: Callable
+    collect_metrics: bool = False
 
     def __call__(self, point):
+        if not self.collect_metrics or not metrics_enabled():
+            return self._run(point)
+        reg = registry()
+        before = reg.snapshot()
+        result = self._run(point)
+        return _MetricsEnvelope(result, reg.delta_since(before))
+
+    def _run(self, point):
         try:
             return self.fn(point)
         except GridPointError:
@@ -458,6 +483,11 @@ def grid_map(
     spawned (restricted sandboxes) or the pool breaks. An exception
     raised by ``fn`` itself aborts the map with a
     :class:`GridPointError` naming the failing point, in both modes.
+
+    Metrics survive the pool: each worker returns the registry delta
+    its point produced and the parent folds the deltas back in *input
+    order*, so the merged registry is byte-identical to a serial run
+    regardless of pool scheduling (and of ``jobs``).
     """
     points = list(items)
     workers = min(resolve_jobs(jobs), len(points))
@@ -467,11 +497,23 @@ def grid_map(
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
+    pooled = _GridWorker(fn, collect_metrics=metrics_enabled())
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(worker, points))
+            outputs = list(pool.map(pooled, points))
     except (OSError, PermissionError, BrokenProcessPool):
         return [worker(point) for point in points]
+    if not pooled.collect_metrics:
+        return outputs
+    reg = registry()
+    results: List[_R] = []
+    for out in outputs:
+        if isinstance(out, _MetricsEnvelope):
+            reg.merge_records(out.records)
+            results.append(out.result)
+        else:  # the worker saw the kill switch set in its own env
+            results.append(out)
+    return results
 
 
 def render_table(

@@ -27,7 +27,7 @@ from repro.hw.params import HardwareParams
 from repro.hw.presets import TPUV4
 from repro.models.config import LLMConfig
 from repro.models.zoo import GPT3_175B, MEGATRON_NLG_530B
-from repro.sim.trace import comm_breakdown
+from repro.sim.trace import ZERO_BREAKDOWN
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,8 +63,8 @@ def run(
                 rows.append(BreakdownRow(model.name, algorithm, None, None, None))
                 continue
             comm = sum(
-                (comm_breakdown(r.spans) for r in block.results),
-                start=comm_breakdown([]),
+                (r.trace.breakdown() for r in block.results),
+                start=ZERO_BREAKDOWN,
             )
             compute = sum(r.compute_seconds for r in block.results)
             rel = comm.relative_to(compute)

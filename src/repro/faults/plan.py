@@ -43,6 +43,7 @@ import random
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.faults.hard import HardFault
+from repro.obs.registry import registry as _metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim -> faults)
     from repro.recovery.retry import RetryPolicy
@@ -146,6 +147,7 @@ class FaultPlan:
         """
         if self._rewrites_nothing:
             return program
+        _metrics().inc("faults.plans_applied")
         rng = random.Random(self.seed)
         factors = dict(self.link_degradation)
         activities = [
@@ -208,6 +210,14 @@ class FaultPlan:
                     retry = self.outage_penalty
                     retransmit = slowed_transfer
                     attempts = 1
+                reg = _metrics()
+                reg.inc("faults.outages")
+                reg.inc("faults.retry_attempts", float(attempts))
+                if failed_link is not None:
+                    reg.inc(
+                        "faults.retries_exhausted",
+                        labels={"resource": failed_link},
+                    )
         delta = extra + jitter + retry + retransmit
         if delta == 0.0 and failed_link is None:
             return act

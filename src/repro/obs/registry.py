@@ -1,0 +1,355 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The observability layer's collection side. Instrumented code obtains
+the active registry via :func:`registry` and bumps named, labeled
+series; consumers take a :meth:`MetricsRegistry.snapshot` and hand it
+to the exporters in :mod:`repro.obs.export`.
+
+Design constraints, in order:
+
+* **Zero-cost opt-out.** ``REPRO_NO_METRICS=1`` switches
+  :func:`registry` to a shared :class:`NullRegistry` whose methods are
+  empty; instrumentation sites then cost one environment probe and one
+  no-op method call. The switch is honored *per call*, exactly like
+  ``REPRO_NO_CACHE`` in :mod:`repro.perf.cache`, so one process can
+  flip it (tests rely on this). Simulation *outputs* never depend on
+  the switch — metrics are observations, not inputs.
+* **Determinism.** Snapshots are sorted by ``(type, name, labels)``
+  and labels are stored as sorted tuples, so two identical workloads
+  produce byte-identical exports regardless of dict insertion or hash
+  ordering (``PYTHONHASHSEED``).
+* **Mergeability.** Every series is a sum (histograms carry bucket
+  *counts*, not min/max), so deltas from worker processes can be added
+  back into the parent registry in input order — see
+  ``repro.experiments.common.grid_map``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Environment variable that disables metric collection when set to a
+#: truthy value ("1", "true", "yes", "on" — case-insensitive).
+KILL_SWITCH_ENV = "REPRO_NO_METRICS"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+# Per-call environment probe. ``os.environ.get`` re-encodes the key on
+# every call; on CPython/POSIX read the underlying bytes dict directly
+# (kept in sync by ``os.environ.__setitem__``, which monkeypatch.setenv
+# and CLI code use). Same idiom as ``repro.perf.cache``.
+if os.name == "posix" and isinstance(
+    getattr(os.environ, "_data", None), dict
+):
+    _ENV_DATA = os.environ._data
+    _KILL_KEY = os.fsencode(KILL_SWITCH_ENV)
+
+    def _kill_switch_value() -> str:
+        raw = _ENV_DATA.get(_KILL_KEY)
+        return "" if raw is None else os.fsdecode(raw)
+
+else:  # pragma: no cover - non-CPython / non-POSIX fallback
+
+    def _kill_switch_value() -> str:
+        return os.environ.get(KILL_SWITCH_ENV, "")
+
+
+def metrics_enabled() -> bool:
+    """Whether metric collection is active (the kill switch is unset)."""
+    value = _kill_switch_value()
+    return not value or value.strip().lower() not in _TRUTHY
+
+
+#: Canonical label encoding: a tuple of (key, value) pairs sorted by
+#: key. Hashable, order-independent, and deterministic to serialize.
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (seconds): nanoseconds to
+#: seventeen minutes in half-decade steps, plus a +inf overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** (e / 2.0) for e in range(-18, 7)
+)
+
+
+def _labels_key(labels: Optional[Mapping[str, object]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricRecord:
+    """One exported series: the unit the JSONL schema serializes.
+
+    ``value`` is the counter total or gauge level; histograms instead
+    carry ``count``/``total`` and per-bucket counts (upper-bound keyed,
+    ``"+inf"`` for the overflow bucket).
+    """
+
+    type: str  # "counter" | "gauge" | "histogram" | "derived"
+    name: str
+    labels: Labels
+    value: Optional[float] = None
+    count: Optional[int] = None
+    total: Optional[float] = None
+    buckets: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    def to_record(self) -> Dict[str, object]:
+        """The JSON-able dict of one JSONL line (see the schema docs)."""
+        record: Dict[str, object] = {
+            "type": self.type,
+            "name": self.name,
+            "labels": {k: v for k, v in self.labels},
+        }
+        if self.value is not None:
+            record["value"] = self.value
+        if self.count is not None:
+            record["count"] = self.count
+        if self.total is not None:
+            record["total"] = self.total
+        if self.buckets is not None:
+            record["buckets"] = {bound: n for bound, n in self.buckets}
+        return record
+
+    @property
+    def sort_key(self) -> Tuple[str, str, Labels]:
+        return (self.type, self.name, self.labels)
+
+
+class _Histogram:
+    """Cumulative-free bucketed distribution: counts, not percentiles.
+
+    Buckets hold the number of observations at or below each upper
+    bound (non-cumulative, one slot per bound plus overflow), so two
+    histograms merge by plain addition.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += value
+
+    def bucket_items(self) -> Tuple[Tuple[str, int], ...]:
+        """Non-empty buckets as ``(upper_bound_repr, count)`` pairs."""
+        items: List[Tuple[str, int]] = []
+        for i, n in enumerate(self.counts):
+            if not n:
+                continue
+            bound = "+inf" if i == len(self.bounds) else repr(self.bounds[i])
+            items.append((bound, n))
+        return tuple(items)
+
+
+class MetricsRegistry:
+    """Named, labeled metric series with deterministic snapshots.
+
+    Thread-safe for concurrent writers (a single lock — the
+    instrumented paths are far from contended). Reads
+    (:meth:`snapshot`) take the same lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, Labels], float] = {}
+        self._gauges: Dict[Tuple[str, Labels], float] = {}
+        self._histograms: Dict[Tuple[str, Labels], _Histogram] = {}
+
+    # ------------------------------------------------------------ writers
+
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Add ``value`` to a counter series (creating it at zero)."""
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Set a gauge series to its latest level."""
+        with self._lock:
+            self._gauges[(name, _labels_key(labels))] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record one observation into a histogram series."""
+        key = (name, _labels_key(labels))
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = _Histogram()
+            hist.observe(value)
+
+    # ------------------------------------------------------------ readers
+
+    def snapshot(self) -> List[MetricRecord]:
+        """Every series as records, sorted by ``(type, name, labels)``."""
+        with self._lock:
+            records = [
+                MetricRecord("counter", name, labels, value=value)
+                for (name, labels), value in self._counters.items()
+            ]
+            records.extend(
+                MetricRecord("gauge", name, labels, value=value)
+                for (name, labels), value in self._gauges.items()
+            )
+            records.extend(
+                MetricRecord(
+                    "histogram",
+                    name,
+                    labels,
+                    count=hist.count,
+                    total=hist.total,
+                    buckets=hist.bucket_items(),
+                )
+                for (name, labels), hist in self._histograms.items()
+            )
+        records.sort(key=lambda r: r.sort_key)
+        return records
+
+    def counter_value(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> float:
+        """Current total of one counter series (0.0 if absent)."""
+        with self._lock:
+            return self._counters.get((name, _labels_key(labels)), 0.0)
+
+    def clear(self) -> None:
+        """Drop every series (tests and fresh CLI invocations)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------- merging
+
+    def merge_records(self, records: Iterable[MetricRecord]) -> None:
+        """Fold a snapshot (or delta) from another registry into this one.
+
+        Counters and histograms add; gauges take the incoming level
+        (last writer wins, as for a local ``set_gauge``).
+        """
+        with self._lock:
+            for rec in records:
+                key = (rec.name, rec.labels)
+                if rec.type == "counter":
+                    self._counters[key] = (
+                        self._counters.get(key, 0.0) + (rec.value or 0.0)
+                    )
+                elif rec.type == "gauge":
+                    self._gauges[key] = rec.value or 0.0
+                elif rec.type == "histogram":
+                    hist = self._histograms.get(key)
+                    if hist is None:
+                        hist = self._histograms[key] = _Histogram()
+                    bounds = {repr(b): i for i, b in enumerate(hist.bounds)}
+                    for bound, n in rec.buckets or ():
+                        index = (
+                            len(hist.bounds)
+                            if bound == "+inf"
+                            else bounds[bound]
+                        )
+                        hist.counts[index] += n
+                    hist.count += rec.count or 0
+                    hist.total += rec.total or 0.0
+
+    def delta_since(self, before: List[MetricRecord]) -> List[MetricRecord]:
+        """The change in every series since an earlier snapshot.
+
+        Counters and histograms subtract; gauges are included at their
+        current level whenever they changed (or are new). Series absent
+        from ``before`` pass through whole. Used by worker processes to
+        report only the metrics their task produced.
+        """
+        old = {(r.type, r.name, r.labels): r for r in before}
+        delta: List[MetricRecord] = []
+        for rec in self.snapshot():
+            prior = old.get((rec.type, rec.name, rec.labels))
+            if prior is None:
+                delta.append(rec)
+                continue
+            if rec.type == "counter":
+                change = (rec.value or 0.0) - (prior.value or 0.0)
+                if change:
+                    delta.append(
+                        dataclasses.replace(rec, value=change)
+                    )
+            elif rec.type == "gauge":
+                if rec.value != prior.value:
+                    delta.append(rec)
+            elif rec.type == "histogram":
+                count = (rec.count or 0) - (prior.count or 0)
+                if not count:
+                    continue
+                prior_buckets = dict(prior.buckets or ())
+                buckets = tuple(
+                    (bound, n - prior_buckets.get(bound, 0))
+                    for bound, n in rec.buckets or ()
+                    if n - prior_buckets.get(bound, 0)
+                )
+                delta.append(
+                    dataclasses.replace(
+                        rec,
+                        count=count,
+                        total=(rec.total or 0.0) - (prior.total or 0.0),
+                        buckets=buckets,
+                    )
+                )
+        return delta
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op registry handed out while ``REPRO_NO_METRICS`` is set."""
+
+    def inc(self, name, value=1.0, labels=None) -> None:  # noqa: D102
+        pass
+
+    def set_gauge(self, name, value, labels=None) -> None:  # noqa: D102
+        pass
+
+    def observe(self, name, value, labels=None) -> None:  # noqa: D102
+        pass
+
+    def merge_records(self, records) -> None:  # noqa: D102
+        pass
+
+
+#: The process-wide registries. ``registry()`` picks one per call.
+GLOBAL_REGISTRY = MetricsRegistry()
+NULL_REGISTRY = NullRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The active registry: global when enabled, a shared no-op not."""
+    if metrics_enabled():
+        return GLOBAL_REGISTRY
+    return NULL_REGISTRY

@@ -27,6 +27,7 @@ from repro.autotuner.search import TuningResult, tune
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import Coord, Mesh2D
 from repro.models.config import LLMConfig
+from repro.obs.registry import registry as _metrics
 
 
 def degraded_meshes(mesh: Mesh2D, dead: Coord) -> Tuple[Mesh2D, ...]:
@@ -96,6 +97,10 @@ def retune_degraded(
     candidates.
     """
     candidates = degraded_meshes(mesh, dead)
+    _metrics().inc(
+        "recovery.degraded_retunes",
+        labels={"mesh": f"{mesh.rows}x{mesh.cols}"},
+    )
     result = tune(
         model,
         batch_size,

@@ -3,6 +3,13 @@
 Wraps a program execution into the metrics the paper reports: makespan,
 per-chip FLOPs, FLOP utilization (achieved throughput over the cluster's
 peak, Section 5.1.1), and the communication breakdown of Figure 10.
+
+:func:`simulate` is also where the observability layer taps the
+simulator: each engine execution's queue waits are captured, derived
+per-run metrics are attached as :attr:`SimResult.metrics`, and the
+process-wide registry counters/histograms are bumped. With
+``REPRO_NO_METRICS=1`` all of that collapses to nothing and the spans
+are byte-for-byte what they always were.
 """
 
 from __future__ import annotations
@@ -11,9 +18,12 @@ import dataclasses
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.hw.params import HardwareParams
+from repro.obs.derive import RunMetrics, derive_run_metrics
+from repro.obs.hooks import capture_waits
+from repro.obs.registry import registry
 from repro.sim.engine import SimFailure, Span, makespan
 from repro.sim.program import Program
-from repro.sim.trace import CommBreakdown, Trace, comm_breakdown, compute_time
+from repro.sim.trace import CommBreakdown, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - avoid the sim <-> faults cycle
     from repro.faults.plan import FaultPlan
@@ -28,6 +38,12 @@ class SimResult:
     makespan: float
     flops_per_chip: float
     failure: Optional[SimFailure] = None
+    #: Derived observability metrics of this execution (utilization,
+    #: overlap fraction, queue waits, ...). ``None`` when metrics were
+    #: disabled (``REPRO_NO_METRICS``) at simulation time; everything
+    #: span-derivable can still be recomputed via
+    #: ``repro.obs.derive_run_metrics(result.spans)``.
+    metrics: Optional[RunMetrics] = None
 
     @property
     def completed(self) -> bool:
@@ -42,12 +58,12 @@ class SimResult:
     @property
     def compute_seconds(self) -> float:
         """Wall-clock time the core spent in GeMM kernels."""
-        return compute_time(self.spans)
+        return self.trace.compute_time()
 
     @property
     def comm(self) -> CommBreakdown:
         """Total (overlapped plus non-overlapped) communication time."""
-        return comm_breakdown(self.spans)
+        return self.trace.breakdown()
 
     def flop_utilization(self, peak_flops: float = None) -> float:
         """Achieved GeMM throughput over peak chip throughput.
@@ -81,13 +97,32 @@ def simulate(
     structured :class:`SimFailure` and ``makespan`` is the failure
     time — the wall clock the cluster burned before halting.
     """
-    spans, failure = program.execute(faults)
+    with capture_waits() as waits:
+        spans, failure = program.execute(faults)
+    metrics = None
+    if waits is not None:
+        metrics = derive_run_metrics(spans, waits)
+        reg = registry()
+        reg.inc("sim.runs")
+        reg.inc("sim.activities", float(len(spans)))
+        if faults is not None and not faults.is_null:
+            reg.inc("sim.faulted_runs")
+        if failure is not None:
+            reg.inc(
+                "sim.failures",
+                labels={"kind": failure.kind, "resource": failure.resource},
+            )
+        for kind, wait in waits:
+            reg.observe(
+                "engine.queue_wait_seconds", wait, labels={"kind": kind}
+            )
     return SimResult(
         hw=hw,
         spans=spans,
         makespan=failure.time if failure is not None else makespan(spans),
         flops_per_chip=program.total_flops,
         failure=failure,
+        metrics=metrics,
     )
 
 

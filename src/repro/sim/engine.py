@@ -75,6 +75,8 @@ from typing import (
     Tuple,
 )
 
+from repro.obs.hooks import wait_sink as _wait_sink
+
 if TYPE_CHECKING:  # pragma: no cover - avoid the sim -> faults cycle
     from repro.faults.hard import HardFault
 
@@ -349,6 +351,11 @@ class Engine:
         finished = 0
         now = 0.0
         inf = float("inf")
+        # Queue-wait observation channel (repro.obs): when a capture is
+        # active, each start records how long the activity sat ready but
+        # blocked. Pure observation — never read by the loop — so the
+        # simulated spans are bit-identical with or without it.
+        observed = _wait_sink()
         # Guard against infinite loops on malformed inputs.
         max_steps = 10 * n_acts + 100
 
@@ -405,6 +412,8 @@ class Engine:
                     continue
                 for r in exclusive:
                     busy[r] = True
+                if observed is not None:
+                    observed.append((act_list[i].kind, now - item[0]))
                 duration = durations[i]
                 running[i] = [
                     now,

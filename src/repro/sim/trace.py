@@ -4,14 +4,21 @@
 aggregation in one place: the communication-time breakdown of Figure 10
 (launch / transfer / sync, overlapped plus non-overlapped), per-resource
 busy time, an ASCII timeline renderer in the spirit of the paper's
-Figure 4, and Chrome/Perfetto trace export. The module-level functions
-(:func:`comm_breakdown`, :func:`busy_time`, ...) are thin delegates kept
-for callers that hold a bare span list.
+Figure 4, and Chrome/Perfetto trace export (span tracks plus derived
+per-resource occupancy counter tracks).
+
+The module-level delegates (:func:`comm_breakdown`, :func:`busy_time`,
+:func:`compute_time`, :func:`kind_durations`, :func:`to_chrome_trace`,
+:func:`write_chrome_trace`) are **deprecated** since 1.3 — call the
+:class:`Trace` methods instead (``Trace.from_spans(spans).breakdown()``
+and friends). :func:`ascii_timeline` remains supported as the one
+convenience renderer for bare span lists.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.sim.engine import CORE, LINK_H, LINK_V, Span, makespan
@@ -151,6 +158,41 @@ class Trace:
         )
         return "\n".join(lines)
 
+    def counter_events(self) -> List[Dict[str, object]]:
+        """Derived occupancy counter tracks (``ph: "C"`` events).
+
+        One counter series per exclusive resource: how many spans hold
+        the resource at each transition instant. Chrome/Perfetto render
+        these as area charts below the span tracks, making contention
+        (occupancy > 1 on a queued resource) visible at a glance.
+        Deterministic: resources and transition times are emitted in
+        sorted order.
+        """
+        transitions: Dict[str, Dict[float, int]] = {}
+        for span in self.spans:
+            for resource in span.exclusive:
+                deltas = transitions.setdefault(resource, {})
+                deltas[span.start] = deltas.get(span.start, 0) + 1
+                deltas[span.end] = deltas.get(span.end, 0) - 1
+        events: List[Dict[str, object]] = []
+        for resource in sorted(transitions):
+            level = 0
+            for time in sorted(transitions[resource]):
+                delta = transitions[resource][time]
+                if not delta:  # a start and an end cancel out
+                    continue
+                level += delta
+                events.append(
+                    {
+                        "name": f"busy:{resource}",
+                        "ph": "C",
+                        "pid": 1,
+                        "ts": time * 1e6,
+                        "args": {"busy": level},
+                    }
+                )
+        return events
+
     def to_chrome(self) -> List[Dict[str, object]]:
         """Convert the spans to Chrome tracing's JSON event format.
 
@@ -158,7 +200,9 @@ class Trace:
         or Perfetto to inspect a simulated timeline interactively.
         Each exclusive resource becomes a track (``tid``); activities
         without exclusive resources land on a ``"free"`` track. Times
-        are emitted in microseconds, as the format requires.
+        are emitted in microseconds, as the format requires. The span
+        events are followed by the :meth:`counter_events` occupancy
+        tracks.
         """
         track_ids: Dict[str, int] = {}
         events: List[Dict[str, object]] = []
@@ -196,6 +240,7 @@ class Trace:
                         },
                     }
                 )
+        events.extend(self.counter_events())
         return events
 
     def write_chrome(self, path: str) -> None:
@@ -206,26 +251,39 @@ class Trace:
             json.dump(self.to_chrome(), handle)
 
 
-# ------------------------------------------------------- thin delegates
+# ------------------------------------------- deprecated thin delegates
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.sim.trace.{name}() is deprecated; use "
+        f"Trace.from_spans(spans).{replacement}() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def comm_breakdown(spans: Iterable[Span]) -> CommBreakdown:
-    """Nominal comm breakdown of a span list (:meth:`Trace.breakdown`)."""
+    """Deprecated delegate of :meth:`Trace.breakdown`."""
+    _warn_deprecated("comm_breakdown", "breakdown")
     return Trace.from_spans(spans).breakdown()
 
 
 def busy_time(spans: Iterable[Span], resource: str) -> float:
-    """Wall-clock busy time of one resource (:meth:`Trace.busy_time`)."""
+    """Deprecated delegate of :meth:`Trace.busy_time`."""
+    _warn_deprecated("busy_time", "busy_time")
     return Trace.from_spans(spans).busy_time(resource)
 
 
 def compute_time(spans: Iterable[Span]) -> float:
-    """Total GeMM compute span time (:meth:`Trace.compute_time`)."""
+    """Deprecated delegate of :meth:`Trace.compute_time`."""
+    _warn_deprecated("compute_time", "compute_time")
     return Trace.from_spans(spans).compute_time()
 
 
 def kind_durations(spans: Iterable[Span]) -> Dict[str, float]:
-    """Span duration per activity kind (:meth:`Trace.kind_durations`)."""
+    """Deprecated delegate of :meth:`Trace.kind_durations`."""
+    _warn_deprecated("kind_durations", "kind_durations")
     return Trace.from_spans(spans).kind_durations()
 
 
@@ -239,10 +297,12 @@ def ascii_timeline(
 
 
 def to_chrome_trace(spans: Sequence[Span]) -> List[Dict[str, object]]:
-    """Chrome tracing events of a span list (:meth:`Trace.to_chrome`)."""
+    """Deprecated delegate of :meth:`Trace.to_chrome`."""
+    _warn_deprecated("to_chrome_trace", "to_chrome")
     return Trace.from_spans(spans).to_chrome()
 
 
 def write_chrome_trace(spans: Sequence[Span], path: str) -> None:
-    """Write a Chrome/Perfetto trace (:meth:`Trace.write_chrome`)."""
+    """Deprecated delegate of :meth:`Trace.write_chrome`."""
+    _warn_deprecated("write_chrome_trace", "write_chrome")
     Trace.from_spans(spans).write_chrome(path)

@@ -7,6 +7,21 @@ from repro.hw import TPUV4
 from repro.mesh import Mesh2D
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the pinned golden files instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """Whether this run should rewrite golden files (--update-goldens)."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rng():
     """Deterministic random generator for numerical tests."""

@@ -3,7 +3,7 @@
 import json
 
 from repro.hw import TPUV4
-from repro.sim import LINK_H, ProgramBuilder, to_chrome_trace, write_chrome_trace
+from repro.sim import LINK_H, ProgramBuilder, Trace
 
 
 def _spans():
@@ -13,15 +13,19 @@ def _spans():
     return builder.build().run()
 
 
+def _to_chrome(spans):
+    return Trace.from_spans(spans).to_chrome()
+
+
 class TestChromeTrace:
     def test_complete_events_for_every_span(self):
         spans = _spans()
-        events = to_chrome_trace(spans)
+        events = _to_chrome(spans)
         complete = [e for e in events if e["ph"] == "X"]
         assert len(complete) == len(spans)
 
     def test_track_metadata_emitted(self):
-        events = to_chrome_trace(_spans())
+        events = _to_chrome(_spans())
         names = [
             e["args"]["name"] for e in events if e["ph"] == "M"
         ]
@@ -30,22 +34,32 @@ class TestChromeTrace:
 
     def test_times_in_microseconds(self):
         spans = _spans()
-        events = [e for e in to_chrome_trace(spans) if e["ph"] == "X"]
+        events = [e for e in _to_chrome(spans) if e["ph"] == "X"]
         gemm = next(e for e in events if e["name"] == "gemm")
         gemm_span = next(s for s in spans if s.label == "gemm")
         assert gemm["ts"] == gemm_span.start * 1e6
         assert gemm["dur"] == gemm_span.duration * 1e6
 
     def test_args_only_scalars(self):
-        for event in to_chrome_trace(_spans()):
+        for event in _to_chrome(_spans()):
             for value in event.get("args", {}).values():
                 assert isinstance(value, (int, float, str, bool))
 
+    def test_counter_tracks_present(self):
+        events = _to_chrome(_spans())
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        assert {e["name"] for e in counters} >= {"busy:core", f"busy:{LINK_H}"}
+        for event in counters:
+            assert isinstance(event["args"]["busy"], int)
+            assert event["args"]["busy"] >= 0
+
     def test_file_roundtrip(self, tmp_path):
         path = tmp_path / "trace.json"
-        write_chrome_trace(_spans(), str(path))
+        Trace.from_spans(_spans()).write_chrome(str(path))
         events = json.loads(path.read_text())
         assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "C" for e in events)
 
     def test_empty_spans(self):
-        assert to_chrome_trace([]) == []
+        assert _to_chrome([]) == []

@@ -19,15 +19,28 @@ from repro.sim import Activity, CORE, Engine, LINK_H, makespan
 
 
 @st.composite
-def random_dag(draw):
-    """A random well-formed activity DAG over two exclusive resources."""
+def random_dag(draw, allow_exclusive=True, kinds=("compute",)):
+    """A random well-formed activity DAG over two exclusive resources.
+
+    ``allow_exclusive=False`` restricts the DAG to purely fluid-shared
+    activities (no exclusive resources, hence no service queues).
+    ``kinds`` widens the activity kinds drawn; ``"comm"`` activities
+    get a random launch/transfer/sync meta split the way real builders
+    record it, so trace aggregations see realistic metadata.
+    """
     count = draw(st.integers(1, 14))
+    resource_choices = (
+        [(), (CORE,), (LINK_H,), (CORE, LINK_H)]
+        if allow_exclusive
+        else [()]
+    )
     activities = []
     for aid in range(count):
         duration = draw(
             st.floats(0.0, 3.0, allow_nan=False, allow_infinity=False)
         )
-        resource = draw(st.sampled_from([(), (CORE,), (LINK_H,), (CORE, LINK_H)]))
+        kind = draw(st.sampled_from(list(kinds)))
+        resource = draw(st.sampled_from(resource_choices))
         dep_pool = list(range(aid))
         deps = tuple(
             sorted(
@@ -43,15 +56,25 @@ def random_dag(draw):
         shared = {}
         if draw(st.booleans()):
             shared["hbm"] = draw(st.floats(1.0, 200.0))
+        meta = {}
+        if kind == "comm" and duration > 0.0:
+            launch_frac = draw(st.floats(0.0, 0.3))
+            sync_frac = draw(st.floats(0.0, 0.3))
+            meta = {
+                "launch": duration * launch_frac,
+                "sync": duration * sync_frac,
+                "transfer": duration * (1.0 - launch_frac - sync_frac),
+            }
         activities.append(
             Activity(
                 aid=aid,
                 label=f"a{aid}",
-                kind="compute",
+                kind=kind,
                 duration=duration,
                 exclusive=resource,
                 shared=shared,
                 deps=deps,
+                meta=meta,
             )
         )
     return activities
@@ -98,10 +121,23 @@ class TestEngineInvariants:
             )
         assert total >= max(longest.values()) - 1e-9
 
-    @settings(max_examples=80, deadline=None)
-    @given(random_dag())
+    @settings(max_examples=120, deadline=None)
+    @given(random_dag(allow_exclusive=False))
     def test_oversubscription_never_speeds_up(self, activities):
-        """Halving the shared capacity can only increase the makespan."""
+        """Reducing shared capacity can only increase the makespan —
+        for purely fluid-shared DAGs.
+
+        The restriction to ``allow_exclusive=False`` is essential: with
+        exclusive resources the engine is a greedy non-preemptive list
+        scheduler, and those are famously *not* monotone (Graham's
+        scheduling anomalies). Slowing one activity can delay a rival
+        past its turn in a service queue, flip the greedy service
+        order, and finish the whole DAG *earlier* — hypothesis finds
+        such 9-activity counterexamples. Without exclusive queues every
+        activity starts the instant its deps finish and fluid progress
+        rates are pointwise non-decreasing in capacity, so completion
+        times are monotone by induction over events.
+        """
         fast = makespan(Engine(activities, {"hbm": 200.0}).run())
         slow = makespan(Engine(activities, {"hbm": 50.0}).run())
         assert slow >= fast - 1e-9

@@ -1,7 +1,7 @@
 """Tests for the Figure 4 timeline experiment."""
 
 from repro.experiments import fig04_timelines
-from repro.sim.trace import busy_time
+from repro.sim.trace import Trace
 from repro.sim.engine import CORE, LINK_H, LINK_V
 
 
@@ -18,21 +18,20 @@ class TestFig4:
         """The Figure 4 signature: MeshSlice keeps compute and both
         torus directions busy simultaneously."""
         rows = {r.algorithm: r for r in fig04_timelines.run()}
-        spans = rows["meshslice"].result.spans
+        trace = rows["meshslice"].result.trace
         total = rows["meshslice"].result.makespan
-        assert busy_time(spans, CORE) > 0.7 * total
-        assert busy_time(spans, LINK_H) > 0.3 * total
-        assert busy_time(spans, LINK_V) > 0.1 * total
+        assert trace.busy_time(CORE) > 0.7 * total
+        assert trace.busy_time(LINK_H) > 0.3 * total
+        assert trace.busy_time(LINK_V) > 0.1 * total
 
     def test_collective_never_overlaps(self):
         """Collective's core and link busy times sum to the makespan
         (no concurrency between compute and communication)."""
         rows = {r.algorithm: r for r in fig04_timelines.run()}
         result = rows["collective"].result
-        core = busy_time(result.spans, CORE)
-        links = max(
-            busy_time(result.spans, LINK_H), busy_time(result.spans, LINK_V)
-        )
+        trace = Trace.from_spans(result.spans)
+        core = trace.busy_time(CORE)
+        links = max(trace.busy_time(LINK_H), trace.busy_time(LINK_V))
         assert core + links >= 0.99 * result.makespan
 
     def test_main_renders_all_timelines(self):

@@ -1,0 +1,87 @@
+"""Golden-trace regression tests: pinned Chrome-trace exports.
+
+Three canonical programs — MeshSlice output-stationary, SUMMA, and
+Cannon, each computing the same 4096^3 GeMM on a 4x4 TPUv4 mesh — are
+simulated and their full Chrome-trace JSON (span tracks, metadata, and
+derived counter tracks) compared byte-for-byte against files pinned
+under ``tests/goldens/``. Any change to the engine's scheduling, the
+program builders, the cost models, or the trace exporter shows up here
+as a diff against the golden.
+
+When a change is intentional, regenerate with::
+
+    pytest tests/test_golden_traces.py --update-goldens
+
+and review the golden diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Mesh2D, TPUV4, get_algorithm, simulate
+from repro.algorithms.base import GeMMConfig
+from repro.core import Dataflow, GeMMShape
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: name -> (algorithm, slice count) of the canonical 4x4 programs.
+CANONICAL = {
+    "meshslice_os_4x4": ("meshslice", 4),
+    "summa_4x4": ("summa", 4),
+    "cannon_4x4": ("cannon", 1),
+}
+
+
+def _canonical_events(algorithm, slices):
+    cfg = GeMMConfig(
+        shape=GeMMShape(4096, 4096, 4096),
+        mesh=Mesh2D(4, 4),
+        dataflow=Dataflow.OS,
+        slices=slices,
+    )
+    program = get_algorithm(algorithm).build_program(cfg, TPUV4)
+    return simulate(program, TPUV4).trace.to_chrome()
+
+
+def _render(events):
+    return json.dumps(events, sort_keys=True, indent=1) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL))
+def test_chrome_trace_matches_golden(name, update_goldens):
+    algorithm, slices = CANONICAL[name]
+    rendered = _render(_canonical_events(algorithm, slices))
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_goldens:
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        pytest.skip(f"updated {path.name}")
+    assert path.exists(), (
+        f"golden {path.name} missing; generate it with "
+        "pytest --update-goldens"
+    )
+    assert rendered == path.read_text(), (
+        f"{name}'s Chrome trace drifted from {path.name}; if the change "
+        "is intentional, regenerate with pytest --update-goldens and "
+        "review the golden diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL))
+def test_goldens_carry_all_event_phases(name):
+    """Each pinned file has span, metadata, and counter events."""
+    path = GOLDEN_DIR / f"{name}.json"
+    events = json.loads(path.read_text())
+    phases = {e["ph"] for e in events}
+    assert phases == {"X", "M", "C"}
+
+
+def test_goldens_are_loadable_and_sorted():
+    """Golden files parse and render exactly as pinned (no drift in
+    the canonical serialization itself)."""
+    for name in CANONICAL:
+        path = GOLDEN_DIR / f"{name}.json"
+        events = json.loads(path.read_text())
+        assert _render(events) == path.read_text()

@@ -1,0 +1,219 @@
+"""Unit tests of the metrics registry and the engine wait hooks."""
+
+import threading
+
+import pytest
+
+from repro.obs.hooks import capture_waits, wait_sink
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    GLOBAL_REGISTRY,
+    KILL_SWITCH_ENV,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    metrics_enabled,
+    registry,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_accumulate(self, reg):
+        reg.inc("c")
+        reg.inc("c", 2.5)
+        assert reg.counter_value("c") == pytest.approx(3.5)
+
+    def test_labeled_series_independent(self, reg):
+        reg.inc("c", labels={"k": "a"})
+        reg.inc("c", 5.0, labels={"k": "b"})
+        assert reg.counter_value("c", labels={"k": "a"}) == 1.0
+        assert reg.counter_value("c", labels={"k": "b"}) == 5.0
+        assert reg.counter_value("c") == 0.0
+
+    def test_label_order_is_irrelevant(self, reg):
+        reg.inc("c", labels={"a": 1, "b": 2})
+        reg.inc("c", labels={"b": 2, "a": 1})
+        assert reg.counter_value("c", labels={"b": 2, "a": 1}) == 2.0
+
+    def test_absent_series_reads_zero(self, reg):
+        assert reg.counter_value("never") == 0.0
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_last_write_wins(self, reg):
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 7.0)
+        [record] = reg.snapshot()
+        assert record.type == "gauge"
+        assert record.value == 7.0
+
+    def test_histogram_summary(self, reg):
+        for value in (1e-6, 2e-6, 0.5):
+            reg.observe("h", value)
+        [record] = reg.snapshot()
+        assert record.type == "histogram"
+        assert record.count == 3
+        assert record.total == pytest.approx(0.500003)
+        assert sum(n for _bound, n in record.buckets) == 3
+
+    def test_histogram_overflow_bucket(self, reg):
+        reg.observe("h", 10.0 * DEFAULT_BUCKETS[-1])
+        [record] = reg.snapshot()
+        assert record.buckets == (("+inf", 1),)
+
+    def test_histogram_bucket_is_upper_inclusive(self, reg):
+        reg.observe("h", DEFAULT_BUCKETS[0])
+        [record] = reg.snapshot()
+        assert record.buckets == ((repr(DEFAULT_BUCKETS[0]), 1),)
+
+
+class TestSnapshotsAndMerge:
+    def test_snapshot_sorted(self, reg):
+        reg.set_gauge("z", 1.0)
+        reg.inc("b")
+        reg.inc("a")
+        reg.observe("m", 1.0)
+        kinds = [(r.type, r.name) for r in reg.snapshot()]
+        assert kinds == sorted(kinds)
+
+    def test_clear(self, reg):
+        reg.inc("c")
+        reg.observe("h", 1.0)
+        reg.clear()
+        assert reg.snapshot() == []
+
+    def test_merge_adds_counters_and_histograms(self, reg):
+        other = MetricsRegistry()
+        for r in (reg, other):
+            r.inc("c", 2.0)
+            r.observe("h", 1e-3)
+        reg.merge_records(other.snapshot())
+        assert reg.counter_value("c") == 4.0
+        hist = [r for r in reg.snapshot() if r.type == "histogram"][0]
+        assert hist.count == 2
+
+    def test_merge_gauge_takes_incoming(self, reg):
+        other = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        other.set_gauge("g", 9.0)
+        reg.merge_records(other.snapshot())
+        [record] = reg.snapshot()
+        assert record.value == 9.0
+
+    def test_delta_since(self, reg):
+        before = reg.snapshot()
+        reg.inc("c", 3.0)
+        reg.observe("h", 1e-3)
+        delta = reg.delta_since(before)
+        assert {(r.type, r.name) for r in delta} == {
+            ("counter", "c"),
+            ("histogram", "h"),
+        }
+
+    def test_delta_omits_unchanged(self, reg):
+        reg.inc("stable")
+        reg.observe("h", 1.0)
+        before = reg.snapshot()
+        reg.inc("fresh")
+        delta = reg.delta_since(before)
+        assert [r.name for r in delta] == ["fresh"]
+
+    def test_delta_subtracts(self, reg):
+        reg.inc("c", 10.0)
+        before = reg.snapshot()
+        reg.inc("c", 2.0)
+        [record] = reg.delta_since(before)
+        assert record.value == pytest.approx(2.0)
+
+    def test_delta_roundtrips_through_merge(self, reg):
+        reg.inc("c", 1.0)
+        reg.observe("h", 0.5)
+        before = reg.snapshot()
+        reg.inc("c", 4.0)
+        reg.observe("h", 0.25)
+        target = MetricsRegistry()
+        target.inc("c", 1.0)
+        target.observe("h", 0.5)
+        target.merge_records(reg.delta_since(before))
+        assert [r.to_record() for r in target.snapshot()] == [
+            r.to_record() for r in reg.snapshot()
+        ]
+
+    def test_concurrent_increments(self, reg):
+        def work():
+            for _ in range(500):
+                reg.inc("c")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("c") == 2000.0
+
+
+class TestKillSwitch:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(KILL_SWITCH_ENV, raising=False)
+        assert metrics_enabled()
+        assert registry() is GLOBAL_REGISTRY
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(KILL_SWITCH_ENV, value)
+        assert not metrics_enabled()
+        assert registry() is NULL_REGISTRY
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", ""])
+    def test_falsy_values_keep_enabled(self, monkeypatch, value):
+        monkeypatch.setenv(KILL_SWITCH_ENV, value)
+        assert metrics_enabled()
+
+    def test_null_registry_discards_everything(self):
+        null = NullRegistry()
+        null.inc("c")
+        null.set_gauge("g", 1.0)
+        null.observe("h", 1.0)
+        null.merge_records(
+            [r for r in GLOBAL_REGISTRY.snapshot()]
+        )
+        assert null.snapshot() == []
+
+    def test_shared_null_registry_stays_empty(self, monkeypatch):
+        monkeypatch.setenv(KILL_SWITCH_ENV, "1")
+        reg = registry()
+        reg.inc("c", 100.0)
+        reg.observe("h", 1.0)
+        assert NULL_REGISTRY.snapshot() == []
+
+
+class TestWaitHooks:
+    def test_no_sink_outside_capture(self):
+        assert wait_sink() is None
+
+    def test_capture_collects(self):
+        with capture_waits() as waits:
+            sink = wait_sink()
+            assert sink is waits
+            sink.append(("compute", 0.5))
+        assert waits == [("compute", 0.5)]
+        assert wait_sink() is None
+
+    def test_nested_captures_use_innermost(self):
+        with capture_waits() as outer:
+            with capture_waits() as inner:
+                wait_sink().append(("comm", 1.0))
+            wait_sink().append(("compute", 2.0))
+        assert inner == [("comm", 1.0)]
+        assert outer == [("compute", 2.0)]
+
+    def test_disabled_capture_yields_none(self, monkeypatch):
+        monkeypatch.setenv(KILL_SWITCH_ENV, "1")
+        with capture_waits() as waits:
+            assert waits is None
+            assert wait_sink() is None

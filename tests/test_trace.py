@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    CORE,
-    LINK_H,
-    Span,
-    Trace,
-    ascii_timeline,
-    busy_time,
-    comm_breakdown,
-    compute_time,
-    kind_durations,
-)
+from repro.sim import CORE, LINK_H, Span, Trace, ascii_timeline
 from repro.sim.trace import CommBreakdown, ZERO_BREAKDOWN
 
 
@@ -30,14 +20,15 @@ class TestCommBreakdown:
             span(1, "comm", 1, 2, meta={"launch": 0.2, "transfer": 0.5, "sync": 0.3}),
             span(2, "compute", 0, 5),
         ]
-        bd = comm_breakdown(spans)
+        bd = Trace.from_spans(spans).breakdown()
         assert bd.launch == pytest.approx(0.3)
         assert bd.transfer == pytest.approx(1.2)
         assert bd.sync == pytest.approx(0.5)
         assert bd.total == pytest.approx(2.0)
 
     def test_ignores_non_comm(self):
-        assert comm_breakdown([span(0, "compute", 0, 1)]) == ZERO_BREAKDOWN
+        trace = Trace.from_spans([span(0, "compute", 0, 1)])
+        assert trace.breakdown() == ZERO_BREAKDOWN
 
     def test_relative(self):
         bd = CommBreakdown(1.0, 2.0, 3.0).relative_to(2.0)
@@ -60,11 +51,11 @@ class TestBusyTime:
             span(1, "compute", 1.0, 3.0, exclusive=[CORE]),
             span(2, "compute", 5.0, 6.0, exclusive=[CORE]),
         ]
-        assert busy_time(spans, CORE) == pytest.approx(4.0)
+        assert Trace.from_spans(spans).busy_time(CORE) == pytest.approx(4.0)
 
     def test_ignores_other_resources(self):
         spans = [span(0, "comm", 0.0, 2.0, exclusive=[LINK_H])]
-        assert busy_time(spans, CORE) == 0.0
+        assert Trace.from_spans(spans).busy_time(CORE) == 0.0
 
     def test_compute_time(self):
         spans = [
@@ -72,7 +63,7 @@ class TestBusyTime:
             span(1, "compute", 2, 4),
             span(2, "comm", 0, 9),
         ]
-        assert compute_time(spans) == pytest.approx(3.0)
+        assert Trace.from_spans(spans).compute_time() == pytest.approx(3.0)
 
     def test_kind_durations(self):
         spans = [
@@ -80,7 +71,7 @@ class TestBusyTime:
             span(1, "comm", 0, 2),
             span(2, "comm", 2, 3),
         ]
-        durations = kind_durations(spans)
+        durations = Trace.from_spans(spans).kind_durations()
         assert durations == {"compute": 1.0, "comm": 3.0}
 
 
@@ -101,9 +92,88 @@ class TestAsciiTimeline:
     def test_empty(self):
         assert ascii_timeline([]) == "(empty timeline)"
 
+    def test_not_deprecated(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ascii_timeline([span(0, "compute", 0, 1, exclusive=[CORE])])
+
+
+class TestDeprecatedDelegates:
+    """The six free-function delegates warn and still delegate."""
+
+    def _spans(self):
+        return [
+            span(0, "compute", 0, 2, exclusive=[CORE]),
+            span(
+                1, "comm", 0, 1, exclusive=[LINK_H],
+                meta={"launch": 0.1, "transfer": 0.7, "sync": 0.2},
+            ),
+        ]
+
+    def test_comm_breakdown_warns(self):
+        from repro.sim.trace import comm_breakdown
+
+        spans = self._spans()
+        with pytest.deprecated_call(match="comm_breakdown"):
+            assert comm_breakdown(spans) == Trace.from_spans(spans).breakdown()
+
+    def test_busy_time_warns(self):
+        from repro.sim.trace import busy_time
+
+        spans = self._spans()
+        with pytest.deprecated_call(match="busy_time"):
+            assert busy_time(spans, CORE) == pytest.approx(2.0)
+
+    def test_compute_time_warns(self):
+        from repro.sim.trace import compute_time
+
+        with pytest.deprecated_call(match="compute_time"):
+            assert compute_time(self._spans()) == pytest.approx(2.0)
+
+    def test_kind_durations_warns(self):
+        from repro.sim.trace import kind_durations
+
+        with pytest.deprecated_call(match="kind_durations"):
+            durations = kind_durations(self._spans())
+        assert durations == {"compute": 2.0, "comm": 1.0}
+
+    def test_to_chrome_trace_warns(self):
+        from repro.sim.trace import to_chrome_trace
+
+        spans = self._spans()
+        with pytest.deprecated_call(match="to_chrome_trace"):
+            events = to_chrome_trace(spans)
+        assert events == Trace.from_spans(spans).to_chrome()
+
+    def test_write_chrome_trace_warns(self, tmp_path):
+        import json
+
+        from repro.sim.trace import write_chrome_trace
+
+        spans = self._spans()
+        path = tmp_path / "trace.json"
+        with pytest.deprecated_call(match="write_chrome_trace"):
+            write_chrome_trace(spans, str(path))
+        events = json.loads(path.read_text())
+        assert json.dumps(events) == json.dumps(
+            Trace.from_spans(spans).to_chrome()
+        )
+
+    def test_still_importable_from_repro_sim(self):
+        from repro.sim import (  # noqa: F401
+            busy_time,
+            comm_breakdown,
+            compute_time,
+            kind_durations,
+            to_chrome_trace,
+            write_chrome_trace,
+        )
+
 
 class TestTraceClass:
-    """The Trace wrapper and its module-level delegates agree."""
+    """The Trace wrapper over span lists."""
 
     def _spans(self, hw):
         from repro.sim import ProgramBuilder
@@ -123,21 +193,6 @@ class TestTraceClass:
         trace = Trace.from_spans(spans)
         assert trace.makespan == max(s.end for s in spans)
         assert Trace.from_spans([]).makespan == 0.0
-
-    def test_delegates_match_methods(self, hw):
-        spans = self._spans(hw)
-        trace = Trace.from_spans(spans)
-        assert trace.breakdown() == comm_breakdown(spans)
-        assert trace.busy_time(CORE) == busy_time(spans, CORE)
-        assert trace.compute_time() == compute_time(spans)
-        assert trace.kind_durations() == kind_durations(spans)
-        assert trace.timeline(width=60) == ascii_timeline(spans, width=60)
-
-    def test_to_chrome_matches_function(self, hw):
-        from repro.sim import to_chrome_trace
-
-        spans = self._spans(hw)
-        assert Trace.from_spans(spans).to_chrome() == to_chrome_trace(spans)
 
     def test_write_chrome_roundtrip(self, hw, tmp_path):
         import json
@@ -168,3 +223,50 @@ class TestTraceClass:
             span(3, "compute", 10.0, 11.0, exclusive=[CORE]),
         ]
         assert Trace.from_spans(spans).busy_time(CORE) == pytest.approx(5.0)
+
+
+class TestCounterEvents:
+    """The derived occupancy counter tracks of to_chrome()."""
+
+    def test_occupancy_levels(self):
+        spans = [
+            span(0, "compute", 0.0, 2.0, exclusive=[CORE]),
+            span(1, "compute", 1.0, 3.0, exclusive=[CORE]),
+        ]
+        events = Trace.from_spans(spans).counter_events()
+        assert [e["ph"] for e in events] == ["C"] * len(events)
+        levels = [(e["ts"], e["args"]["busy"]) for e in events]
+        assert levels == [(0.0, 1), (1e6, 2), (2e6, 1), (3e6, 0)]
+
+    def test_cancelling_transitions_are_skipped(self):
+        spans = [
+            span(0, "compute", 0.0, 1.0, exclusive=[CORE]),
+            span(1, "compute", 1.0, 2.0, exclusive=[CORE]),
+        ]
+        events = Trace.from_spans(spans).counter_events()
+        # back-to-back spans: the shared instant t=1 is no transition
+        assert [(e["ts"], e["args"]["busy"]) for e in events] == [
+            (0.0, 1),
+            (2e6, 0),
+        ]
+
+    def test_appended_to_chrome_events(self, hw):
+        from repro.sim import ProgramBuilder
+
+        builder = ProgramBuilder(hw)
+        ag = builder.allgather("ag", 4, 50e6, LINK_H)
+        builder.gemm("g", 2048, 2048, 2048, deps=[ag])
+        trace = Trace.from_spans(builder.build().run())
+        events = trace.to_chrome()
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters == trace.counter_events()
+        names = {e["name"] for e in counters}
+        assert f"busy:{CORE}" in names
+        # counters follow every span/metadata event
+        first_counter = events.index(counters[0])
+        assert all(
+            e["ph"] in ("C",) for e in events[first_counter:]
+        )
+
+    def test_empty_trace_has_no_counters(self):
+        assert Trace.from_spans([]).counter_events() == []
