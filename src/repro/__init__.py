@@ -57,18 +57,23 @@ from repro.hw import (
 )
 from repro.mesh import Mesh2D, MeshExecutor, Ring1D, mesh_shapes
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Lazily-loaded stable API (PEP 562): name -> (module, attribute).
 #: Importing these eagerly would pull the whole timing plane (and the
 #: numpy functional checkers) into every ``import repro``.
 _LAZY_EXPORTS = {
+    "ABFTReport": ("repro.abft", "ABFTReport"),
     "CheckpointModel": ("repro.recovery", "CheckpointModel"),
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "FaultSpec": ("repro.faults", "FaultSpec"),
     "HardFault": ("repro.faults", "HardFault"),
     "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
     "NULL_PLAN": ("repro.faults", "NULL_PLAN"),
+    "NULL_SDC_PLAN": ("repro.faults", "NULL_SDC_PLAN"),
+    "SDCPlan": ("repro.faults", "SDCPlan"),
+    "abft_gemm": ("repro.abft", "abft_gemm"),
+    "sdc_injection": ("repro.faults", "sdc_injection"),
     "ProfileReport": ("repro.obs", "ProfileReport"),
     "RetryPolicy": ("repro.recovery", "RetryPolicy"),
     "RunMetrics": ("repro.obs", "RunMetrics"),
@@ -87,6 +92,7 @@ _LAZY_EXPORTS = {
 }
 
 __all__ = [
+    "ABFTReport",
     "CheckpointModel",
     "Dataflow",
     "FaultPlan",
@@ -99,6 +105,8 @@ __all__ = [
     "MeshExecutor",
     "MetricsRegistry",
     "NULL_PLAN",
+    "NULL_SDC_PLAN",
+    "SDCPlan",
     "ProfileReport",
     "RetryPolicy",
     "Ring1D",
@@ -108,6 +116,7 @@ __all__ = [
     "TPUV4",
     "TPUV4_CLOUD_4X4",
     "Trace",
+    "abft_gemm",
     "algorithm_names",
     "chip_down",
     "get_algorithm",
@@ -121,6 +130,7 @@ __all__ = [
     "profile_block",
     "retune_degraded",
     "robust_tune",
+    "sdc_injection",
     "simulate",
     "slice_col",
     "slice_row",

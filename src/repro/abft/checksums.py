@@ -1,0 +1,175 @@
+"""Huang-Abraham checksum encoding and block verification.
+
+The encoding: ``A⁺ = [A; 1ᵀA]`` appends a checksum *row* (column sums)
+to the left operand and ``B⁺ = [B, B·1]`` a checksum *column* (row
+sums) to the right operand. Their product is the fully-checksummed
+
+    ``C⁺ = A⁺ B⁺ = [[C, C·1], [1ᵀC, 1ᵀC·1]]``
+
+so the data block's row sums, column sums, and total each appear twice
+— once recomputable from the data, once carried through the GeMM. The
+invariant is linear, so it survives slicing the contraction dimension,
+partial all-gathers, and accumulation over slices: *every* partial
+block of a sliced 2D GeMM is independently verifiable.
+
+Verification compares the two copies as residuals. A single corrupted
+data element at ``(r, c)`` dirties exactly row residual ``r`` and
+column residual ``c`` and is reconstructed from its row checksum; a
+single corrupted checksum entry dirties exactly one residual and is
+recomputed from the (intact) data. Anything else is declared
+uncorrectable and left to the caller to recompute. Every repair is
+re-verified and rolled back if the block is still dirty, so a
+``corrected`` verdict certifies a clean block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def augment_a(a: np.ndarray) -> np.ndarray:
+    """Append the checksum row (column sums) to a left-operand shard."""
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2D shard, got shape {a.shape}")
+    return np.vstack([a, a.sum(axis=0, keepdims=True)])
+
+
+def augment_b(b: np.ndarray) -> np.ndarray:
+    """Append the checksum column (row sums) to a right-operand shard."""
+    if b.ndim != 2:
+        raise ValueError(f"expected a 2D shard, got shape {b.shape}")
+    return np.hstack([b, b.sum(axis=1, keepdims=True)])
+
+
+def augmented_product(c: np.ndarray) -> np.ndarray:
+    """The fully-checksummed block a clean ``A⁺ @ B⁺`` would produce.
+
+    Used to rebuild an uncorrectable block after recomputing its data.
+    """
+    out = np.empty((c.shape[0] + 1, c.shape[1] + 1), dtype=c.dtype)
+    out[:-1, :-1] = c
+    out[:-1, -1] = c.sum(axis=1)
+    out[-1, :-1] = c.sum(axis=0)
+    out[-1, -1] = c.sum()
+    return out
+
+
+def strip(c_aug: np.ndarray) -> np.ndarray:
+    """The data block of a checksummed block (drops both checksums)."""
+    return np.ascontiguousarray(c_aug[:-1, :-1])
+
+
+def residuals(
+    c_aug: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Row, column, and corner residuals of a checksummed block.
+
+    Each residual is *recomputed sum minus carried checksum*; all three
+    are exactly zero for a clean block (when sums are exact, e.g.
+    integer-valued data — float rounding needs the ``tol`` of
+    :func:`verify_block`).
+    """
+    data = c_aug[:-1, :-1]
+    row_res = data.sum(axis=1) - c_aug[:-1, -1]
+    col_res = data.sum(axis=0) - c_aug[-1, :-1]
+    corner_res = float(data.sum() - c_aug[-1, -1])
+    return row_res, col_res, corner_res
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockVerdict:
+    """Outcome of verifying (and maybe repairing) one checksummed block.
+
+    Attributes:
+        status: ``"clean"`` (no residual exceeded ``tol``),
+            ``"corrected"`` (one data element reconstructed in place),
+            ``"checksum_repaired"`` (a checksum entry recomputed from
+            intact data), or ``"uncorrectable"`` (block left untouched;
+            the caller must recompute it).
+        bad_rows: Row indices whose residual exceeded ``tol``.
+        bad_cols: Column indices whose residual exceeded ``tol``.
+        corner_bad: Whether the total-sum residual exceeded ``tol``.
+        location: ``(row, col)`` of the corrected data element, if any.
+    """
+
+    status: str
+    bad_rows: Tuple[int, ...] = ()
+    bad_cols: Tuple[int, ...] = ()
+    corner_bad: bool = False
+    location: Optional[Tuple[int, int]] = None
+
+
+def _is_clean(c_aug: np.ndarray, tol: float) -> bool:
+    row_res, col_res, corner_res = residuals(c_aug)
+    # NaN residuals (an exponent-bit flip can produce inf - inf) must
+    # read as dirty, so test "within tol" and negate.
+    return (
+        bool(np.all(np.abs(row_res) <= tol))
+        and bool(np.all(np.abs(col_res) <= tol))
+        and abs(corner_res) <= tol
+    )
+
+
+def verify_block(c_aug: np.ndarray, tol: float = 0.0) -> BlockVerdict:
+    """Verify one checksummed block, repairing it in place if possible.
+
+    Single-error repairs reconstruct the damaged entry from the
+    *other* copy of its sum rather than subtracting a residual delta,
+    so a flip that produced NaN/inf is recovered exactly too. Every
+    repair is re-verified; a still-dirty block is rolled back and
+    declared uncorrectable. ``tol`` bounds the residual magnitude
+    considered clean (keep the default ``0.0`` for exact — e.g.
+    integer-valued — data; float rounding of re-ordered sums needs a
+    small positive tolerance).
+    """
+    if c_aug.ndim != 2 or c_aug.shape[0] < 2 or c_aug.shape[1] < 2:
+        raise ValueError(f"expected a checksummed 2D block, got {c_aug.shape}")
+    if tol < 0:
+        raise ValueError("tol must be non-negative")
+    row_res, col_res, corner_res = residuals(c_aug)
+    bad_rows = tuple(int(i) for i in np.flatnonzero(~(np.abs(row_res) <= tol)))
+    bad_cols = tuple(int(j) for j in np.flatnonzero(~(np.abs(col_res) <= tol)))
+    corner_bad = not abs(corner_res) <= tol
+    if not bad_rows and not bad_cols and not corner_bad:
+        return BlockVerdict(status="clean")
+
+    data = c_aug[:-1, :-1]
+    snapshot = c_aug.copy()
+    status = "uncorrectable"
+    location: Optional[Tuple[int, int]] = None
+    if len(bad_rows) == 1 and len(bad_cols) == 1:
+        # One data element: rebuild it from its row checksum minus the
+        # row's other (intact) elements.
+        r, c = bad_rows[0], bad_cols[0]
+        others = data[r, np.arange(data.shape[1]) != c].sum()
+        data[r, c] = c_aug[r, -1] - others
+        status, location = "corrected", (r, c)
+    elif len(bad_rows) == 1 and not bad_cols and not corner_bad:
+        # A dirty corner would mean the *data* of row r is corrupted
+        # consistently with its checksum (an operand flip propagated
+        # into a single row) — only a clean corner certifies the
+        # checksum entry itself as the culprit.
+        r = bad_rows[0]
+        c_aug[r, -1] = data[r, :].sum()
+        status = "checksum_repaired"
+    elif len(bad_cols) == 1 and not bad_rows and not corner_bad:
+        c = bad_cols[0]
+        c_aug[-1, c] = data[:, c].sum()
+        status = "checksum_repaired"
+    elif not bad_rows and not bad_cols:
+        c_aug[-1, -1] = data.sum()
+        status = "checksum_repaired"
+
+    if status != "uncorrectable" and not _is_clean(c_aug, tol):
+        c_aug[:] = snapshot
+        status, location = "uncorrectable", None
+    return BlockVerdict(
+        status=status,
+        bad_rows=bad_rows,
+        bad_cols=bad_cols,
+        corner_bad=corner_bad,
+        location=location,
+    )

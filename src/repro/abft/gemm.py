@@ -1,0 +1,268 @@
+"""ABFT-protected functional 2D GeMMs: inject → detect → correct.
+
+Each ``abft_*`` function runs an algorithm's output-stationary
+functional plane over *checksummed* shards — the encode happens before,
+and verification after, an optional :func:`repro.faults.sdc.sdc_injection`
+window, so injected bit flips land inside the protected computation
+while encode/verify themselves are modeled as reliable. Per-chip
+verification repairs single-element corruption in place
+(:func:`repro.abft.checksums.verify_block`) and falls back to a flagged
+recomputation of the guilty block from the global operands for
+multi-error cases. The returned :class:`ABFTReport` tallies verdicts
+and carries the injector's flip events for end-to-end escape analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.abft.checksums import (
+    BlockVerdict,
+    augment_a,
+    augment_b,
+    augmented_product,
+    strip,
+    verify_block,
+)
+from repro.comm.ops import ag_col, ag_row, bcast_col, bcast_row
+from repro.core.gemm import local_gemm
+from repro.core.slicing import slice_col, slice_row
+from repro.faults.sdc import SDCPlan, sdc_injection
+from repro.mesh.sharding import ShardedMatrix, gather_matrix, shard_matrix
+from repro.mesh.topology import Coord, Mesh2D
+from repro.obs.registry import registry as _metrics
+
+Shards = Dict[Coord, np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class ABFTReport:
+    """Verification outcome of one protected GeMM.
+
+    Attributes:
+        verdicts: Per-chip block verdict (post-repair; a block that was
+            recomputed keeps its ``uncorrectable`` verdict).
+        flips: Bit flips the injection context actually produced.
+    """
+
+    verdicts: Dict[Coord, BlockVerdict]
+    flips: Tuple
+
+    def count(self, status: str) -> int:
+        """Number of blocks whose verdict was ``status``."""
+        return sum(1 for v in self.verdicts.values() if v.status == status)
+
+    @property
+    def blocks(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def clean(self) -> int:
+        return self.count("clean")
+
+    @property
+    def corrected(self) -> int:
+        return self.count("corrected")
+
+    @property
+    def checksum_repaired(self) -> int:
+        return self.count("checksum_repaired")
+
+    @property
+    def recomputed(self) -> int:
+        """Blocks recomputed after an uncorrectable verdict."""
+        return self.count("uncorrectable")
+
+
+def _check_os_inputs(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"contraction mismatch: A {a.shape} vs B {b.shape}")
+
+
+def _augmented_shards(
+    a: np.ndarray, b: np.ndarray, mesh: Mesh2D
+) -> Tuple[Shards, Shards]:
+    """Shard both operands and append their checksums per shard."""
+    a_sh = shard_matrix(np.asarray(a, dtype=np.float64), mesh)
+    b_sh = shard_matrix(np.asarray(b, dtype=np.float64), mesh)
+    a_aug = {coord: augment_a(a_sh.shard(coord)) for coord in mesh.coords()}
+    b_aug = {coord: augment_b(b_sh.shard(coord)) for coord in mesh.coords()}
+    return a_aug, b_aug
+
+
+def _zero_blocks(a: np.ndarray, b: np.ndarray, mesh: Mesh2D) -> Shards:
+    m_loc = a.shape[0] // mesh.rows
+    n_loc = b.shape[1] // mesh.cols
+    return {
+        coord: np.zeros((m_loc + 1, n_loc + 1), dtype=np.float64)
+        for coord in mesh.coords()
+    }
+
+
+def _finish(
+    c_aug: Shards,
+    a: np.ndarray,
+    b: np.ndarray,
+    mesh: Mesh2D,
+    flips: Tuple,
+    tol: float,
+) -> Tuple[np.ndarray, ABFTReport]:
+    """Verify every block, recompute the uncorrectable ones, assemble."""
+    m_loc = a.shape[0] // mesh.rows
+    n_loc = b.shape[1] // mesh.cols
+    metrics = _metrics()
+    verdicts: Dict[Coord, BlockVerdict] = {}
+    for coord in mesh.coords():
+        verdict = verify_block(c_aug[coord], tol=tol)
+        verdicts[coord] = verdict
+        metrics.inc("abft.blocks_verified")
+        if verdict.status == "corrected":
+            metrics.inc("abft.corrected_in_place")
+        elif verdict.status == "checksum_repaired":
+            metrics.inc("abft.checksum_repaired")
+        elif verdict.status == "uncorrectable":
+            # Flagged recomputation of the guilty block, straight from
+            # the global operands (no rings to re-corrupt it).
+            i, j = coord
+            data = a[i * m_loc:(i + 1) * m_loc, :] @ b[:, j * n_loc:(j + 1) * n_loc]
+            c_aug[coord] = augmented_product(data)
+            metrics.inc("abft.blocks_recomputed")
+    result = gather_matrix(
+        ShardedMatrix(
+            mesh=mesh,
+            shards={coord: strip(c_aug[coord]) for coord in mesh.coords()},
+            global_shape=(a.shape[0], b.shape[1]),
+        )
+    )
+    return result, ABFTReport(verdicts=verdicts, flips=tuple(flips))
+
+
+def abft_meshslice_os(
+    a: np.ndarray,
+    b: np.ndarray,
+    mesh: Mesh2D,
+    slices: int = 1,
+    block: int = 1,
+    plan: Optional[SDCPlan] = None,
+    tol: float = 0.0,
+) -> Tuple[np.ndarray, ABFTReport]:
+    """Checksummed output-stationary MeshSlice: ``C = A @ B``.
+
+    The checksum row/column ride the non-sliced edge of each shard, so
+    ``slice_col``/``slice_row`` and the partial all-gathers propagate
+    them unchanged and every per-slice partial product is itself
+    checksummed. ``plan`` opens an SDC injection window around the
+    sliced loop (encode and verify stay outside it).
+    """
+    _check_os_inputs(a, b)
+    a_aug, b_aug = _augmented_shards(a, b, mesh)
+    c_aug = _zero_blocks(a, b, mesh)
+    with sdc_injection(plan) as injector:
+        for s in range(slices):
+            a_sub = {
+                coord: slice_col(a_aug[coord], slices, s, block)
+                for coord in mesh.coords()
+            }
+            b_sub = {
+                coord: slice_row(b_aug[coord], slices, s, block)
+                for coord in mesh.coords()
+            }
+            a_gathered = ag_col(a_sub, mesh, axis=1)
+            b_gathered = ag_row(b_sub, mesh, axis=0)
+            for coord in mesh.coords():
+                c_aug[coord] += local_gemm(a_gathered[coord], b_gathered[coord])
+    return _finish(c_aug, a, b, mesh, injector.events, tol)
+
+
+def abft_summa_os(
+    a: np.ndarray,
+    b: np.ndarray,
+    mesh: Mesh2D,
+    plan: Optional[SDCPlan] = None,
+    tol: float = 0.0,
+) -> Tuple[np.ndarray, ABFTReport]:
+    """Checksummed SUMMA OS: panel broadcasts of checksummed shards.
+
+    Panels slice the contraction dimension, so each broadcast carries
+    the full checksum row (A panels) or column (B panels) and every
+    per-panel partial product is checksummed. The iteration count is
+    the classical ``lcm(P_r, P_c)``, as in the unprotected functional.
+    """
+    _check_os_inputs(a, b)
+    k = a.shape[1]
+    steps = math.lcm(mesh.rows, mesh.cols)
+    if k % steps != 0:
+        raise ValueError(
+            f"panel dimension {k} must divide by lcm(P_r, P_c) = {steps}"
+        )
+    kb = k // steps
+    a_aug, b_aug = _augmented_shards(a, b, mesh)
+    c_aug = _zero_blocks(a, b, mesh)
+    with sdc_injection(plan) as injector:
+        for p in range(steps):
+            col_owner, col_off = divmod(p * kb, k // mesh.cols)
+            roots: Shards = {
+                (i, col_owner): a_aug[(i, col_owner)][:, col_off:col_off + kb]
+                for i in range(mesh.rows)
+            }
+            a_panel = bcast_col(roots, mesh, col_owner)
+            row_owner, row_off = divmod(p * kb, k // mesh.rows)
+            roots = {
+                (row_owner, j): b_aug[(row_owner, j)][row_off:row_off + kb, :]
+                for j in range(mesh.cols)
+            }
+            b_panel = bcast_row(roots, mesh, row_owner)
+            for coord in mesh.coords():
+                c_aug[coord] += local_gemm(a_panel[coord], b_panel[coord])
+    return _finish(c_aug, a, b, mesh, injector.events, tol)
+
+
+def abft_collective_os(
+    a: np.ndarray,
+    b: np.ndarray,
+    mesh: Mesh2D,
+    plan: Optional[SDCPlan] = None,
+    tol: float = 0.0,
+) -> Tuple[np.ndarray, ABFTReport]:
+    """Checksummed collective 2D GeMM: one full AG pair, one product."""
+    _check_os_inputs(a, b)
+    a_aug, b_aug = _augmented_shards(a, b, mesh)
+    c_aug = _zero_blocks(a, b, mesh)
+    with sdc_injection(plan) as injector:
+        a_full = ag_col(a_aug, mesh, axis=1)
+        b_full = ag_row(b_aug, mesh, axis=0)
+        for coord in mesh.coords():
+            c_aug[coord] += local_gemm(a_full[coord], b_full[coord])
+    return _finish(c_aug, a, b, mesh, injector.events, tol)
+
+
+def abft_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    mesh: Mesh2D,
+    algorithm: str = "meshslice",
+    slices: int = 1,
+    block: int = 1,
+    plan: Optional[SDCPlan] = None,
+    tol: float = 0.0,
+) -> Tuple[np.ndarray, ABFTReport]:
+    """Dispatch to an algorithm's ABFT-protected functional GeMM.
+
+    Computes ``C = A @ B`` (output-stationary orientation) under
+    checksum protection; see the per-algorithm functions for details.
+    ``slices``/``block`` only apply to ``meshslice``.
+    """
+    if algorithm == "meshslice":
+        return abft_meshslice_os(a, b, mesh, slices, block, plan=plan, tol=tol)
+    if algorithm == "summa":
+        return abft_summa_os(a, b, mesh, plan=plan, tol=tol)
+    if algorithm == "collective":
+        return abft_collective_os(a, b, mesh, plan=plan, tol=tol)
+    raise ValueError(
+        f"no ABFT functional for algorithm {algorithm!r}; "
+        "choose meshslice, summa, or collective"
+    )

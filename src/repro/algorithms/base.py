@@ -26,7 +26,8 @@ from repro.core.dataflow import Dataflow, sliced_dimension
 from repro.core.gemm import GeMMShape
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import Mesh2D
-from repro.sim.program import Program
+from repro.sim.chip import gemm_cost
+from repro.sim.program import Program, ProgramBuilder
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,6 +44,13 @@ class GeMMConfig:
             (Section 4.2 sets those equal for fairness).
         transposed: Use the transposed dataflow variant (Section 3.2.1):
             all matrices transposed and the two flow directions flipped.
+        abft: Protect the GeMM with ABFT checksums (:mod:`repro.abft`):
+            the timed plane charges checksum encode/verify passes,
+            enlarged collective payloads, and an expected-recompute
+            epilogue driven by ``sdc_rate``.
+        sdc_rate: Expected silent-data-corruption rate per protected
+            operation, driving the ABFT recompute epilogue's
+            probability (ignored when ``abft`` is false).
     """
 
     shape: GeMMShape
@@ -50,10 +58,14 @@ class GeMMConfig:
     dataflow: Dataflow = Dataflow.OS
     slices: int = 1
     transposed: bool = False
+    abft: bool = False
+    sdc_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.slices < 1:
             raise ValueError(f"slices must be >= 1, got {self.slices}")
+        if not 0.0 <= self.sdc_rate <= 1.0:
+            raise ValueError(f"sdc_rate must be in [0, 1], got {self.sdc_rate}")
 
     def __hash__(self) -> int:
         # Configurations key every memoized cost-model and simulation
@@ -63,7 +75,7 @@ class GeMMConfig:
         if h is None:
             h = hash(
                 (self.shape, self.mesh, self.dataflow, self.slices,
-                 self.transposed)
+                 self.transposed, self.abft, self.sdc_rate)
             )
             object.__setattr__(self, "_hash", h)
         return h
@@ -118,6 +130,62 @@ def matrix_bytes(shape: GeMMShape, matrix: str) -> float:
     if matrix == "c":
         return shape.c_bytes
     raise ValueError(f"unknown matrix {matrix!r}")
+
+
+def abft_payload_factor(cfg: GeMMConfig, matrix: str) -> float:
+    """Collective payload growth of a flowing matrix under ABFT.
+
+    The checksum row appended to each local ``A`` shard grows its
+    flowing rows from ``m_loc`` to ``m_loc + 1``; the checksum column
+    on ``B`` grows ``n_loc`` likewise; a flowing output carries both.
+    Returns ``1.0`` when ``cfg.abft`` is off.
+    """
+    if not cfg.abft:
+        return 1.0
+    m_loc, n_loc, _ = collective_local_dims(cfg)
+    if matrix == "a":
+        return 1.0 + 1.0 / m_loc
+    if matrix == "b":
+        return 1.0 + 1.0 / n_loc
+    if matrix == "c":
+        return (1.0 + 1.0 / m_loc) * (1.0 + 1.0 / n_loc)
+    raise ValueError(f"unknown matrix {matrix!r}")
+
+
+def abft_epilogue(
+    builder: ProgramBuilder,
+    cfg: GeMMConfig,
+    hw: HardwareParams,
+    deps: Tuple[int, ...],
+) -> int:
+    """Append the ABFT verify-and-recompute epilogue to a program.
+
+    One checksum pass re-sums the accumulated local output block
+    against its carried row/column checksums (the data is read for the
+    row sums and again for the column sums, hence the factor 2), then
+    an expected-cost recompute of the full local block models the
+    fallback for detected-uncorrectable corruption: its probability is
+    the per-operation SDC rate times the number of protected
+    operations, capped at 1.
+    """
+    out_elements = float(cfg.shape.m) * cfg.shape.n / cfg.mesh.size
+    verify = builder.checksum("abft_verify_c", 2.0 * out_elements, deps=deps)
+    probability = min(1.0, cfg.sdc_rate * abft_protected_ops(cfg))
+    m, n, k = collective_local_dims(cfg)
+    return builder.expected_compute(
+        "abft_recompute", gemm_cost(m, n, k, hw), probability, deps=[verify]
+    )
+
+
+def abft_protected_ops(cfg: GeMMConfig) -> int:
+    """Operations exposed to silent corruption in one protected GeMM.
+
+    Per slice (or unrolled iteration): one local partial GeMM plus one
+    collective per torus direction whose ring is non-trivial. Scales
+    the expected-recompute probability of the ABFT verify epilogue.
+    """
+    collectives = sum(1 for ring in (cfg.mesh.cols, cfg.mesh.rows) if ring > 1)
+    return cfg.slices * (1 + collectives)
 
 
 def traffic_seconds(cfg: GeMMConfig, hw: HardwareParams) -> Tuple[float, float]:

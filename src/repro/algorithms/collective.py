@@ -17,6 +17,8 @@ import numpy as np
 from repro.algorithms.base import (
     DistributedGeMM,
     GeMMConfig,
+    abft_epilogue,
+    abft_payload_factor,
     collective_local_dims,
     flow_ops,
     matrix_bytes,
@@ -24,6 +26,7 @@ from repro.algorithms.base import (
 )
 from repro.comm.ops import ag_col, ag_row, rds_col, rds_row
 from repro.core.dataflow import Dataflow
+from repro.core.gemm import local_gemm
 from repro.hw.params import HardwareParams
 from repro.mesh.sharding import gather_matrix, shard_matrix
 from repro.sim.engine import LINK_H, LINK_V
@@ -51,21 +54,45 @@ class CollectiveGeMM(DistributedGeMM):
             (col_op, col_mat, LINK_H, cfg.mesh.cols),
             (row_op, row_mat, LINK_V, cfg.mesh.rows),
         ]
+        encode = {}
+        if cfg.abft:
+            for mat in ("a", "b"):
+                elements = matrix_bytes(cfg.shape, mat) / (
+                    chips * cfg.shape.dtype_bytes
+                )
+                encode[mat] = builder.checksum(f"abft_encode_{mat}", elements)
         gemm_deps = []
         for op, mat, link, ring in directions:
             if op != "ag":
                 continue
-            shard_bytes = matrix_bytes(cfg.shape, mat) / chips
-            gemm_deps.append(
-                builder.allgather(f"ag_{mat}", ring, shard_bytes, link)
+            shard_bytes = (
+                matrix_bytes(cfg.shape, mat)
+                * abft_payload_factor(cfg, mat)
+                / chips
             )
+            deps = [encode[mat]] if mat in encode else []
+            gemm_deps.append(
+                builder.allgather(f"ag_{mat}", ring, shard_bytes, link, deps=deps)
+            )
+        gemm_deps += [e for e in encode.values() if e not in gemm_deps]
         m, n, k = collective_local_dims(cfg)
         gemm = builder.gemm("gemm", m, n, k, deps=gemm_deps)
+        tail = [gemm]
         for op, mat, link, ring in directions:
             if op != "rds":
                 continue
-            shard_bytes = matrix_bytes(cfg.shape, mat) / chips
-            builder.reducescatter(f"rds_{mat}", ring, shard_bytes, link, deps=[gemm])
+            shard_bytes = (
+                matrix_bytes(cfg.shape, mat)
+                * abft_payload_factor(cfg, mat)
+                / chips
+            )
+            tail.append(
+                builder.reducescatter(
+                    f"rds_{mat}", ring, shard_bytes, link, deps=[gemm]
+                )
+            )
+        if cfg.abft:
+            abft_epilogue(builder, cfg, hw, tail)
         return builder.build(algorithm=self.name, config=cfg)
 
     def functional(
@@ -88,13 +115,14 @@ class CollectiveGeMM(DistributedGeMM):
             a_full = ag_col(a_sh.shards, mesh, axis=1)
             b_full = ag_row(b_sh.shards, mesh, axis=0)
             out = {
-                coord: a_full[coord] @ b_full[coord] for coord in mesh.coords()
+                coord: local_gemm(a_full[coord], b_full[coord])
+                for coord in mesh.coords()
             }
             return _assemble(out, mesh, (a.shape[0], b.shape[1]))
         if cfg.dataflow is Dataflow.LS:
             b_full = ag_row(b_sh.shards, mesh, axis=0)
             partial = {
-                coord: a_sh.shard(coord) @ b_full[coord].T
+                coord: local_gemm(a_sh.shard(coord), b_full[coord].T)
                 for coord in mesh.coords()
             }
             out = rds_col(partial, mesh, axis=1)
@@ -102,7 +130,7 @@ class CollectiveGeMM(DistributedGeMM):
         if cfg.dataflow is Dataflow.RS:
             a_full = ag_col(a_sh.shards, mesh, axis=1)
             partial = {
-                coord: a_full[coord].T @ b_sh.shard(coord)
+                coord: local_gemm(a_full[coord].T, b_sh.shard(coord))
                 for coord in mesh.coords()
             }
             out = rds_row(partial, mesh, axis=0)

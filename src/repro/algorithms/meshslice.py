@@ -20,6 +20,8 @@ import numpy as np
 from repro.algorithms.base import (
     DistributedGeMM,
     GeMMConfig,
+    abft_epilogue,
+    abft_payload_factor,
     effective_problem,
     flow_ops,
     matrix_bytes,
@@ -64,6 +66,16 @@ class MeshSliceGeMM(DistributedGeMM):
         ]
         m, n, k = sliced_local_dims(cfg, slices)
 
+        # ABFT: encode both operands' checksums up front (one streaming
+        # pass per local shard); everything downstream depends on them.
+        encode = {}
+        if cfg.abft:
+            for mat in ("a", "b"):
+                elements = matrix_bytes(cfg.shape, mat) / (
+                    chips * cfg.shape.dtype_bytes
+                )
+                encode[mat] = builder.checksum(f"abft_encode_{mat}", elements)
+
         # Input slicing only depends on the stationary local shards, so
         # all iterations' slice copies are issued up front; the core
         # executes them around the GeMMs (they are small HBM copies).
@@ -74,14 +86,20 @@ class MeshSliceGeMM(DistributedGeMM):
             if op != "ag":
                 gather_ids.append([])
                 continue
-            shard_bytes = matrix_bytes(cfg.shape, mat) / (chips * slices)
+            shard_bytes = (
+                matrix_bytes(cfg.shape, mat)
+                * abft_payload_factor(cfg, mat)
+                / (chips * slices)
+            )
             ags = []
             for s in range(slices):
-                deps = []
+                deps = [encode[mat]] if mat in encode else []
                 if slices > 1:
-                    deps.append(
-                        builder.slice_copy(f"slice_{mat}[{s}]", shard_bytes)
-                    )
+                    deps = [
+                        builder.slice_copy(
+                            f"slice_{mat}[{s}]", shard_bytes, deps=deps
+                        )
+                    ]
                 ags.append(
                     builder.allgather(
                         f"ag_{mat}[{s}]", ring, shard_bytes, link, deps=deps
@@ -89,21 +107,33 @@ class MeshSliceGeMM(DistributedGeMM):
                 )
             gather_ids.append(ags)
 
+        tail: List[int] = []
         for s in range(slices):
             gemm_deps = [ags[s] for ags in gather_ids if ags]
+            if s == 0:
+                # A stationary operand's encode has no AG chain to ride.
+                gemm_deps += [e for e in encode.values() if e not in gemm_deps]
             gemm = builder.gemm(f"gemm[{s}]", m, n, k, deps=gemm_deps)
+            tail = [gemm]
             for op, mat, link, ring in directions:
                 if op != "rds":
                     continue
-                shard_bytes = matrix_bytes(cfg.shape, mat) / (chips * slices)
+                shard_bytes = (
+                    matrix_bytes(cfg.shape, mat)
+                    * abft_payload_factor(cfg, mat)
+                    / (chips * slices)
+                )
                 rds = builder.reducescatter(
                     f"rds_{mat}[{s}]", ring, shard_bytes, link, deps=[gemm]
                 )
+                tail.append(rds)
                 if slices > 1:
-                    builder.slice_copy(
+                    tail[-1] = builder.slice_copy(
                         f"unslice_{mat}[{s}]", shard_bytes, deps=[rds]
                     )
 
+        if cfg.abft:
+            abft_epilogue(builder, cfg, hw, tail)
         return builder.build(algorithm=self.name, config=cfg)
 
     def functional(

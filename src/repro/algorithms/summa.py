@@ -27,6 +27,8 @@ import numpy as np
 from repro.algorithms.base import (
     DistributedGeMM,
     GeMMConfig,
+    abft_epilogue,
+    abft_payload_factor,
     flow_ops,
     matrix_bytes,
     register,
@@ -34,6 +36,7 @@ from repro.algorithms.base import (
 )
 from repro.comm.ops import bcast_col, bcast_row, reduce_col, reduce_row
 from repro.core.dataflow import Dataflow
+from repro.core.gemm import local_gemm
 from repro.hw.params import HardwareParams
 from repro.mesh.sharding import gather_matrix, shard_matrix, zeros_like_sharded
 from repro.mesh.topology import Coord, Mesh2D
@@ -75,14 +78,27 @@ class SummaGeMM(DistributedGeMM):
             (row_op, row_mat, LINK_V, cfg.mesh.rows),
         ]
         m, n, k = sliced_local_dims(cfg, iterations)
+        encode = []
+        if cfg.abft:
+            for mat in ("a", "b"):
+                elements = matrix_bytes(cfg.shape, mat) / (
+                    chips * cfg.shape.dtype_bytes
+                )
+                encode.append(builder.checksum(f"abft_encode_{mat}", elements))
+        tail = []
         for step in range(iterations):
-            deps = []
+            deps = list(encode) if step == 0 else []
             for op, mat, link, ring in directions:
                 if op != "ag":
                     continue
                 # Each iteration broadcasts one panel: the per-ring
                 # share of the flowing matrix divided over iterations.
-                payload = matrix_bytes(cfg.shape, mat) * ring / (chips * iterations)
+                payload = (
+                    matrix_bytes(cfg.shape, mat)
+                    * abft_payload_factor(cfg, mat)
+                    * ring
+                    / (chips * iterations)
+                )
                 deps.append(
                     builder.broadcast(
                         f"bcast_{mat}[{step}]",
@@ -90,21 +106,32 @@ class SummaGeMM(DistributedGeMM):
                         payload,
                         self._packets(payload, ring),
                         link,
+                        deps=list(encode) if step == 0 else (),
                     )
                 )
             gemm = builder.gemm(f"gemm[{step}]", m, n, k, deps=deps)
+            tail = [gemm]
             for op, mat, link, ring in directions:
                 if op != "rds":
                     continue
-                payload = matrix_bytes(cfg.shape, mat) * ring / (chips * iterations)
-                builder.reduce(
-                    f"reduce_{mat}[{step}]",
-                    ring,
-                    payload,
-                    self._packets(payload, ring),
-                    link,
-                    deps=[gemm],
+                payload = (
+                    matrix_bytes(cfg.shape, mat)
+                    * abft_payload_factor(cfg, mat)
+                    * ring
+                    / (chips * iterations)
                 )
+                tail.append(
+                    builder.reduce(
+                        f"reduce_{mat}[{step}]",
+                        ring,
+                        payload,
+                        self._packets(payload, ring),
+                        link,
+                        deps=[gemm],
+                    )
+                )
+        if cfg.abft:
+            abft_epilogue(builder, cfg, hw, tail)
         return builder.build(algorithm=self.name, config=cfg)
 
     # ------------------------------------------------------------ functional
@@ -168,7 +195,7 @@ def _summa_os(a: np.ndarray, b: np.ndarray, mesh: Mesh2D) -> np.ndarray:
         }
         b_panel = bcast_row(roots, mesh, row_owner)
         for coord in mesh.coords():
-            c_sh.shards[coord] += a_panel[coord] @ b_panel[coord]
+            c_sh.shards[coord] += local_gemm(a_panel[coord], b_panel[coord])
     return gather_matrix(c_sh)
 
 
@@ -192,7 +219,7 @@ def _summa_ls(a: np.ndarray, b: np.ndarray, mesh: Mesh2D) -> np.ndarray:
         }
         b_panel = bcast_row(roots, mesh, row_owner)
         partial = {
-            coord: a_sh.shard(coord) @ b_panel[coord].T
+            coord: local_gemm(a_sh.shard(coord), b_panel[coord].T)
             for coord in mesh.coords()
         }
         col_owner, col_off = divmod(p * nb, n // mesh.cols)
@@ -224,7 +251,7 @@ def _summa_rs(a: np.ndarray, b: np.ndarray, mesh: Mesh2D) -> np.ndarray:
         }
         a_panel = bcast_col(roots, mesh, col_owner)
         partial = {
-            coord: a_panel[coord].T @ b_sh.shard(coord)
+            coord: local_gemm(a_panel[coord].T, b_sh.shard(coord))
             for coord in mesh.coords()
         }
         row_owner, row_off = divmod(p * mb, m // mesh.rows)

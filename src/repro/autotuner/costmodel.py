@@ -27,6 +27,9 @@ from typing import List, Tuple
 
 from repro.algorithms.base import (
     GeMMConfig,
+    abft_payload_factor,
+    abft_protected_ops,
+    collective_local_dims,
     effective_problem,
     flow_ops,
     matrix_bytes,
@@ -37,7 +40,32 @@ from repro.core.dataflow import sliced_extent
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import divisors
 from repro.perf.cache import memoize
-from repro.sim.chip import gemm_cost, slice_cost
+from repro.sim.chip import checksum_cost, gemm_cost, slice_cost
+
+
+def _abft_overheads(
+    cfg: GeMMConfig, hw: HardwareParams
+) -> Tuple[float, float]:
+    """ABFT (prologue, epilogue) seconds of one protected GeMM.
+
+    Mirrors the program builders: both operands are checksum-encoded
+    up front (prologue), and the output is verified — plus recomputed
+    with the expected-value probability of at least one silent flip —
+    after the last iteration (epilogue). Zero for unprotected configs.
+    """
+    if not cfg.abft:
+        return 0.0, 0.0
+    chips = cfg.mesh.size
+    encode = 0.0
+    for mat in ("a", "b"):
+        elements = matrix_bytes(cfg.shape, mat) / (chips * cfg.shape.dtype_bytes)
+        encode += checksum_cost(elements, hw).seconds
+    out_elements = float(cfg.shape.m) * cfg.shape.n / chips
+    epilogue = checksum_cost(2.0 * out_elements, hw).seconds
+    probability = min(1.0, cfg.sdc_rate * abft_protected_ops(cfg))
+    m, n, k = collective_local_dims(cfg)
+    epilogue += probability * gemm_cost(m, n, k, hw).seconds
+    return encode, epilogue
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,7 +105,11 @@ def _meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
     comm_hbm_bytes = 0.0
     comm_transfer = 0.0
     for op, mat, ring in directions:
-        shard_bytes = matrix_bytes(cfg.shape, mat) / (chips * slices)
+        shard_bytes = (
+            matrix_bytes(cfg.shape, mat)
+            * abft_payload_factor(cfg, mat)
+            / (chips * slices)
+        )
         if slices > 1:
             core_extra += slice_cost(shard_bytes, hw).seconds
         if ring <= 1:
@@ -113,6 +145,7 @@ def _meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
     m, n, k = sliced_local_dims(cfg, slices)
     gemm = gemm_cost(m, n, k, hw)
     core_iter = gemm.seconds + core_extra
+    abft_prologue, abft_epilogue = _abft_overheads(cfg, hw)
 
     if hw.overlap_collectives:
         prologue = max(ag_times, default=0.0)
@@ -131,9 +164,9 @@ def _meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
         steady = iteration
         epilogue = iteration
     return CostEstimate(
-        prologue=prologue,
+        prologue=prologue + abft_prologue,
         steady=steady,
-        epilogue=epilogue,
+        epilogue=epilogue + abft_epilogue,
         slices=slices,
         flops_per_chip=cfg.shape.flops / chips,
     )
@@ -161,19 +194,22 @@ def collective_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
     ):
         if ring <= 1:
             continue
-        shard_bytes = matrix_bytes(cfg.shape, mat) / chips
+        shard_bytes = (
+            matrix_bytes(cfg.shape, mat)
+            * abft_payload_factor(cfg, mat)
+            / chips
+        )
         if op == "ag":
             ag_times.append(costs.allgather(ring, shard_bytes).total)
         else:
             rds_times.append(costs.reducescatter(ring, shard_bytes).total)
-    from repro.algorithms.base import collective_local_dims
-
     m, n, k = collective_local_dims(base)
     gemm = gemm_cost(m, n, k, hw)
+    abft_prologue, abft_epilogue = _abft_overheads(base, hw)
     return CostEstimate(
-        prologue=max(ag_times, default=0.0),
+        prologue=max(ag_times, default=0.0) + abft_prologue,
         steady=0.0,
-        epilogue=gemm.seconds + max(rds_times, default=0.0),
+        epilogue=gemm.seconds + max(rds_times, default=0.0) + abft_epilogue,
         slices=1,
         flops_per_chip=cfg.shape.flops / chips,
     )
@@ -202,13 +238,9 @@ def _best_slice_count(
 ) -> Tuple[int, CostEstimate]:
     best: Tuple[int, CostEstimate] = (1, None)
     for s in valid_slice_counts_for(cfg, max_slices):
-        candidate = GeMMConfig(
-            shape=cfg.shape,
-            mesh=cfg.mesh,
-            dataflow=cfg.dataflow,
-            slices=s,
-            transposed=cfg.transposed,
-        )
+        # dataclasses.replace keeps every other knob (abft, sdc_rate,
+        # ...) so protection overhead shapes the slice-count optimum.
+        candidate = dataclasses.replace(cfg, slices=s)
         estimate = meshslice_estimate(candidate, hw)
         if best[1] is None or estimate.total < best[1].total:
             best = (s, estimate)

@@ -40,6 +40,8 @@ class TunedPass:
     plan: PassPlan
     slices: int
     estimate: CostEstimate
+    abft: bool = False
+    sdc_rate: float = 0.0
 
     def config(self, mesh: Mesh2D) -> GeMMConfig:
         return GeMMConfig(
@@ -48,6 +50,8 @@ class TunedPass:
             dataflow=self.plan.dataflow,
             slices=self.slices,
             transposed=self.plan.transposed,
+            abft=self.abft,
+            sdc_rate=self.sdc_rate,
         )
 
 
@@ -83,8 +87,15 @@ def tune_mesh(
     mesh: Mesh2D,
     hw: HardwareParams,
     max_slices: int = 64,
+    abft: bool = False,
+    sdc_rate: float = 0.0,
 ) -> Tuple[List[TunedPass], float]:
-    """Tune every pass's slice count for one fixed mesh shape."""
+    """Tune every pass's slice count for one fixed mesh shape.
+
+    With ``abft=True`` the slice-count search optimizes the *protected*
+    analytical estimate — checksum encodes, enlarged collective
+    payloads, and the verify/expected-recompute epilogue all count.
+    """
     tuned: List[TunedPass] = []
     total = 0.0
     for plan in plans:
@@ -95,6 +106,8 @@ def tune_mesh(
                 dataflow=pass_plan.dataflow,
                 slices=1,
                 transposed=pass_plan.transposed,
+                abft=abft,
+                sdc_rate=sdc_rate,
             )
             slices, estimate = best_slice_count(cfg, hw, max_slices)
             tuned.append(
@@ -103,6 +116,8 @@ def tune_mesh(
                     plan=pass_plan,
                     slices=slices,
                     estimate=estimate,
+                    abft=abft,
+                    sdc_rate=sdc_rate,
                 )
             )
             total += estimate.total
@@ -118,6 +133,8 @@ def tune(
     mesh_candidates: Optional[Sequence[Mesh2D]] = None,
     min_mesh_dim: int = 2,
     max_slices: int = 64,
+    abft: bool = False,
+    sdc_rate: float = 0.0,
 ) -> TuningResult:
     """Run both autotuner phases for an LLM training configuration.
 
@@ -130,6 +147,9 @@ def tune(
         mesh_candidates: Candidate torus shapes; defaults to all
             factorizations of ``chips`` with both dims >= ``min_mesh_dim``.
         max_slices: Upper bound of the slice-count search.
+        abft: Tune for ABFT-protected GeMMs (checksum overhead counts).
+        sdc_rate: Per-protected-op silent-corruption probability used
+            by the expected-recompute term of the protected estimate.
     """
     tokens = model.tokens(batch_size)
     plans = plan_model(model, tokens, optimize_dataflow=optimize_dataflow)
@@ -143,7 +163,9 @@ def tune(
     best: Optional[TuningResult] = None
     per_mesh: Dict[Tuple[int, int], float] = {}
     for mesh in candidates:
-        tuned, total = tune_mesh(plans, mesh, hw, max_slices)
+        tuned, total = tune_mesh(
+            plans, mesh, hw, max_slices, abft=abft, sdc_rate=sdc_rate
+        )
         per_mesh[mesh.shape] = total
         if best is None or total < best.block_seconds:
             best = TuningResult(
@@ -217,6 +239,8 @@ def robust_tune(
     mesh_candidates: Optional[Sequence[Mesh2D]] = None,
     min_mesh_dim: int = 2,
     max_slices: int = 64,
+    abft: bool = False,
+    sdc_rate: float = 0.0,
 ) -> RobustTuningResult:
     """Pick the mesh shape minimizing a tail quantile under faults.
 
@@ -264,7 +288,9 @@ def robust_tune(
     best_mean = 0.0
     per_mesh: Dict[Tuple[int, int], float] = {}
     for mesh in candidates:
-        tuned, _estimate = tune_mesh(plans, mesh, hw, max_slices)
+        tuned, _estimate = tune_mesh(
+            plans, mesh, hw, max_slices, abft=abft, sdc_rate=sdc_rate
+        )
         configs = [t.config(mesh) for t in tuned]
         if any(alg.check_support(cfg) for cfg in configs):
             continue

@@ -12,6 +12,7 @@ Deployment planning and introspection::
     meshslice tune gpt3-175b --chips 256 --batch 128 [--hw tpuv4-sim]
     meshslice faults gpt3-175b --chips 256 --stragglers 2
     meshslice recovery gpt3-175b --chips 256 --chip-mtbf-hours 2000
+    meshslice sdc --rate 1e-2 --mesh 4x4 --trials 8
     meshslice profile gpt3-175b --chips 16 --batch 8
     meshslice models                  # model zoo
     meshslice presets                 # hardware presets
@@ -37,7 +38,7 @@ from repro.experiments import EXPERIMENTS
 #: The real subcommands; anything else in command position is treated
 #: as an experiment name and routed through ``run`` (legacy alias).
 COMMANDS = (
-    "run", "list", "tune", "faults", "recovery", "profile",
+    "run", "list", "tune", "faults", "recovery", "sdc", "profile",
     "models", "presets",
 )
 
@@ -190,6 +191,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="recovery policy to evaluate (default: both)",
     )
     _add_metrics_argument(recovery)
+
+    sdc = sub.add_parser(
+        "sdc",
+        help="silent-data-corruption sweep: ABFT protection vs escapes",
+        description=(
+            "Inject seeded bit flips into the functional 2D GeMM with "
+            "and without ABFT checksums, and report escape counts, "
+            "correction statistics, and the simulated protection "
+            "overhead per (rate, mesh) grid point."
+        ),
+    )
+    sdc.add_argument(
+        "--rate", type=float, action="append", default=None,
+        metavar="R",
+        help="SDC rate(s) to sweep; repeatable (default: 1e-3 1e-2 0.05)",
+    )
+    sdc.add_argument(
+        "--mesh", action="append", default=None, metavar="RxC",
+        help="mesh shape(s) to sweep, e.g. 4x4; repeatable "
+             "(default: 2x2 4x4)",
+    )
+    sdc.add_argument(
+        "--algorithm", default="meshslice",
+        choices=("meshslice", "summa", "collective"),
+        help="distributed GeMM algorithm to protect (default: meshslice)",
+    )
+    sdc.add_argument(
+        "--trials", type=int, default=8,
+        help="functional trials per grid point (default: 8)",
+    )
+    sdc.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed of the injection ensemble (default: 0)",
+    )
+    sdc.add_argument(
+        "--hw", default="tpuv4-sim",
+        help="hardware preset name (see 'presets')",
+    )
+    sdc.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep grid",
+    )
+    _add_metrics_argument(sdc)
 
     profile = sub.add_parser(
         "profile",
@@ -508,6 +552,72 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mesh_shapes(specs) -> List:
+    """Parse repeatable ``RxC`` mesh flags into shape tuples."""
+    shapes = []
+    for spec in specs:
+        parts = spec.lower().split("x")
+        if len(parts) != 2 or not all(p.isdigit() and int(p) > 0 for p in parts):
+            raise ValueError(f"invalid mesh shape {spec!r} (expected RxC)")
+        shapes.append((int(parts[0]), int(parts[1])))
+    return shapes
+
+
+def _cmd_sdc(args: argparse.Namespace) -> int:
+    rates = tuple(args.rate) if args.rate else None
+    bad = _check_flags(
+        "sdc",
+        [
+            ("--trials", args.trials, args.trials >= 1, "must be >= 1"),
+            ("--rate", rates,
+             rates is None or all(0.0 <= r <= 1.0 for r in rates),
+             "every rate must be in [0, 1]"),
+        ],
+    )
+    if bad:
+        return bad
+    from repro.experiments import ablation_sdc
+    from repro.hw import get_preset
+
+    try:
+        hw = get_preset(args.hw)
+        meshes = (
+            _parse_mesh_shapes(args.mesh) if args.mesh
+            else list(ablation_sdc.MESHES)
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    rows = ablation_sdc.run(
+        rates=rates or ablation_sdc.RATES,
+        meshes=meshes,
+        trials=args.trials,
+        seed=args.seed if args.seed else ablation_sdc.DEFAULT_SEED,
+        algorithm=args.algorithm,
+        hw=hw,
+        jobs=args.jobs,
+    )
+    from repro.experiments.common import render_table
+
+    print(
+        f"{args.algorithm} under silent data corruption ({hw.name}, "
+        f"{args.trials} trials/point, seed "
+        f"{args.seed if args.seed else ablation_sdc.DEFAULT_SEED})\n"
+    )
+    print(
+        render_table(
+            ["rate", "mesh", "flips", "escapes (bare)", "escapes (abft)",
+             "corrected", "recomputed", "abft overhead"],
+            [(f"{r.rate:g}", f"{r.mesh[0]}x{r.mesh[1]}", r.flips,
+              f"{r.unprotected_escapes}/{r.trials}",
+              f"{r.protected_escapes}/{r.trials}",
+              r.corrected, r.recomputed, f"{r.overhead_pct:.1f}%")
+             for r in rows],
+        )
+    )
+    return 0
+
+
 #: Per-run derived metrics a handler wants included in the command's
 #: ``--metrics`` export (filled by ``profile``; others export only the
 #: registry and cache counters).
@@ -593,6 +703,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         "tune": lambda: _cmd_tune(args),
         "faults": lambda: _cmd_faults(args),
         "recovery": lambda: _cmd_recovery(args),
+        "sdc": lambda: _cmd_sdc(args),
         "profile": lambda: _cmd_profile(args),
         "models": _cmd_models,
         "presets": _cmd_presets,

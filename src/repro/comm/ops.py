@@ -24,6 +24,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.faults import sdc as _sdc
 from repro.mesh.topology import Coord, Mesh2D
 
 Shards = Dict[Coord, np.ndarray]
@@ -33,6 +34,22 @@ def _check_mesh_shards(shards: Shards, mesh: Mesh2D) -> None:
     missing = [c for c in mesh.coords() if c not in shards]
     if missing:
         raise ValueError(f"shards missing for chips {missing[:4]} of mesh {mesh}")
+
+
+def _check_uniform(chunks: List[np.ndarray], what: str) -> None:
+    """Reject mismatched ring participants before numpy can mask them.
+
+    A shape mismatch would otherwise surface as a cryptic concatenate
+    error several ring steps later; a dtype mismatch is worse — the
+    reduce silently promotes. Names the first offending rank.
+    """
+    first = chunks[0]
+    for rank, chunk in enumerate(chunks[1:], start=1):
+        if chunk.shape != first.shape or chunk.dtype != first.dtype:
+            raise ValueError(
+                f"{what}: rank {rank} shard {chunk.shape}/{chunk.dtype} "
+                f"disagrees with rank 0 {first.shape}/{first.dtype}"
+            )
 
 
 def ring_allgather(chunks: List[np.ndarray], axis: int) -> List[np.ndarray]:
@@ -45,6 +62,7 @@ def ring_allgather(chunks: List[np.ndarray], axis: int) -> List[np.ndarray]:
     ranks, assembled in global rank order).
     """
     p = len(chunks)
+    _check_uniform(chunks, "ring_allgather")
     # Per-rank collection, indexed by source rank.
     have: List[Dict[int, np.ndarray]] = [{r: chunks[r]} for r in range(p)]
     # in_flight[r] is the chunk rank r forwards in the current step.
@@ -74,6 +92,7 @@ def ring_reducescatter(parts: List[np.ndarray], axis: int) -> List[np.ndarray]:
     contributions.
     """
     p = len(parts)
+    _check_uniform(parts, "ring_reducescatter")
     split = [np.array_split(part, p, axis=axis) for part in parts]
     for chunks in split:
         sizes = {c.shape[axis] for c in chunks}
@@ -114,7 +133,7 @@ def ag_col(shards: Shards, mesh: Mesh2D, axis: int = 1) -> Shards:
         gathered = ring_allgather([shards[(i, j)] for j in range(mesh.cols)], axis)
         for j in range(mesh.cols):
             out[(i, j)] = gathered[j]
-    return out
+    return _sdc.corrupt_shards("ag_col", out)
 
 
 def ag_row(shards: Shards, mesh: Mesh2D, axis: int = 0) -> Shards:
@@ -125,7 +144,7 @@ def ag_row(shards: Shards, mesh: Mesh2D, axis: int = 0) -> Shards:
         gathered = ring_allgather([shards[(i, j)] for i in range(mesh.rows)], axis)
         for i in range(mesh.rows):
             out[(i, j)] = gathered[i]
-    return out
+    return _sdc.corrupt_shards("ag_row", out)
 
 
 def rds_col(partials: Shards, mesh: Mesh2D, axis: int = 1) -> Shards:
@@ -142,7 +161,7 @@ def rds_col(partials: Shards, mesh: Mesh2D, axis: int = 1) -> Shards:
         )
         for j in range(mesh.cols):
             out[(i, j)] = scattered[j]
-    return out
+    return _sdc.corrupt_shards("rds_col", out)
 
 
 def rds_row(partials: Shards, mesh: Mesh2D, axis: int = 0) -> Shards:
@@ -155,7 +174,7 @@ def rds_row(partials: Shards, mesh: Mesh2D, axis: int = 0) -> Shards:
         )
         for i in range(mesh.rows):
             out[(i, j)] = scattered[i]
-    return out
+    return _sdc.corrupt_shards("rds_row", out)
 
 
 def bcast_col(shards: Shards, mesh: Mesh2D, root_col: int) -> Shards:
@@ -171,7 +190,7 @@ def bcast_col(shards: Shards, mesh: Mesh2D, root_col: int) -> Shards:
         payload = shards[(i, root_col)]
         for j in range(mesh.cols):
             out[(i, j)] = payload.copy()
-    return out
+    return _sdc.corrupt_shards("bcast_col", out)
 
 
 def bcast_row(shards: Shards, mesh: Mesh2D, root_row: int) -> Shards:
@@ -185,7 +204,7 @@ def bcast_row(shards: Shards, mesh: Mesh2D, root_row: int) -> Shards:
         payload = shards[(root_row, j)]
         for i in range(mesh.rows):
             out[(i, j)] = payload.copy()
-    return out
+    return _sdc.corrupt_shards("bcast_row", out)
 
 
 def reduce_col(partials: Shards, mesh: Mesh2D, root_col: int) -> Shards:
@@ -201,7 +220,7 @@ def reduce_col(partials: Shards, mesh: Mesh2D, root_col: int) -> Shards:
     for i in range(mesh.rows):
         total = sum(partials[(i, j)] for j in range(mesh.cols))
         out[(i, root_col)] = total
-    return out
+    return _sdc.corrupt_shards("reduce_col", out)
 
 
 def reduce_row(partials: Shards, mesh: Mesh2D, root_row: int) -> Shards:
@@ -212,7 +231,7 @@ def reduce_row(partials: Shards, mesh: Mesh2D, root_row: int) -> Shards:
     for j in range(mesh.cols):
         total = sum(partials[(i, j)] for i in range(mesh.rows))
         out[(root_row, j)] = total
-    return out
+    return _sdc.corrupt_shards("reduce_row", out)
 
 
 def shift_col(shards: Shards, mesh: Mesh2D, hops: int = 1) -> Shards:

@@ -7,7 +7,7 @@ from repro.core.dataflow import (
     sliced_dimension,
     sliced_extent,
 )
-from repro.core.gemm import GeMMShape
+from repro.core.gemm import GeMMShape, local_gemm
 from repro.core.meshslice import (
     meshslice_gemm,
     meshslice_ls,
@@ -28,6 +28,7 @@ __all__ = [
     "Dataflow",
     "GeMMShape",
     "flowing_bytes",
+    "local_gemm",
     "meshslice_gemm",
     "meshslice_ls",
     "meshslice_os",

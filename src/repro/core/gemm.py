@@ -5,6 +5,21 @@ from __future__ import annotations
 import dataclasses
 from typing import Tuple
 
+import numpy as np
+
+from repro.faults import sdc as _sdc
+
+
+def local_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One chip's local partial-block matmul.
+
+    Every functional algorithm routes its per-chip products through this
+    helper so that :func:`repro.faults.sdc.sdc_injection` can model an
+    MXU datapath upset corrupting the accumulate. Outside an injection
+    context this is exactly ``a @ b``.
+    """
+    return _sdc.corrupt_block("gemm", a @ b)
+
 
 @dataclasses.dataclass(frozen=True)
 class GeMMShape:

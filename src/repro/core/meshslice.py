@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.comm.ops import ag_col, ag_row, rds_col, rds_row
 from repro.core.dataflow import Dataflow
+from repro.core.gemm import local_gemm
 from repro.core.slicing import (
     set_slice_col,
     set_slice_row,
@@ -76,7 +77,7 @@ def meshslice_os(
         a_gathered = ag_col(a_sub, mesh, axis=1)
         b_gathered = ag_row(b_sub, mesh, axis=0)
         for coord in mesh.coords():
-            c_sh.shards[coord] += a_gathered[coord] @ b_gathered[coord]
+            c_sh.shards[coord] += local_gemm(a_gathered[coord], b_gathered[coord])
     return gather_matrix(c_sh)
 
 
@@ -119,7 +120,7 @@ def meshslice_ls(
         }
         b_gathered = ag_row(b_sub, mesh, axis=0)
         partial = {
-            coord: a_sh.shard(coord) @ b_gathered[coord].T
+            coord: local_gemm(a_sh.shard(coord), b_gathered[coord].T)
             for coord in mesh.coords()
         }
         scattered = rds_col(partial, mesh, axis=1)
@@ -169,7 +170,7 @@ def meshslice_rs(
         }
         a_gathered = ag_col(a_sub, mesh, axis=1)
         partial = {
-            coord: a_gathered[coord].T @ b_sh.shard(coord)
+            coord: local_gemm(a_gathered[coord].T, b_sh.shard(coord))
             for coord in mesh.coords()
         }
         scattered = rds_row(partial, mesh, axis=0)

@@ -11,6 +11,7 @@ from repro.experiments import (
     ablation_inference,
     ablation_logical_mesh,
     ablation_recovery,
+    ablation_sdc,
     ablation_unrolling,
     fig04_timelines,
     fig09_weak_scaling,
@@ -57,6 +58,7 @@ EXPERIMENTS = {
     "ablation-inference": ablation_inference,
     "ablation-logical-mesh": ablation_logical_mesh,
     "ablation-recovery": ablation_recovery,
+    "ablation-sdc": ablation_sdc,
     "ablation-unrolling": ablation_unrolling,
 }
 

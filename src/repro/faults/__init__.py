@@ -26,10 +26,24 @@ engine halts at the fault time and surfaces a structured
 ``SimFailure``. Responses to them (retry/backoff, degraded-mesh
 reconfiguration, checkpoint-restart goodput) live in
 :mod:`repro.recovery`.
+
+Silent data corruption — a wrong *answer* rather than a wrong
+*duration* — is modeled by :class:`SDCPlan` in :mod:`repro.faults.sdc`:
+seeded bit flips injected into the functional plane's shard payloads,
+detected and corrected by the ABFT checksums of :mod:`repro.abft`.
+
+All three plan families share one seeding convention: every random
+draw comes from ``random.Random(seed)`` consumed in a deterministic
+order (activities in program order for ``FaultPlan``, sorted chip
+coordinates for ``FaultSpec.sample`` and ``SDCPlan``), and
+``ensemble(...)`` derives member ``i`` by reseeding to ``seed + i`` —
+so sampling is byte-reproducible across processes, hash seeds, and
+platforms.
 """
 
 from repro.faults.hard import HardFault, chip_down, earliest, link_down
 from repro.faults.plan import NULL_PLAN, FaultPlan
+from repro.faults.sdc import NULL_SDC_PLAN, SDC_OPS, SDCEvent, SDCPlan, sdc_injection
 from repro.faults.spec import DEFAULT_RETRY_TIMEOUT, FaultSpec
 
 __all__ = [
@@ -38,7 +52,12 @@ __all__ = [
     "FaultSpec",
     "HardFault",
     "NULL_PLAN",
+    "NULL_SDC_PLAN",
+    "SDCEvent",
+    "SDCPlan",
+    "SDC_OPS",
     "chip_down",
     "earliest",
     "link_down",
+    "sdc_injection",
 ]

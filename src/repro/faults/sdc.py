@@ -1,0 +1,271 @@
+"""Silent-data-corruption injection: seeded bit flips in the functional plane.
+
+Every other fault in :mod:`repro.faults` is a *timing* fault — durations
+stretch, chips die — but the answer stays right. An :class:`SDCPlan`
+models the fault class that retry and checkpointing machinery cannot
+catch: a bit silently flips in a shard payload (HBM, a ring link, an MXU
+partial sum) and the computation completes normally with a wrong result.
+
+Injection happens at hooks inside the functional collectives
+(:mod:`repro.comm.ops`) and the local partial-GeMM helper
+(:func:`repro.core.gemm.local_gemm`): entering an :func:`sdc_injection`
+context arms the hooks with a plan; each hooked operation then flips a
+mantissa/exponent bit of one element per affected chip with the plan's
+probability. Detection and correction of the resulting corruption is the
+job of :mod:`repro.abft`.
+
+The null-plan contract mirrors :class:`repro.faults.plan.FaultPlan`: a
+null plan (rate 0, no ops, or a zero flip budget) arms nothing — the
+hooks stay on their zero-cost path, consume no randomness, and return
+the very same array objects, so results are bit-identical to a run with
+no context at all.
+
+Determinism mirrors :class:`repro.faults.spec.FaultSpec`: all randomness
+comes from ``random.Random(plan.seed)``, consumed in hook-invocation
+order with shards visited in sorted coordinate order, so the same plan
+over the same workload injects the same flips — across processes, hash
+seeds, and platforms. :meth:`SDCPlan.ensemble` derives a family of plans
+from consecutive seeds, the same convention as ``FaultSpec.ensemble``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import random
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.registry import registry as _metrics
+
+#: Hooked operations an :class:`SDCPlan` may corrupt: the output shards
+#: of the functional ring collectives (all-gathered operand copies,
+#: reduce-scattered partials, SUMMA's panel broadcasts/reduces) and the
+#: local partial-GeMM accumulate.
+SDC_OPS = (
+    "ag_col",
+    "ag_row",
+    "rds_col",
+    "rds_row",
+    "bcast_col",
+    "bcast_row",
+    "reduce_col",
+    "reduce_row",
+    "gemm",
+)
+
+#: Highest flippable bit of a float64 lane: mantissa bits are 0-51,
+#: exponent bits 52-62. The sign bit (63) is excluded — the plan models
+#: datapath upsets, and sign flips of near-zero values are the one case
+#: whose magnitude can be arbitrarily small.
+MAX_BIT = 62
+
+
+@dataclasses.dataclass(frozen=True)
+class SDCEvent:
+    """One injected bit flip (recorded for reporting and tests).
+
+    Attributes:
+        op: The hooked operation the flip occurred in (see ``SDC_OPS``).
+        coord: Chip coordinate of the corrupted shard (``None`` for a
+            local GeMM block, whose hook does not know its chip).
+        index: Element index inside the corrupted array.
+        bit: Flipped bit position (0-62, see :data:`MAX_BIT`).
+        before: Element value before the flip.
+        after: Element value after the flip.
+    """
+
+    op: str
+    coord: Optional[Tuple[int, int]]
+    index: Tuple[int, ...]
+    bit: int
+    before: float
+    after: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SDCPlan:
+    """A seeded silent-data-corruption plan for the functional plane.
+
+    Attributes:
+        rate: Per-(operation, chip) probability of injecting one bit
+            flip into the operation's output shard, in ``[0, 1]``.
+        ops: Hooked operations the plan may corrupt (a subset of
+            :data:`SDC_OPS`).
+        bit: Force every flip to this bit position (0-62); ``None``
+            draws the position uniformly per flip.
+        max_flips: Optional cap on the total flips one injection
+            context may produce (``0`` makes the plan null).
+        seed: Root seed of all draws.
+    """
+
+    rate: float = 0.0
+    ops: Tuple[str, ...] = SDC_OPS
+    bit: Optional[int] = None
+    max_flips: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        unknown = [op for op in self.ops if op not in SDC_OPS]
+        if unknown:
+            raise ValueError(
+                f"unknown SDC ops {unknown}; known: {', '.join(SDC_OPS)}"
+            )
+        if self.bit is not None and not 0 <= self.bit <= MAX_BIT:
+            raise ValueError(f"bit must be in [0, {MAX_BIT}] (sign bit excluded)")
+        if self.max_flips is not None and self.max_flips < 0:
+            raise ValueError("max_flips must be non-negative")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether arming this plan is guaranteed to change nothing."""
+        return self.rate == 0.0 or not self.ops or self.max_flips == 0
+
+    def ensemble(self, count: int) -> Tuple["SDCPlan", ...]:
+        """``count`` plans with consecutive seeds (reproducible).
+
+        The same derivation convention as
+        :meth:`repro.faults.spec.FaultSpec.ensemble`: member ``i`` is
+        this plan reseeded to ``seed + i``.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return tuple(
+            dataclasses.replace(self, seed=self.seed + i) for i in range(count)
+        )
+
+
+#: The identity plan: entering its injection context arms nothing.
+NULL_SDC_PLAN = SDCPlan()
+
+
+class SDCInjector:
+    """Mutable injection state of one :func:`sdc_injection` context."""
+
+    def __init__(self, plan: SDCPlan):
+        self.plan = plan
+        self.events: List[SDCEvent] = []
+        self._rng = random.Random(plan.seed)
+
+    @property
+    def flips(self) -> int:
+        """Number of bit flips injected so far."""
+        return len(self.events)
+
+    def _exhausted(self) -> bool:
+        cap = self.plan.max_flips
+        return cap is not None and len(self.events) >= cap
+
+    def _flip(
+        self, op: str, coord: Optional[Tuple[int, int]], arr: np.ndarray
+    ) -> np.ndarray:
+        """Flip one seeded bit of one seeded element; returns a copy."""
+        if arr.dtype != np.float64:
+            raise ValueError(
+                f"SDC injection flips float64 payloads, got {arr.dtype}"
+            )
+        rng = self._rng
+        flat = rng.randrange(arr.size)
+        bit = self.plan.bit
+        if bit is None:
+            bit = rng.randrange(MAX_BIT + 1)
+        out = arr.copy()
+        lanes = out.view(np.int64).reshape(-1)
+        before = float(out.reshape(-1)[flat])
+        lanes[flat] ^= np.int64(1) << np.int64(bit)
+        after = float(out.reshape(-1)[flat])
+        self.events.append(
+            SDCEvent(
+                op=op,
+                coord=coord,
+                index=tuple(int(i) for i in np.unravel_index(flat, arr.shape)),
+                bit=bit,
+                before=before,
+                after=after,
+            )
+        )
+        _metrics().inc("sdc.flips", labels={"op": op})
+        return out
+
+    def corrupt_shards(
+        self, op: str, shards: Dict[Tuple[int, int], np.ndarray]
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Maybe corrupt a collective's output shards at hook ``op``.
+
+        Shards are visited in sorted coordinate order (hash-seed
+        determinism); untouched shard dicts are returned unchanged (the
+        same object), and corrupted entries are copies — the inputs are
+        never mutated, mirroring ``FaultPlan.apply``.
+        """
+        if op not in self.plan.ops:
+            return shards
+        out: Optional[Dict[Tuple[int, int], np.ndarray]] = None
+        for coord in sorted(shards):
+            if self._exhausted():
+                break
+            if self._rng.random() >= self.plan.rate:
+                continue
+            if out is None:
+                out = dict(shards)
+            out[coord] = self._flip(op, coord, shards[coord])
+        return shards if out is None else out
+
+    def corrupt_block(self, op: str, array: np.ndarray) -> np.ndarray:
+        """Maybe corrupt one local result block at hook ``op``."""
+        if op not in self.plan.ops or self._exhausted():
+            return array
+        if self._rng.random() >= self.plan.rate:
+            return array
+        return self._flip(op, None, array)
+
+
+#: The armed injector, or ``None`` when no non-null context is active.
+_ACTIVE: Optional[SDCInjector] = None
+
+
+@contextlib.contextmanager
+def sdc_injection(plan: Optional[SDCPlan]) -> Iterator[SDCInjector]:
+    """Arm the functional-plane corruption hooks with ``plan``.
+
+    Yields the context's :class:`SDCInjector` (its ``events`` record
+    every flip). A ``None`` or null plan arms nothing: the hooks stay on
+    their zero-cost identity path and the enclosed computation is
+    bit-identical to one outside any context — the same null contract
+    as ``FaultPlan.apply`` returning the input program object.
+
+    Contexts do not nest: the per-plan random stream would lose its
+    meaning if two plans raced for the same hooks.
+    """
+    global _ACTIVE
+    injector = SDCInjector(plan if plan is not None else NULL_SDC_PLAN)
+    if injector.plan.is_null:
+        yield injector
+        return
+    if _ACTIVE is not None:
+        raise RuntimeError("sdc_injection contexts do not nest")
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = None
+
+
+def corrupt_shards(
+    op: str, shards: Dict[Tuple[int, int], np.ndarray]
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """Hook for :mod:`repro.comm.ops`: corrupt collective output shards."""
+    injector = _ACTIVE
+    if injector is None:
+        return shards
+    return injector.corrupt_shards(op, shards)
+
+
+def corrupt_block(op: str, array: np.ndarray) -> np.ndarray:
+    """Hook for :func:`repro.core.gemm.local_gemm`: corrupt one block."""
+    injector = _ACTIVE
+    if injector is None:
+        return array
+    return injector.corrupt_block(op, array)

@@ -126,6 +126,31 @@ def slice_cost(sub_shard_bytes: float, hw: HardwareParams) -> ComputeCost:
     return _slice_cost(sub_shard_bytes, hw)
 
 
+@memoize("checksum_cost")
+def _checksum_cost(elements: float, hw: HardwareParams) -> ComputeCost:
+    if elements < 0:
+        raise ValueError("elements must be non-negative")
+    hbm_bytes = elements * hw.dtype_bytes
+    return ComputeCost(
+        seconds=hw.t_kernel + hbm_bytes / hw.hbm_bandwidth,
+        hbm_bytes=hbm_bytes,
+        flops=0.0,
+    )
+
+
+def checksum_cost(elements: float, hw: HardwareParams) -> ComputeCost:
+    """Cost of an ABFT checksum pass streaming ``elements`` elements.
+
+    Checksum encode (summing a shard into its appended row/column) and
+    verification (re-summing a block against its carried checksums) are
+    memory-bound streaming reductions: one read of the operand at HBM
+    bandwidth plus a kernel launch. Reports zero FLOPs so protection
+    overhead shows up as *lost* utilization rather than inflated useful
+    work. Memoized like :func:`gemm_cost`.
+    """
+    return _checksum_cost(elements, hw)
+
+
 def effective_gemm_seconds(m: int, n: int, k: int, hw: HardwareParams) -> float:
     """Convenience wrapper returning only the kernel time."""
     return gemm_cost(m, n, k, hw).seconds

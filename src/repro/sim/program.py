@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.comm.cost import CommCost, CommCostModel
 from repro.hw.params import HardwareParams
-from repro.sim.chip import ComputeCost, gemm_cost, slice_cost
+from repro.sim.chip import ComputeCost, checksum_cost, gemm_cost, slice_cost
 from repro.sim.engine import (
     CORE,
     HBM,
@@ -141,6 +141,41 @@ class ProgramBuilder:
         """A blocked slicing (or slice write-back) copy on the core."""
         cost = slice_cost(sub_shard_bytes, self.hw)
         return self._compute_activity(label, "slice", cost, deps)
+
+    def checksum(
+        self, label: str, elements: float, deps: Sequence[int] = ()
+    ) -> int:
+        """An ABFT checksum encode/verify pass over ``elements`` elements.
+
+        A memory-bound streaming reduction on the core (zero useful
+        FLOPs), used by the ``abft=True`` program variants.
+        """
+        cost = checksum_cost(elements, self.hw)
+        return self._compute_activity(label, "compute", cost, deps)
+
+    def expected_compute(
+        self,
+        label: str,
+        cost: ComputeCost,
+        probability: float,
+        deps: Sequence[int] = (),
+    ) -> int:
+        """A compute kernel charged at its expected (probability-scaled) cost.
+
+        Models a recovery epilogue that only sometimes runs — e.g. the
+        ABFT recompute of a corrupted block, whose expected duration is
+        the block recompute time times the per-run corruption
+        probability. FLOPs are reported as zero: recovery work is
+        overhead, not useful throughput.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        scaled = ComputeCost(
+            seconds=cost.seconds * probability,
+            hbm_bytes=cost.hbm_bytes * probability,
+            flops=0.0,
+        )
+        return self._compute_activity(label, "compute", scaled, deps)
 
     def _compute_activity(
         self, label: str, kind: str, cost: ComputeCost, deps: Sequence[int]

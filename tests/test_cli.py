@@ -171,3 +171,48 @@ class TestRecoveryCommand:
         assert normalize_argv(["recovery", "gpt3-175b"]) == [
             "recovery", "gpt3-175b"
         ]
+
+
+class TestSdcCommand:
+    def test_report(self, capsys):
+        assert main([
+            "sdc", "--rate", "0.05", "--mesh", "2x2", "--trials", "2",
+            "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "silent data corruption" in out
+        assert "escapes (bare)" in out and "escapes (abft)" in out
+        assert "abft overhead" in out
+        assert "2x2" in out
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--rate", "5"),
+        ("--rate", "-0.1"),
+        ("--trials", "0"),
+    ])
+    def test_bad_flag_exits_2_naming_the_flag(self, capsys, flag, value):
+        assert main(["sdc", flag, value]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.count("\n") == 0, "diagnostic must be one line"
+        assert flag in err
+
+    def test_bad_mesh_spec(self, capsys):
+        assert main(["sdc", "--mesh", "3y3", "--trials", "1"]) == 2
+        assert "3y3" in capsys.readouterr().err
+
+    def test_unknown_hw_preset(self, capsys):
+        assert main([
+            "sdc", "--hw", "abacus", "--trials", "1", "--mesh", "2x2",
+        ]) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sdc", "--algorithm", "cannon"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_normalize_keeps_sdc(self):
+        assert normalize_argv(["sdc", "--rate", "0.01"]) == [
+            "sdc", "--rate", "0.01"
+        ]

@@ -176,3 +176,44 @@ class TestShifts:
         out = shift_col(shards, mesh, hops=mesh.cols)
         for coord in mesh.coords():
             assert np.array_equal(out[coord], shards[coord])
+
+
+class TestShardValidation:
+    """Mismatched ring participants fail loudly, naming the rank."""
+
+    def test_allgather_shape_mismatch_names_rank(self):
+        chunks = [np.zeros((3, 3)), np.zeros((3, 3)), np.zeros((3, 4))]
+        with pytest.raises(ValueError, match=r"ring_allgather: rank 2 shard"):
+            ring_allgather(chunks, axis=1)
+
+    def test_allgather_dtype_mismatch_names_rank(self):
+        chunks = [np.zeros((3, 3)), np.zeros((3, 3), dtype=np.float32)]
+        with pytest.raises(ValueError, match=r"ring_allgather: rank 1 shard"):
+            ring_allgather(chunks, axis=0)
+
+    def test_reducescatter_shape_mismatch_names_rank(self):
+        parts = [np.zeros((4, 4)), np.zeros((4, 2)), np.zeros((4, 4))]
+        with pytest.raises(
+            ValueError, match=r"ring_reducescatter: rank 1 shard"
+        ):
+            ring_reducescatter(parts, axis=1)
+
+    def test_reducescatter_dtype_mismatch_names_rank(self):
+        parts = [np.zeros((4, 4)), np.zeros((4, 4)), np.ones((4, 4), dtype=np.int64)]
+        with pytest.raises(
+            ValueError, match=r"ring_reducescatter: rank 2 shard"
+        ):
+            ring_reducescatter(parts, axis=0)
+
+    def test_message_reports_both_sides(self):
+        chunks = [np.zeros((2, 2)), np.zeros((2, 5))]
+        with pytest.raises(ValueError) as excinfo:
+            ring_allgather(chunks, axis=1)
+        message = str(excinfo.value)
+        assert "(2, 5)" in message and "(2, 2)" in message
+        assert "disagrees with rank 0" in message
+
+    def test_uniform_shards_pass(self, rng):
+        chunks = [rng.standard_normal((6, 6)) for _ in range(3)]
+        ring_allgather(chunks, axis=0)
+        ring_reducescatter(chunks, axis=0)

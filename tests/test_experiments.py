@@ -11,6 +11,7 @@ from repro.experiments import (
     ablation_25d,
     ablation_faults,
     ablation_recovery,
+    ablation_sdc,
     fig09_weak_scaling,
     fig10_comm_breakdown,
     fig11_matrix_shapes,
@@ -233,6 +234,46 @@ class TestAblationFaults:
             assert row.comm_share_faulted <= row.comm_share_clean
 
 
+class TestAblationSdc:
+    def _rows(self, rates=(0.05,), meshes=((2, 2),), **kwargs):
+        return ablation_sdc.run(
+            rates=rates, meshes=meshes, trials=3, seed=11, jobs=1, **kwargs
+        )
+
+    def test_covers_grid(self):
+        rows = self._rows(rates=(0.01, 0.05), meshes=((2, 2), (2, 4)))
+        assert len(rows) == 4
+        assert {(r.rate, r.mesh) for r in rows} == {
+            (0.01, (2, 2)), (0.01, (2, 4)),
+            (0.05, (2, 2)), (0.05, (2, 4)),
+        }
+
+    def test_protection_never_worse_than_bare(self):
+        for row in self._rows():
+            assert row.trials == 3
+            assert row.protected_escapes <= row.unprotected_escapes
+            assert 0 <= row.protected_escape_rate <= row.unprotected_escape_rate
+
+    def test_abft_costs_time(self):
+        for row in self._rows():
+            assert row.overhead_pct > 0.0
+
+    def test_repairs_accounted(self):
+        # Every protected trial ends clean, corrected, or recomputed;
+        # repairs can't exceed what was actually injected.
+        rows = self._rows(rates=(1.0,))
+        for row in rows:
+            assert row.flips > 0
+            assert row.corrected + row.recomputed <= row.flips
+
+    def test_deterministic(self):
+        assert self._rows() == self._rows()
+
+    def test_collective_forces_single_slice(self):
+        rows = self._rows(algorithm="collective")
+        assert rows and all(r.overhead_pct > 0 for r in rows)
+
+
 class TestMains:
     """Every experiment's main() renders a non-empty report."""
 
@@ -247,6 +288,7 @@ class TestMains:
             (fig15_comm_model_accuracy, {}),
             (ablation_25d, {}),
             (ablation_faults, {}),
+            (ablation_sdc, {}),
         ],
     )
     def test_main_renders(self, module, kwargs):
