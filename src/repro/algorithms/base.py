@@ -236,6 +236,23 @@ class DistributedGeMM(abc.ABC):
             f"{self.name} does not provide a functional implementation"
         )
 
+    def canonical_config(self, cfg: GeMMConfig) -> GeMMConfig:
+        """The canonical representative of ``cfg``'s equivalence class.
+
+        Contract: ``build_program(canonical_config(cfg), hw)`` emits a
+        program whose activities and shared capacities are
+        **bit-identical** to ``build_program(cfg, hw)`` for every
+        ``hw`` — the simulation caches key on the canonical form, so
+        any weaker equivalence (same makespan but different labels,
+        say) would leak one configuration's trace to another.
+
+        The default is the identity. Algorithms whose builders ignore
+        or clamp knobs override it: Cannon's iteration count is fixed
+        by the mesh side, and the SendRecv-pipeline algorithms clamp
+        the slice count to their decomposed ring length.
+        """
+        return cfg
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
 

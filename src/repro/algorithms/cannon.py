@@ -11,6 +11,7 @@ Cannon cannot pick a traffic-minimizing mesh shape.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 import numpy as np
@@ -36,6 +37,14 @@ class CannonGeMM(DistributedGeMM):
             return "Cannon is an output-stationary algorithm"
         return None
 
+    def canonical_config(self, cfg: GeMMConfig) -> GeMMConfig:
+        """Cannon's iteration count is the mesh side; the builder
+        reads neither ``slices`` nor ``transposed`` (the skew-and-shift
+        schedule is symmetric), so those knobs share one program."""
+        if cfg.slices == 1 and not cfg.transposed:
+            return cfg
+        return dataclasses.replace(cfg, slices=1, transposed=False)
+
     def build_program(self, cfg: GeMMConfig, hw: HardwareParams) -> Program:
         reason = self.check_support(cfg)
         if reason:
@@ -58,7 +67,13 @@ class CannonGeMM(DistributedGeMM):
 
         prev_shift_a, prev_shift_b = skew_a, skew_b
         prev_gemm = None
+        # The last step emits no shifts, so only the first side - 1
+        # iterations are annotated (the compiled engine would reject an
+        # uneven tail instance anyway).
+        loop = builder.mark()
         for step in range(side):
+            if step == side - 1:
+                builder.motif(loop, side - 1)
             deps = [prev_shift_a, prev_shift_b]
             if prev_gemm is not None:
                 deps.append(prev_gemm)

@@ -19,6 +19,7 @@ Wang's SendRecv decomposition, as in the paper's evaluation setup.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.algorithms.base import (
     register,
 )
 from repro.comm.ops import ring_allgather, ring_reducescatter
+from repro.core.dataflow import Dataflow
 from repro.hw.params import HardwareParams
 from repro.mesh.sharding import shard_cols, shard_rows
 from repro.sim.engine import LINK_H
@@ -51,6 +53,7 @@ def _pipeline(
     bounds = [g * ring // groups for g in range(groups + 1)]
     hops: List[int] = []
     prev = None
+    loop = builder.mark()
     for h in range(1, ring):
         prev = builder.sendrecv(
             f"sendrecv_{label}[{h}]",
@@ -59,7 +62,9 @@ def _pipeline(
             deps=[prev] if prev is not None else [],
         )
         hops.append(prev)
+    builder.motif(loop, ring - 1)
     gemm = None
+    loop = builder.mark()
     for g in range(groups):
         size = bounds[g + 1] - bounds[g]
         if size <= 0:
@@ -72,6 +77,29 @@ def _pipeline(
             deps.append(gemm)
         m, n, k = dims_for_group(size)
         gemm = builder.gemm(f"gemm[{g}]", m, n, k, deps=deps)
+    builder.motif(loop, groups)
+
+
+def _canonical_1d(cfg: GeMMConfig) -> GeMMConfig:
+    """Canonical configuration of the 1D ring algorithms.
+
+    Both builders have a *fixed* sharding strategy: they read only the
+    logical shape and the ring length, never ``dataflow`` or
+    ``transposed``, and they merge their pipelines into
+    ``max(1, min(slices, ring))`` GeMM groups. Every dataflow and
+    transposition variant — and any slice count at or above the ring —
+    therefore builds a byte-identical program.
+    """
+    groups = max(1, min(cfg.slices, cfg.mesh.size))
+    if (
+        groups == cfg.slices
+        and cfg.dataflow is Dataflow.OS
+        and not cfg.transposed
+    ):
+        return cfg
+    return dataclasses.replace(
+        cfg, dataflow=Dataflow.OS, slices=groups, transposed=False
+    )
 
 
 @register
@@ -79,6 +107,9 @@ class OneDTensorParallel(DistributedGeMM):
     """1D TP over a ring, with sequence-parallel style collectives."""
 
     name = "1dtp"
+
+    def canonical_config(self, cfg: GeMMConfig) -> GeMMConfig:
+        return _canonical_1d(cfg)
 
     def build_program(self, cfg: GeMMConfig, hw: HardwareParams) -> Program:
         builder = ProgramBuilder(hw)
@@ -153,6 +184,9 @@ class FSDPGeMM(DistributedGeMM):
     """Fully-sharded data parallelism over a ring."""
 
     name = "fsdp"
+
+    def canonical_config(self, cfg: GeMMConfig) -> GeMMConfig:
+        return _canonical_1d(cfg)
 
     def build_program(self, cfg: GeMMConfig, hw: HardwareParams) -> Program:
         builder = ProgramBuilder(hw)

@@ -86,6 +86,7 @@ class SummaGeMM(DistributedGeMM):
                 )
                 encode.append(builder.checksum(f"abft_encode_{mat}", elements))
         tail = []
+        loop = builder.mark()
         for step in range(iterations):
             deps = list(encode) if step == 0 else []
             for op, mat, link, ring in directions:
@@ -130,6 +131,7 @@ class SummaGeMM(DistributedGeMM):
                         deps=[gemm],
                     )
                 )
+        builder.motif(loop, iterations)
         if cfg.abft:
             abft_epilogue(builder, cfg, hw, tail)
         return builder.build(algorithm=self.name, config=cfg)

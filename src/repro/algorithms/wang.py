@@ -15,6 +15,7 @@ GeMM groups, matching MeshSlice's granularity for fairness.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional
 
 import numpy as np
@@ -42,8 +43,12 @@ class WangGeMM(DistributedGeMM):
 
     name = "wang"
 
-    def build_program(self, cfg: GeMMConfig, hw: HardwareParams) -> Program:
-        builder = ProgramBuilder(hw)
+    def _split_directions(self, cfg: GeMMConfig):
+        """The (decomposed, blocking) torus directions of ``cfg``.
+
+        The decomposed direction is the one with the larger traffic
+        cost — the profitable one to overlap.
+        """
         chips = cfg.mesh.size
         (col_op, col_mat), (row_op, row_mat) = flow_ops(
             cfg.dataflow, cfg.transposed
@@ -59,6 +64,25 @@ class WangGeMM(DistributedGeMM):
 
         decomposed = max(directions, key=traffic)
         blocking = directions[1 - directions.index(decomposed)]
+        return decomposed, blocking
+
+    def canonical_config(self, cfg: GeMMConfig) -> GeMMConfig:
+        """Clamp ``slices`` to the decomposed ring length.
+
+        The builder merges the pipeline into
+        ``min(slices, dec_ring)`` GeMM groups, so every slice count at
+        or above the decomposed ring builds the same program.
+        """
+        (_op, _mat, _link, dec_ring), _blocking = self._split_directions(cfg)
+        groups = max(1, min(cfg.slices, dec_ring))
+        if groups == cfg.slices:
+            return cfg
+        return dataclasses.replace(cfg, slices=groups)
+
+    def build_program(self, cfg: GeMMConfig, hw: HardwareParams) -> Program:
+        builder = ProgramBuilder(hw)
+        chips = cfg.mesh.size
+        decomposed, blocking = self._split_directions(cfg)
 
         # Blocking collective of the non-decomposed direction.
         prologue: List[int] = []
@@ -88,6 +112,7 @@ class WangGeMM(DistributedGeMM):
             # local); GeMM group g needs every shard below bounds[g+1].
             hops: List[int] = []
             prev = None
+            loop = builder.mark()
             for h in range(1, dec_ring):
                 prev = builder.sendrecv(
                     f"sendrecv_{dec_mat}[{h}]",
@@ -96,7 +121,9 @@ class WangGeMM(DistributedGeMM):
                     deps=[prev] if prev is not None else [],
                 )
                 hops.append(prev)
+            builder.motif(loop, dec_ring - 1)
             gemm = None
+            loop = builder.mark()
             for g in range(groups):
                 size = bounds[g + 1] - bounds[g]
                 if size <= 0:
@@ -109,6 +136,7 @@ class WangGeMM(DistributedGeMM):
                     deps.append(gemm)
                 m, n, k = group_dims(size)
                 gemm = builder.gemm(f"gemm[{g}]", m, n, k, deps=deps)
+            builder.motif(loop, groups)
             self._blocking_epilogue(builder, cfg, blocking, [gemm])
         else:
             # Decomposed ReduceScatter: partial GeMMs feed a chain of
@@ -118,6 +146,7 @@ class WangGeMM(DistributedGeMM):
             hop_bounds = [g * total_hops // groups for g in range(groups + 1)]
             prev_hop = None
             gemm = None
+            loop = builder.mark()
             for g in range(groups):
                 size = bounds[g + 1] - bounds[g]
                 if size <= 0:
@@ -137,6 +166,7 @@ class WangGeMM(DistributedGeMM):
                         dec_link,
                         deps=hop_deps,
                     )
+            builder.motif(loop, groups)
             self._blocking_epilogue(builder, cfg, blocking, [gemm])
         return builder.build(algorithm=self.name, config=cfg)
 

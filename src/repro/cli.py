@@ -72,6 +72,19 @@ def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.sim.compiled import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=None,
+        help=(
+            "simulation engine (default: REPRO_ENGINE env var, then "
+            "'heap'); 'compiled' exploits repeated program structure "
+            "and produces bit-identical results"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="meshslice",
@@ -96,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_metrics_argument(run)
+    _add_engine_argument(run)
 
     sub.add_parser("list", help="enumerate the available experiments")
 
@@ -106,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cluster_arguments(tune)
     _add_metrics_argument(tune)
+    _add_engine_argument(tune)
 
     faults = sub.add_parser(
         "faults",
@@ -251,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="distributed GeMM algorithm to profile (default: meshslice)",
     )
     _add_metrics_argument(profile)
+    _add_engine_argument(profile)
 
     sub.add_parser("models", help="list the model zoo")
     sub.add_parser("presets", help="list the hardware presets")
@@ -697,6 +713,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help(sys.stderr)
         return 2
+    if getattr(args, "engine", None) is not None:
+        from repro.sim.compiled import set_default_engine
+
+        set_default_engine(args.engine)
     handlers = {
         "run": lambda: _cmd_run(args),
         "list": _cmd_list,

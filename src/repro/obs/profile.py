@@ -34,6 +34,10 @@ class ProfileReport:
         metrics: Block-aggregated :class:`RunMetrics`.
         per_pass: ``(pass label, RunMetrics)`` of each training GeMM.
         cache_hit_rates: Hit rate of each warm memoization cache.
+        compile_stats: The compiled engine's cumulative ``compile.*``
+            counters (runs, motifs found/validated, composed vs
+            simulated instance and activity counts, compile seconds),
+            empty when the heap engine ran.
     """
 
     model: str
@@ -46,6 +50,7 @@ class ProfileReport:
     metrics: RunMetrics
     per_pass: Tuple[Tuple[str, RunMetrics], ...]
     cache_hit_rates: Dict[str, float]
+    compile_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def render(self) -> str:
         """The ``meshslice profile`` text report."""
@@ -111,6 +116,26 @@ class ProfileReport:
                     ),
                 ]
             )
+        if self.compile_stats:
+            lines.extend(
+                [
+                    "",
+                    render_table(
+                        ["compiled engine", "total"],
+                        [
+                            (
+                                name[len("compile."):],
+                                f"{value:.3f}"
+                                if name == "compile.seconds"
+                                else f"{value:g}",
+                            )
+                            for name, value in sorted(
+                                self.compile_stats.items()
+                            )
+                        ],
+                    ),
+                ]
+            )
         return "\n".join(lines)
 
 
@@ -152,6 +177,7 @@ def profile_block(
         for name, stats in cache_stats().items()
         if stats.calls
     }
+    compile_totals = _compile_counters()
     return ProfileReport(
         model=model.name,
         algorithm=algorithm,
@@ -163,4 +189,29 @@ def profile_block(
         metrics=merged,
         per_pass=tuple(per_pass),
         cache_hit_rates=hit_rates,
+        compile_stats=compile_totals,
     )
+
+
+def _compile_counters() -> Dict[str, float]:
+    """The registry's cumulative ``compile.*`` counter totals.
+
+    Labeled series (fallback reasons) render as
+    ``compile.fallbacks{reason=...}``. Empty when the compiled engine
+    never ran (or metrics are disabled) — the report section is
+    skipped then.
+    """
+    from repro.obs.registry import registry
+
+    totals: Dict[str, float] = {}
+    for record in registry().snapshot():
+        if record.type != "counter" or not record.name.startswith("compile."):
+            continue
+        if record.value is None or not record.value:
+            continue
+        key = record.name
+        if record.labels:
+            inner = ",".join(f"{k}={v}" for k, v in record.labels)
+            key = f"{key}{{{inner}}}"
+        totals[key] = record.value
+    return totals

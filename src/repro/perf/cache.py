@@ -165,6 +165,25 @@ def memoize(name: str) -> Callable[[_F], _F]:
     return decorator
 
 
+def named_cache(name: str) -> _MemoCache:
+    """Register and return a cache for manual get/put use.
+
+    For call patterns :func:`memoize` cannot express — e.g. the
+    content-addressed simulation store, whose key (a program
+    fingerprint) is derived *inside* the cached computation rather
+    than from the call arguments. The returned object exposes
+    ``store`` (a plain dict) plus ``hits``/``misses`` counters; it
+    participates in :func:`cache_stats` and :func:`clear_caches` like
+    any decorated cache. Callers must honor :func:`caching_enabled`
+    themselves.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"cache {name!r} already registered")
+    cache = _MemoCache(name)
+    _REGISTRY[name] = cache
+    return cache
+
+
 def cache_stats(name: Optional[str] = None) -> Dict[str, CacheStats]:
     """Counters of one cache, or of every registered cache."""
     if name is not None:

@@ -8,6 +8,26 @@ triples, and ``best_block_run`` revisits identical passes across mesh
 shapes). All three key types are frozen dataclasses, so whole simulated
 pass results are memoized content-keyed here.
 
+Two configurations that would simulate identically share one cache
+entry through two canonicalization layers:
+
+* **Canonical configuration keys.** Each algorithm maps a ``GeMMConfig``
+  to the canonical representative of its equivalence class
+  (:meth:`repro.algorithms.base.DistributedGeMM.canonical_config`):
+  Cannon ignores ``slices`` entirely, and the SendRecv-pipeline
+  algorithms (Wang, 1D TP, FSDP) clamp it to their decomposed ring
+  length, so e.g. Wang at ``S = 64`` and ``S = 128`` on a 16-ring build
+  byte-identical programs. The contract is *bit-identical programs*,
+  never merely equal makespans — a cached ``SimResult`` is returned for
+  every member of the class, spans and all.
+* **Content-addressed simulations.** Below the config-keyed cache,
+  results are stored under a fingerprint of the built program itself
+  (activities, dependencies, resources, durations, metadata, shared
+  capacities), so distinct configurations that happen to build
+  identical programs — equivalent transposed shapes on symmetric
+  meshes, knob values an algorithm ignores — still share one
+  simulation.
+
 Treat every returned object as immutable: cached ``Program`` and
 ``SimResult`` instances are shared between callers.
 
@@ -28,7 +48,7 @@ from typing import TYPE_CHECKING, Dict, Tuple
 from repro.algorithms import GeMMConfig, get_algorithm
 from repro.faults.plan import FaultPlan
 from repro.hw.params import HardwareParams
-from repro.perf.cache import memoize
+from repro.perf.cache import caching_enabled, memoize, named_cache
 from repro.sim.cluster import SimResult, simulate
 from repro.sim.program import Program
 
@@ -52,18 +72,95 @@ def built_program(algorithm: str, cfg: GeMMConfig, hw: HardwareParams) -> Progra
     return _built_program(algorithm, cfg, hw)
 
 
+@memoize("canonical_config")
+def _canonical_config(algorithm: str, cfg: GeMMConfig) -> GeMMConfig:
+    return get_algorithm(algorithm).canonical_config(cfg)
+
+
+def canonical_pass_config(algorithm: str, cfg: GeMMConfig) -> GeMMConfig:
+    """The canonical cache key of one pass configuration.
+
+    Per-algorithm: the representative of ``cfg``'s equivalence class
+    under the *bit-identical program* relation (see
+    :meth:`repro.algorithms.base.DistributedGeMM.canonical_config`).
+    """
+    return _canonical_config(algorithm, cfg)
+
+
+#: Content-addressed simulation store: program fingerprint -> SimResult.
+_PROGRAM_RESULTS = named_cache("simulated_program")
+
+
+def _program_fingerprint(program: Program, hw: HardwareParams):
+    """A hashable content key of everything the simulation reads.
+
+    Covers the activity list (order, labels, kinds, durations,
+    dependencies, resources, metadata — spans carry the labels and
+    metadata, and ``SimResult.flops_per_chip`` sums the ``flops``
+    metadata), the shared capacities, and the hardware. Program-level
+    ``meta`` is deliberately excluded: motif annotations only steer the
+    compiled engine, whose spans are bit-identical by contract, and the
+    embedded config is exactly the degree of freedom being collapsed.
+    """
+    return (
+        hw,
+        tuple(sorted(program.shared_capacities.items())),
+        tuple(
+            (
+                act.aid,
+                act.label,
+                act.kind,
+                act.duration,
+                tuple(act.deps),
+                act.exclusive,
+                tuple(sorted(act.shared.items())),
+                tuple(sorted(act.meta.items())),
+            )
+            for act in program.activities
+        ),
+    )
+
+
+def _simulate_content_addressed(program: Program, hw: HardwareParams) -> SimResult:
+    """Simulate ``program``, sharing results between identical programs."""
+    if not caching_enabled():
+        return simulate(program, hw)
+    try:
+        key = _program_fingerprint(program, hw)
+    except TypeError:
+        # Unhashable activity metadata: simulate without content
+        # sharing (the config-keyed level above still caches it).
+        return simulate(program, hw)
+    store = _PROGRAM_RESULTS.store
+    result = store.get(key)
+    if result is None:
+        _PROGRAM_RESULTS.misses += 1
+        result = store[key] = simulate(program, hw)
+    else:
+        _PROGRAM_RESULTS.hits += 1
+    return result
+
+
 @memoize("simulated_pass")
 def _simulated_pass(
     algorithm: str, cfg: GeMMConfig, hw: HardwareParams
 ) -> SimResult:
-    return simulate(_built_program(algorithm, cfg, hw), hw)
+    return _simulate_content_addressed(_built_program(algorithm, cfg, hw), hw)
 
 
 def simulated_pass(
     algorithm: str, cfg: GeMMConfig, hw: HardwareParams
 ) -> SimResult:
-    """Simulate one pass configuration, reusing any cached result."""
-    return _simulated_pass(algorithm, cfg, hw)
+    """Simulate one pass configuration, reusing any cached result.
+
+    The cache key is the *canonical* configuration, so every member of
+    a canonical equivalence class (e.g. Wang slice counts above the
+    decomposed ring) shares one bit-identical ``SimResult``. Treat the
+    returned object as immutable. The engine (heap or compiled) is the
+    process default; both produce bit-identical results, so cache
+    entries are engine-agnostic.
+    """
+    return _simulated_pass(algorithm, _canonical_config(algorithm, cfg), hw)
 
 
 @memoize("faulted_pass")
@@ -82,8 +179,11 @@ def faulted_pass(
     triple once per plan, and robust tuning revisits the same plan
     across mesh candidates, so results are content-keyed on all four.
     A null plan short-circuits to :func:`simulated_pass` — same cache
-    entry, bit-identical result.
+    entry, bit-identical result. Keys canonicalize like
+    :func:`simulated_pass`: the plan perturbs only activity content,
+    which is bit-identical across a canonical equivalence class.
     """
+    cfg = _canonical_config(algorithm, cfg)
     if plan.is_null:
         return _simulated_pass(algorithm, cfg, hw)
     return _faulted_pass(algorithm, cfg, hw, plan)
@@ -137,8 +237,13 @@ def _pass_lower_bound(
 def pass_lower_bound(
     algorithm: str, cfg: GeMMConfig, hw: HardwareParams
 ) -> float:
-    """A certified lower bound on the simulated makespan of one pass."""
-    return _pass_lower_bound(algorithm, cfg, hw)
+    """A certified lower bound on the simulated makespan of one pass.
+
+    Keys canonicalize like :func:`simulated_pass`: the bound depends
+    only on program content, which is bit-identical across a canonical
+    equivalence class.
+    """
+    return _pass_lower_bound(algorithm, _canonical_config(algorithm, cfg), hw)
 
 
 @memoize("degraded_retune")

@@ -84,6 +84,7 @@ def simulate(
     program: Program,
     hw: HardwareParams,
     faults: Optional["FaultPlan"] = None,
+    engine: Optional[str] = None,
 ) -> SimResult:
     """Run ``program`` and collect cluster metrics.
 
@@ -92,13 +93,18 @@ def simulate(
     recorded per-chip FLOPs are unchanged, so ``flop_utilization``
     naturally reports the degradation.
 
+    ``engine`` selects the simulation engine (``"heap"`` or
+    ``"compiled"``); ``None`` uses the process default (see
+    :func:`repro.sim.compiled.default_engine`). Both engines produce
+    bit-identical spans, so every derived metric is engine-agnostic.
+
     If the plan carries hard faults (or an exhaustible retry policy)
     and the run dies, the result's ``failure`` field holds the
     structured :class:`SimFailure` and ``makespan`` is the failure
     time — the wall clock the cluster burned before halting.
     """
     with capture_waits() as waits:
-        spans, failure = program.execute(faults)
+        spans, failure = program.execute(faults, engine=engine)
     metrics = None
     if waits is not None:
         metrics = derive_run_metrics(spans, waits)

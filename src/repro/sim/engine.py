@@ -69,6 +69,7 @@ from typing import (
     Dict,
     Iterable,
     List,
+    NamedTuple,
     Optional,
     Sequence,
     Set,
@@ -125,9 +126,15 @@ class Activity:
                 raise ValueError(f"activity {self.label!r} has negative demand")
 
 
-@dataclasses.dataclass(frozen=True)
-class Span:
-    """Recorded execution interval of one activity."""
+class Span(NamedTuple):
+    """Recorded execution interval of one activity.
+
+    A ``NamedTuple`` rather than a dataclass: spans are produced in bulk
+    on the simulator's hot path (one per activity per run) and the
+    C-level tuple constructor and attribute access keep materialization
+    cheap for both the event-heap engine and the compiled engine's
+    vectorized replay.
+    """
 
     aid: int
     label: str

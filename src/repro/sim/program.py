@@ -45,7 +45,11 @@ class Program:
     shared_capacities: Dict[str, float]
     meta: Dict[str, object] = dataclasses.field(default_factory=dict)
 
-    def run(self, faults: Optional["FaultPlan"] = None) -> List[Span]:
+    def run(
+        self,
+        faults: Optional["FaultPlan"] = None,
+        engine: Optional[str] = None,
+    ) -> List[Span]:
         """Simulate the program; returns the execution trace.
 
         ``faults`` applies a :class:`repro.faults.FaultPlan` at the
@@ -54,11 +58,17 @@ class Program:
         null plan) runs the program exactly as built — bit-identical
         to the unfaulted engine.
 
+        ``engine`` selects the simulation engine (``"heap"`` or
+        ``"compiled"``); ``None`` uses the process default (see
+        :func:`repro.sim.compiled.default_engine`). The compiled engine
+        produces bit-identical spans and automatically falls back to
+        full heap simulation for any perturbed run.
+
         Raises :class:`SimulationError` if the plan carries hard
         faults (or an exhaustible retry policy) and the run dies; use
         :meth:`execute` to receive the failure as a value.
         """
-        spans, failure = self.execute(faults)
+        spans, failure = self.execute(faults, engine=engine)
         if failure is not None:
             raise SimulationError(
                 f"simulation died at t={failure.time:.6g}s "
@@ -68,7 +78,9 @@ class Program:
         return spans
 
     def execute(
-        self, faults: Optional["FaultPlan"] = None
+        self,
+        faults: Optional["FaultPlan"] = None,
+        engine: Optional[str] = None,
     ) -> Tuple[List[Span], Optional[SimFailure]]:
         """Simulate the program, surfacing hard failures as a value.
 
@@ -77,15 +89,47 @@ class Program:
         and where the run died, with ``spans`` the (truncated) trace up
         to that instant. With ``faults=None`` this is exactly
         :meth:`run`'s unfaulted fast path.
+
+        Fault plans force the event-heap engine regardless of
+        ``engine``: a perturbed instance invalidates the steady-state
+        template, so the compiled engine's contract is full-simulation
+        fallback (counted under the ``compile.fallbacks`` metric).
         """
+        from repro.sim.compiled import (
+            ENGINE_NAMES,
+            CompiledEngine,
+            default_engine,
+        )
+
+        if engine is None:
+            engine = default_engine()
+        elif engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+            )
         if faults is None:
+            if engine == "compiled":
+                compiled = CompiledEngine(
+                    self.activities,
+                    self.shared_capacities,
+                    self.meta.get("motifs"),
+                )
+                return compiled.run(), None
             spans = Engine(self.activities, self.shared_capacities).run()
             return spans, None
         program = faults.apply(self)
-        engine = Engine(program.activities, program.shared_capacities)
         if faults.is_null:
-            return engine.run(), None
-        return engine.run_with_failures(faults.hard_faults)
+            # A null plan is a no-op rewrite: same unperturbed program,
+            # so the engine selection still applies.
+            return program.execute(None, engine=engine)
+        if engine == "compiled":
+            from repro.obs.registry import registry
+
+            registry().inc(
+                "compile.fallbacks", labels={"reason": "fault-plan"}
+            )
+        heap = Engine(program.activities, program.shared_capacities)
+        return heap.run_with_failures(faults.hard_faults)
 
     @property
     def total_flops(self) -> float:
@@ -109,17 +153,45 @@ class ProgramBuilder:
         self.costs = CommCostModel.for_hw(hw)
         self._activities: List[Activity] = []
         self._next_id = 0
+        self._motifs: List[Dict[str, int]] = []
 
     def build(self, **meta: object) -> Program:
         """Finalize into a runnable :class:`Program`."""
         capacities = {HBM: self.hw.hbm_bandwidth}
         if self.hw.has_shared_nic:
             capacities[NIC] = self.hw.nic_bandwidth
+        program_meta = dict(meta)
+        if self._motifs:
+            program_meta["motifs"] = list(self._motifs)
         return Program(
             activities=list(self._activities),
             shared_capacities=capacities,
-            meta=dict(meta),
+            meta=program_meta,
         )
+
+    def mark(self) -> int:
+        """The id the next emitted activity will get.
+
+        Capture this before a repeated emission loop and pass it to
+        :meth:`motif` after the loop to annotate the repetition.
+        """
+        return self._next_id
+
+    def motif(self, first: int, count: int) -> None:
+        """Annotate the activities since ``first`` as ``count`` repeated
+        instances (a motif boundary hint for the compiled engine).
+
+        The hint is advisory: the compiled engine re-verifies that the
+        instances really are shift-isomorphic before composing them, so
+        an inapplicable annotation (uneven loop bodies, conditional
+        emissions) costs nothing. Calls that do not divide evenly are
+        dropped for the same reason.
+        """
+        span = self._next_id - first
+        if count >= 2 and span > 0 and span % count == 0:
+            self._motifs.append(
+                {"first": first, "period": span // count, "count": count}
+            )
 
     # ---------------------------------------------------------------- compute
 
@@ -405,6 +477,9 @@ class ProgramBuilder:
         builder._next_id = (
             max((a.aid for a in program.activities), default=-1) + 1
         )
+        motifs = program.meta.get("motifs")
+        if motifs:
+            builder._motifs = [dict(m) for m in motifs]
         return builder
 
     def barrier(self, label: str, deps: Sequence[int]) -> int:
@@ -455,3 +530,67 @@ class ProgramBuilder:
         }
         self._activities.append(act)
         return aid
+
+
+def repeat_program(block: Program, copies: int) -> Program:
+    """Stack ``copies`` sequential repetitions of ``block``.
+
+    This is the deep-model constructor: one transformer-style layer
+    (``block``, e.g. a distributed GeMM program) repeated layer after
+    layer. Copy ``k+1``'s entry activities (those with no intra-block
+    dependencies) depend on copy ``k``'s exit activities (those with no
+    intra-block dependents) — the layer-to-layer dataflow of a stacked
+    model. The whole stack carries a layer-level motif annotation, which
+    is the compiled engine's primary composition target.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    acts = block.activities
+    n = len(acts)
+    position = {a.aid: i for i, a in enumerate(acts)}
+    referenced = set()
+    for act in acts:
+        referenced.update(act.deps)
+    sinks = tuple(
+        sorted(i for i, a in enumerate(acts) if a.aid not in referenced)
+    )
+    out: List[Activity] = []
+    for k in range(copies):
+        base = k * n
+        prefix = f"layer{k}/"
+        if k:
+            entry_deps = tuple(base - n + s for s in sinks)
+        else:
+            entry_deps = ()
+        for i, act in enumerate(acts):
+            if act.deps:
+                deps = tuple(base + position[d] for d in act.deps)
+            else:
+                deps = entry_deps
+            clone = Activity.__new__(Activity)
+            clone.__dict__ = {
+                "aid": base + i,
+                "label": prefix + act.label,
+                "kind": act.kind,
+                "duration": act.duration,
+                "exclusive": act.exclusive,
+                "shared": dict(act.shared),
+                "deps": deps,
+                "meta": dict(act.meta),
+            }
+            out.append(clone)
+    meta = dict(block.meta)
+    meta["copies"] = copies
+    # The per-layer motif supersedes any block-internal annotations
+    # (their aids are only valid inside copy 0). The copies are clones
+    # by construction, so the annotation asserts shift-isomorphic
+    # structure (``trusted``) and the compiled engine skips the
+    # per-instance signature scan; durations are still bit-verified.
+    meta["motifs"] = [
+        {"first": 0, "period": n, "count": copies, "trusted": True}
+    ]
+    return Program(
+        activities=out,
+        shared_capacities=dict(block.shared_capacities),
+        meta=meta,
+    )

@@ -1,10 +1,15 @@
-"""Bit-exact equivalence of the event-driven engine vs the seed engine.
+"""Bit-exact equivalence of every engine vs the seed engine.
 
 The event-driven engine (ready heap, per-resource wait queues,
 incremental shared-demand totals) must schedule *exactly* like the seed
 step-loop engine kept in ``tests/reference_engine.py`` — same spans,
-same start/end floats to the last bit, same ordering. The corpus covers
-the program families the evaluation actually simulates:
+same start/end floats to the last bit, same ordering. The compiled
+engine (motif detection, steady-state composition, numpy
+struct-of-arrays replay) must match both, composed or not: every case
+runs it twice, once with its motif hints (the composing path where the
+program repeats) and once with hints suppressed (the pure
+struct-of-arrays replay path). The corpus covers the program families
+the evaluation actually simulates:
 
 * MeshSlice with a deep slice count (S = 16) — long dependency chains
   with software pipelining across core and both link directions;
@@ -26,6 +31,7 @@ from repro.algorithms import GeMMConfig, get_algorithm
 from repro.core import Dataflow, GeMMShape
 from repro.hw import get_preset
 from repro.mesh import Mesh2D
+from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import Activity, Engine
 
 TPUV4 = get_preset("tpuv4-sim")
@@ -33,14 +39,9 @@ LOGICAL = get_preset("gpu-logical-mesh")
 CLOUD = get_preset("tpuv4-cloud-4x4")
 
 
-def assert_bit_identical(program, tag):
-    """Both engines must emit the same Span list, floats compared exactly."""
-    new_spans = Engine(program.activities, program.shared_capacities).run()
-    ref_spans = ReferenceEngine(
-        program.activities, program.shared_capacities
-    ).run()
-    assert len(new_spans) == len(ref_spans), tag
-    for new, ref in zip(new_spans, ref_spans):
+def _assert_same_spans(spans, ref_spans, tag):
+    assert len(spans) == len(ref_spans), tag
+    for new, ref in zip(spans, ref_spans):
         assert new.aid == ref.aid, (tag, new, ref)
         assert new.label == ref.label, (tag, new, ref)
         assert new.kind == ref.kind, (tag, new, ref)
@@ -49,6 +50,31 @@ def assert_bit_identical(program, tag):
         # floating-point operations in the same order.
         assert new.start == ref.start, (tag, new, ref)
         assert new.end == ref.end, (tag, new, ref)
+
+
+def assert_bit_identical(program, tag):
+    """Every engine must emit the same Span list, floats compared exactly.
+
+    The compiled engine runs twice: with the program's motif hints
+    (composition active where the structure repeats) and with hints
+    suppressed (``motifs=()``, forcing the uncomposed numpy replay).
+    """
+    capacities = program.shared_capacities
+    ref_spans = ReferenceEngine(program.activities, capacities).run()
+    _assert_same_spans(
+        Engine(program.activities, capacities).run(), ref_spans, (tag, "heap")
+    )
+    motifs = program.meta.get("motifs")
+    _assert_same_spans(
+        CompiledEngine(program.activities, capacities, motifs=motifs).run(),
+        ref_spans,
+        (tag, "compiled"),
+    )
+    _assert_same_spans(
+        CompiledEngine(program.activities, capacities, motifs=()).run(),
+        ref_spans,
+        (tag, "compiled-no-hints"),
+    )
 
 
 SHAPE = GeMMShape(4096, 4096, 8192)
@@ -155,10 +181,102 @@ def test_randomized_dags_bit_identical():
     capacities = {"hbm": 1.0, "nic": 1.0}
     for seed in range(120):
         activities = _FuzzCase.build(seed)
-        new_spans = Engine(activities, capacities).run()
         ref_spans = ReferenceEngine(activities, capacities).run()
+        ref_key = [(s.aid, s.start, s.end) for s in ref_spans]
+        new_spans = Engine(activities, capacities).run()
         assert [
             (s.aid, s.start, s.end) for s in new_spans
-        ] == [
-            (s.aid, s.start, s.end) for s in ref_spans
-        ], f"fuzz seed {seed}"
+        ] == ref_key, f"fuzz seed {seed}"
+        compiled_spans = CompiledEngine(activities, capacities).run()
+        assert [
+            (s.aid, s.start, s.end) for s in compiled_spans
+        ] == ref_key, f"fuzz seed {seed} (compiled)"
+
+
+def test_randomized_repeated_fragments_bit_identical():
+    """Random blocks stacked into deep programs: the composition path.
+
+    Each seed builds a random fragment, stacks it ``copies`` times with
+    :func:`repeat_program` (which emits a trusted layer-level motif),
+    and requires all three engines to agree bit-for-bit. Deep stacks
+    must actually compose — otherwise this only re-tests the replay.
+    """
+    from repro.sim.program import Program, repeat_program
+
+    capacities = {"hbm": 1.0, "nic": 1.0}
+    composed_cases = 0
+    for seed in range(40):
+        rng = random.Random(1000 + seed)
+        block = Program(
+            activities=_FuzzCase.build(seed),
+            shared_capacities=capacities,
+        )
+        copies = rng.choice([2, 3, 8, 24])
+        stacked = repeat_program(block, copies)
+        ref_spans = ReferenceEngine(
+            stacked.activities, stacked.shared_capacities
+        ).run()
+        _assert_same_spans(
+            Engine(stacked.activities, stacked.shared_capacities).run(),
+            ref_spans,
+            (f"stack seed {seed}", "heap"),
+        )
+        compiled = CompiledEngine(
+            stacked.activities,
+            stacked.shared_capacities,
+            motifs=stacked.meta.get("motifs"),
+        )
+        _assert_same_spans(
+            compiled.run(), ref_spans, (f"stack seed {seed}", "compiled")
+        )
+        if compiled.stats.instances_composed:
+            composed_cases += 1
+    # The steady-state composer must have fired on a healthy share of
+    # the deep stacks; all-fallback would silently gut the test.
+    assert composed_cases >= 10
+
+
+def test_deep_algorithm_stacks_compose():
+    """Layered GeMM stacks: composition fires and stays bit-identical."""
+    from repro.sim.program import repeat_program
+
+    for alg_name, cfg in [
+        (
+            "meshslice",
+            GeMMConfig(
+                shape=SHAPE, mesh=Mesh2D(4, 4),
+                dataflow=Dataflow.OS, slices=8,
+            ),
+        ),
+        (
+            "summa",
+            GeMMConfig(
+                shape=SHAPE, mesh=Mesh2D(4, 4),
+                dataflow=Dataflow.OS, slices=4,
+            ),
+        ),
+        (
+            "wang",
+            GeMMConfig(
+                shape=SHAPE, mesh=Mesh2D(2, 8),
+                dataflow=Dataflow.RS, slices=4,
+            ),
+        ),
+    ]:
+        block = get_algorithm(alg_name).build_program(cfg, TPUV4)
+        stacked = repeat_program(block, 24)
+        ref_spans = ReferenceEngine(
+            stacked.activities, stacked.shared_capacities
+        ).run()
+        compiled = CompiledEngine(
+            stacked.activities,
+            stacked.shared_capacities,
+            motifs=stacked.meta.get("motifs"),
+        )
+        _assert_same_spans(compiled.run(), ref_spans, (alg_name, "stack24"))
+        stats = compiled.stats
+        assert stats.fallback is None, (alg_name, stats.fallback)
+        assert stats.instances_composed > 0, alg_name
+        assert stats.composed_fraction > 0.5, (
+            alg_name, stats.composed_fraction,
+        )
