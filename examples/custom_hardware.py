@@ -12,7 +12,7 @@ Run:  python examples/custom_hardware.py
 """
 
 from repro.experiments import best_block_run, render_table, weak_scaling_batch
-from repro.autotuner import tune
+from repro.autotuner import tune_model
 from repro.hw import TPUV4
 from repro.models import GPT3_175B
 
@@ -31,7 +31,7 @@ def main() -> None:
 
     rows = []
     for hw in (TPUV4, TPU_NEXT):
-        tuned = tune(model, batch, chips, hw)
+        tuned = tune_model(model, batch, chips, hw)
         for alg in ("meshslice", "wang", "collective"):
             run = best_block_run(alg, model, batch, chips, hw)
             rows.append(

@@ -15,7 +15,7 @@ Run:  python examples/train_gpt3_plan.py [chips] [batch]
 
 import sys
 
-from repro.autotuner import plan_model, tune
+from repro.autotuner import plan_model, tune_model
 from repro.experiments import end_to_end_step_seconds, render_table, run_block
 from repro.hw import TPUV4
 from repro.models import GPT3_175B
@@ -44,7 +44,7 @@ def main(chips: int = 256, batch: int = 128) -> None:
     print(render_table(["layer", "pass", "stationary", "dataflow", "GeMM"], rows))
 
     print("\n--- Phase 2: mesh shape and slice counts ---")
-    result = tune(model, batch, chips, TPUV4)
+    result = tune_model(model, batch, chips, TPUV4)
     ranking = sorted(result.per_mesh_seconds.items(), key=lambda kv: kv[1])
     print(
         render_table(

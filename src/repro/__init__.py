@@ -57,7 +57,7 @@ from repro.hw import (
 )
 from repro.mesh import Mesh2D, MeshExecutor, Ring1D, mesh_shapes
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Lazily-loaded stable API (PEP 562): name -> (module, attribute).
 #: Importing these eagerly would pull the whole timing plane (and the
@@ -71,6 +71,7 @@ _LAZY_EXPORTS = {
     "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
     "NULL_PLAN": ("repro.faults", "NULL_PLAN"),
     "NULL_SDC_PLAN": ("repro.faults", "NULL_SDC_PLAN"),
+    "PlanStore": ("repro.service", "PlanStore"),
     "SDCPlan": ("repro.faults", "SDCPlan"),
     "abft_gemm": ("repro.abft", "abft_gemm"),
     "sdc_injection": ("repro.faults", "sdc_injection"),
@@ -80,6 +81,8 @@ _LAZY_EXPORTS = {
     "SimFailure": ("repro.sim.engine", "SimFailure"),
     "SimResult": ("repro.sim.cluster", "SimResult"),
     "Trace": ("repro.sim.trace", "Trace"),
+    "TuneRequest": ("repro.service", "TuneRequest"),
+    "TunerService": ("repro.service", "TunerService"),
     "algorithm_names": ("repro.algorithms", "algorithm_names"),
     "chip_down": ("repro.faults", "chip_down"),
     "get_algorithm": ("repro.algorithms", "get_algorithm"),
@@ -106,6 +109,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_PLAN",
     "NULL_SDC_PLAN",
+    "PlanStore",
     "SDCPlan",
     "ProfileReport",
     "RetryPolicy",
@@ -116,6 +120,8 @@ __all__ = [
     "TPUV4",
     "TPUV4_CLOUD_4X4",
     "Trace",
+    "TuneRequest",
+    "TunerService",
     "abft_gemm",
     "algorithm_names",
     "chip_down",

@@ -22,8 +22,10 @@ from repro.autotuner.search import (
     TunedPass,
     TuningResult,
     robust_tune,
+    robust_tune_model,
     tune,
     tune_mesh,
+    tune_model,
 )
 
 __all__ = [
@@ -43,7 +45,9 @@ __all__ = [
     "plan_layer",
     "plan_model",
     "robust_tune",
+    "robust_tune_model",
     "tune",
     "tune_mesh",
+    "tune_model",
     "valid_slice_counts_for",
 ]

@@ -124,7 +124,7 @@ def tune_mesh(
     return tuned, total
 
 
-def tune(
+def tune_model(
     model: LLMConfig,
     batch_size: int,
     chips: int,
@@ -226,7 +226,7 @@ def _quantile(values: Sequence[float], q: float) -> float:
     return ordered[rank]
 
 
-def robust_tune(
+def robust_tune_model(
     model: LLMConfig,
     batch_size: int,
     chips: int,
@@ -331,3 +331,59 @@ def robust_tune(
         per_mesh_robust=per_mesh,
         fault_plans=fault_plans,
     )
+
+
+# ------------------------------------------------------- deprecated shims
+
+
+def _legacy_warning(name: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"{name}(model, batch, ...) with positional arguments is "
+        f"deprecated since 1.6.0; build a repro.service.TuneRequest "
+        f"and call request.run() (or serve it through "
+        f"repro.service.TunerService)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def tune(request, *args, **kwargs) -> TuningResult:
+    """Tune a nominal configuration (unified-request entry point).
+
+    Pass a single :class:`repro.service.TuneRequest` (any mode-"tune"
+    request). The legacy positional form ``tune(model, batch, chips,
+    hw, ...)`` still works as a deprecated shim over
+    :func:`tune_model`.
+    """
+    from repro.service.request import TuneRequest, execute
+
+    if isinstance(request, TuneRequest):
+        if args or kwargs:
+            raise TypeError(
+                "tune(TuneRequest) takes no further arguments"
+            )
+        return execute(request)
+    _legacy_warning("tune")
+    return tune_model(request, *args, **kwargs)
+
+
+def robust_tune(request, *args, **kwargs) -> RobustTuningResult:
+    """Fault-aware tuning (unified-request entry point).
+
+    Pass a single mode-"robust" :class:`repro.service.TuneRequest`.
+    The legacy positional form ``robust_tune(model, batch, chips, hw,
+    spec, ...)`` still works as a deprecated shim over
+    :func:`robust_tune_model`.
+    """
+    from repro.service.request import TuneRequest, execute
+
+    if isinstance(request, TuneRequest):
+        if args or kwargs:
+            raise TypeError(
+                "robust_tune(TuneRequest) takes no further arguments"
+            )
+        return execute(request)
+    _legacy_warning("robust_tune")
+    return robust_tune_model(request, *args, **kwargs)

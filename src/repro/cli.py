@@ -14,6 +14,7 @@ Deployment planning and introspection::
     meshslice recovery gpt3-175b --chips 256 --chip-mtbf-hours 2000
     meshslice sdc --rate 1e-2 --mesh 4x4 --trials 8
     meshslice profile gpt3-175b --chips 16 --batch 8
+    meshslice serve --store plans/ --replay queries.jsonl
     meshslice models                  # model zoo
     meshslice presets                 # hardware presets
 
@@ -39,7 +40,7 @@ from repro.experiments import EXPERIMENTS
 #: as an experiment name and routed through ``run`` (legacy alias).
 COMMANDS = (
     "run", "list", "tune", "faults", "recovery", "sdc", "profile",
-    "models", "presets",
+    "serve", "models", "presets",
 )
 
 
@@ -268,6 +269,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_argument(profile)
     _add_engine_argument(profile)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve tuning requests from a persistent plan store",
+        description=(
+            "Run the tuning service: JSONL TuneRequest queries (one "
+            "object per line; see docs/service.md) are answered through "
+            "the in-memory cache, the on-disk plan store, and finally a "
+            "warm-started search. Queries come from stdin by default, "
+            "or from a file with --replay (one-shot mode)."
+        ),
+    )
+    serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="plan-store directory (created if missing; default: "
+             "in-memory only, nothing persists)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool width for distinct concurrent requests "
+             "(default: 4)",
+    )
+    serve.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="one-shot mode: replay a JSONL query file and exit",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=1,
+        help="replay the query mix this many times (default: 1)",
+    )
+    serve.add_argument(
+        "--no-warm-start", action="store_true",
+        help="disable neighbor-seeded search (results are identical; "
+             "only pruning changes)",
+    )
+    _add_metrics_argument(serve)
+    _add_engine_argument(serve)
+
     sub.add_parser("models", help="list the model zoo")
     sub.add_parser("presets", help="list the hardware presets")
     return parser
@@ -373,14 +411,26 @@ def _resolve_cluster(args: argparse.Namespace):
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    bad = _check_flags(
+        "tune",
+        [
+            ("--chips", args.chips, args.chips >= 1, "must be >= 1"),
+            ("--batch", args.batch,
+             args.batch is None or args.batch >= 1, "must be >= 1"),
+        ],
+    )
+    if bad:
+        return bad
     resolved = _resolve_cluster(args)
     if isinstance(resolved, int):
         return resolved
     model, hw, batch = resolved
-    from repro.autotuner import tune
     from repro.experiments.common import render_table
+    from repro.service import TuneRequest
 
-    result = tune(model, batch, args.chips, hw)
+    result = TuneRequest(
+        model=model, batch=batch, chips=args.chips, hw=hw
+    ).run()
     print(
         f"{model.name}: {args.chips} chips ({hw.name}), batch {batch}\n"
         f"chosen mesh: {result.mesh}; estimated FC block "
@@ -443,9 +493,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if isinstance(resolved, int):
         return resolved
     model, hw, batch = resolved
-    from repro.autotuner import robust_tune
     from repro.experiments.common import render_table
     from repro.faults import FaultSpec
+    from repro.service import TuneRequest
 
     try:
         spec = FaultSpec(
@@ -457,13 +507,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             outage_rate=args.outage_rate,
             seed=args.seed,
         )
-        result = robust_tune(
-            model, batch, args.chips, hw,
-            spec=spec,
+        result = TuneRequest(
+            model=model, batch=batch, chips=args.chips, hw=hw,
+            mode="robust", spec=spec,
             ensemble=args.ensemble,
             quantile=args.quantile,
             algorithm=args.algorithm,
-        )
+        ).run()
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -641,6 +691,16 @@ _RUN_METRICS: List[object] = []
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    bad = _check_flags(
+        "profile",
+        [
+            ("--chips", args.chips, args.chips >= 1, "must be >= 1"),
+            ("--batch", args.batch,
+             args.batch is None or args.batch >= 1, "must be >= 1"),
+        ],
+    )
+    if bad:
+        return bad
     resolved = _resolve_cluster(args)
     if isinstance(resolved, int):
         return resolved
@@ -662,6 +722,94 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _describe_result(result) -> str:
+    """One output line per served query."""
+    from repro.autotuner.search import RobustTuningResult, TuningResult
+
+    if isinstance(result, TuningResult):
+        return (
+            f"mesh {result.mesh}; block "
+            f"{result.block_seconds * 1e3:.3f} ms"
+        )
+    if isinstance(result, RobustTuningResult):
+        return (
+            f"mesh {result.mesh}; p{result.quantile * 100:g} block "
+            f"{result.robust_seconds * 1e3:.3f} ms "
+            f"(inflation {result.inflation:.3f}x)"
+        )
+    # DegradedRetune
+    return (
+        f"degraded mesh {result.result.mesh} (dropped {result.dropped}); "
+        f"block {result.result.block_seconds * 1e3:.3f} ms"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    bad = _check_flags(
+        "serve",
+        [
+            ("--workers", args.workers, args.workers >= 1, "must be >= 1"),
+            ("--repeat", args.repeat, args.repeat >= 1, "must be >= 1"),
+        ],
+    )
+    if bad:
+        return bad
+    import json
+
+    from repro.service import TuneRequest, TunerService
+
+    if args.replay is not None:
+        try:
+            with open(args.replay) as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            print(f"meshslice serve: {exc}", file=sys.stderr)
+            return 2
+    else:
+        lines = sys.stdin.readlines()
+    requests = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            requests.append(TuneRequest.from_dict(json.loads(line)))
+        except (KeyError, TypeError, ValueError) as exc:
+            source = args.replay or "<stdin>"
+            print(
+                f"meshslice serve: {source}:{lineno}: bad query: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    if not requests:
+        print("meshslice serve: no queries", file=sys.stderr)
+        return 2
+    with TunerService(
+        args.store, workers=args.workers,
+        warm_start=not args.no_warm_start,
+    ) as service:
+        for _ in range(args.repeat):
+            results = service.serve_many(requests)
+        for request, result in zip(requests, results):
+            print(
+                f"{request.mode} {request.model.name} "
+                f"chips={request.canonical().chips}: "
+                f"{_describe_result(result)}"
+            )
+        stats = service.stats()
+    print(
+        f"\nserved {int(stats['requests'])} request(s): "
+        f"{int(stats['served_from_memory'])} from memory, "
+        f"{int(stats['coalesced_inflight'])} coalesced, "
+        f"{int(stats['store_hits'])} store hit(s) "
+        f"(hit rate {stats['store_hit_rate']:.2f}), "
+        f"warm-start prune ratio {stats['warmstart_prune_ratio']:.2f}, "
+        f"p50 {stats['latency_p50_ms']:.1f} ms, "
+        f"p95 {stats['latency_p95_ms']:.1f} ms"
+    )
+    return 0
+
+
 def _write_metrics(path: str) -> None:
     """Dump everything collected during the command as schema JSONL."""
     from repro.obs.export import collect_records, write_jsonl
@@ -670,6 +818,15 @@ def _write_metrics(path: str) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    bad = _check_flags(
+        "run",
+        [
+            ("--jobs", args.jobs,
+             args.jobs is None or args.jobs >= 1, "must be >= 1"),
+        ],
+    )
+    if bad:
+        return bad
     if args.jobs is not None:
         # The experiment main()s read the worker count from the
         # environment, so one flag reaches every grid they run.
@@ -725,6 +882,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         "recovery": lambda: _cmd_recovery(args),
         "sdc": lambda: _cmd_sdc(args),
         "profile": lambda: _cmd_profile(args),
+        "serve": lambda: _cmd_serve(args),
         "models": _cmd_models,
         "presets": _cmd_presets,
     }

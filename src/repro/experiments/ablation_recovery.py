@@ -3,7 +3,7 @@
 Per-step simulation says how fast a healthy mesh trains; this ablation
 asks what survives contact with failures. For each cluster size the
 tuned MeshSlice configuration provides the full-mesh step time; the
-degraded-mesh retune (:func:`repro.perf.pipeline.degraded_retune`)
+degraded-mesh retune (:func:`repro.perf.pipeline.degraded_retune_model`)
 provides the step time after one chip dies and its row or column is
 drained; and the analytical checkpoint/goodput models
 (:mod:`repro.recovery`) convert both into end-to-end goodput — the
@@ -38,7 +38,7 @@ from repro.hw.params import HardwareParams
 from repro.hw.presets import TPUV4
 from repro.models import GPT3_175B
 from repro.models.config import LLMConfig
-from repro.perf.pipeline import degraded_retune, simulated_pass
+from repro.perf.pipeline import degraded_retune_model, simulated_pass
 from repro.recovery import (
     ClusterReliability,
     degrade_goodput,
@@ -125,7 +125,7 @@ def _point(
     step = end_to_end_step_seconds(model, batch, chips, hw, clean.seconds)
     # Any single dead chip yields the same shrunk candidates, so (0, 0)
     # is fully general (pinned by tests/test_recovery.py).
-    retune = degraded_retune(model, batch, clean.mesh, (0, 0), hw)
+    retune = degraded_retune_model(model, batch, clean.mesh, (0, 0), hw)
     degraded_step = _degraded_step_seconds(model, batch, retune, hw)
     reliability = ClusterReliability(
         chip_mtbf=chip_mtbf_hours * 3600.0,

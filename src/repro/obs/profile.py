@@ -38,6 +38,11 @@ class ProfileReport:
             counters (runs, motifs found/validated, composed vs
             simulated instance and activity counts, compile seconds),
             empty when the heap engine ran.
+        service_stats: The tuning service's cumulative ``service.*``
+            counters and gauges (store hit/miss/corrupt counts,
+            in-flight coalescing, warm-start tunings vs prunes, queue
+            depth, p50/p95 service latency), empty when no
+            :class:`repro.service.TunerService` ran in this process.
     """
 
     model: str
@@ -51,6 +56,7 @@ class ProfileReport:
     per_pass: Tuple[Tuple[str, RunMetrics], ...]
     cache_hit_rates: Dict[str, float]
     compile_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
+    service_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def render(self) -> str:
         """The ``meshslice profile`` text report."""
@@ -136,6 +142,21 @@ class ProfileReport:
                     ),
                 ]
             )
+        if self.service_stats:
+            lines.extend(
+                [
+                    "",
+                    render_table(
+                        ["tuning service", "total"],
+                        [
+                            (name[len("service."):], f"{value:g}")
+                            for name, value in sorted(
+                                self.service_stats.items()
+                            )
+                        ],
+                    ),
+                ]
+            )
         return "\n".join(lines)
 
 
@@ -178,6 +199,7 @@ def profile_block(
         if stats.calls
     }
     compile_totals = _compile_counters()
+    service_totals = _prefixed_totals("service.")
     return ProfileReport(
         model=model.name,
         algorithm=algorithm,
@@ -190,6 +212,7 @@ def profile_block(
         per_pass=tuple(per_pass),
         cache_hit_rates=hit_rates,
         compile_stats=compile_totals,
+        service_stats=service_totals,
     )
 
 
@@ -201,11 +224,24 @@ def _compile_counters() -> Dict[str, float]:
     never ran (or metrics are disabled) — the report section is
     skipped then.
     """
+    return _prefixed_totals("compile.", counters_only=True)
+
+
+def _prefixed_totals(
+    prefix: str, counters_only: bool = False
+) -> Dict[str, float]:
+    """Registry counter (and gauge) values under one name prefix.
+
+    Labeled series render as ``name{label=value}``. Empty when the
+    subsystem never ran (or metrics are disabled) — prefix sections of
+    the report are skipped then.
+    """
     from repro.obs.registry import registry
 
+    wanted = ("counter",) if counters_only else ("counter", "gauge")
     totals: Dict[str, float] = {}
     for record in registry().snapshot():
-        if record.type != "counter" or not record.name.startswith("compile."):
+        if record.type not in wanted or not record.name.startswith(prefix):
             continue
         if record.value is None or not record.value:
             continue

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Tuple
 
-from repro.autotuner.search import TuningResult, tune
+from repro.autotuner.search import TuningResult, tune_model
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import Coord, Mesh2D
 from repro.models.config import LLMConfig
@@ -101,7 +101,7 @@ def retune_degraded(
         "recovery.degraded_retunes",
         labels={"mesh": f"{mesh.rows}x{mesh.cols}"},
     )
-    result = tune(
+    result = tune_model(
         model,
         batch_size,
         mesh.size,

@@ -1,0 +1,175 @@
+"""Warm-started mesh/slice search seeded from a stored neighbor.
+
+A production tuning service sees near-duplicate queries: the same
+model swept across chip counts, re-tuned per deployment. The mesh the
+autotuner picks is stable under such sweeps — the best aspect ratio at
+1024 chips is almost always the best (or next-best) at 2048 — so a
+stored neighbor's choice is an excellent *visit order* for the
+branch-and-bound over candidate shapes: evaluate the neighbor-shaped
+candidate first, establish a tight incumbent, then abort every other
+candidate's pass-by-pass accumulation the moment its partial sum
+exceeds the incumbent.
+
+The warm search is an *ordering and pruning* optimization only — it
+returns bit-identical ``mesh``, ``passes``, and ``block_seconds`` to
+:func:`repro.autotuner.search.tune_model`:
+
+* partial block times accumulate per-pass in the exact plan order
+  ``tune_mesh`` uses, so completed candidates produce the same float
+  sums bit for bit;
+* a candidate is abandoned only when its partial sum *strictly*
+  exceeds the incumbent (analytical pass costs are nonnegative, so the
+  completed total could not have beaten it) or when it ties the
+  incumbent from a later original position (the cold search breaks
+  exact ties toward the earlier ``mesh_shapes`` index, so a later tie
+  could not have won either);
+* the winner is chosen by ``(block_seconds, original index)`` — the
+  same ordering the cold search's strict-inequality update induces.
+
+``per_mesh_seconds`` is the one reporting field allowed to differ: it
+covers only the candidates the warm search finished. Pruning work is
+counted under ``service.warmstart.*`` so the serving layer can report
+the measured prune ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import GeMMConfig
+from repro.autotuner.costmodel import best_slice_count
+from repro.autotuner.dataflow import plan_model
+from repro.autotuner.search import TunedPass, TuningResult
+from repro.hw.params import HardwareParams
+from repro.mesh.topology import Mesh2D, mesh_shapes
+from repro.models.config import LLMConfig
+from repro.obs.registry import registry as _metrics
+
+__all__ = ["warm_order", "warm_tune"]
+
+
+def warm_order(
+    candidates: Sequence[Mesh2D], neighbor: Mesh2D
+) -> List[int]:
+    """Candidate indices ordered by aspect-ratio distance to ``neighbor``.
+
+    Distance is ``|log2(rows/cols) - log2(rows'/cols')|`` — the shapes
+    a power-of-two sweep maps onto each other. Ties keep the original
+    ``mesh_shapes`` order, so a degenerate neighbor still yields a
+    deterministic visit order.
+    """
+    target = math.log2(neighbor.rows / neighbor.cols)
+    ranked = sorted(
+        range(len(candidates)),
+        key=lambda i: (
+            abs(math.log2(candidates[i].rows / candidates[i].cols) - target),
+            i,
+        ),
+    )
+    return ranked
+
+
+def warm_tune(
+    model: LLMConfig,
+    batch_size: int,
+    chips: int,
+    hw: HardwareParams,
+    neighbor_mesh: Optional[Mesh2D],
+    optimize_dataflow: bool = True,
+    min_mesh_dim: int = 2,
+    max_slices: int = 64,
+    abft: bool = False,
+    sdc_rate: float = 0.0,
+) -> TuningResult:
+    """Phase-2 search seeded by a stored neighbor's chosen mesh.
+
+    With ``neighbor_mesh=None`` there is nothing to seed from and the
+    search degenerates to the cold visit order (still pruning once the
+    first candidate completes). The selected mesh, tuned passes, and
+    block time are bit-identical to ``tune_model`` either way.
+    """
+    tokens = model.tokens(batch_size)
+    plans = plan_model(model, tokens, optimize_dataflow=optimize_dataflow)
+    candidates = mesh_shapes(chips, min_dim=min_mesh_dim)
+    if not candidates:
+        raise ValueError(f"no candidate mesh shapes for {chips} chips")
+    if neighbor_mesh is not None:
+        order = warm_order(candidates, neighbor_mesh)
+    else:
+        order = list(range(len(candidates)))
+
+    pass_plans = [
+        (plan.layer.name, pass_plan)
+        for plan in plans
+        for pass_plan in plan.passes
+    ]
+    passes_per_mesh = len(pass_plans)
+
+    best: Optional[TuningResult] = None
+    best_index = -1
+    per_mesh: Dict[Tuple[int, int], float] = {}
+    tunings = 0
+    prunes = 0
+    for index in order:
+        mesh = candidates[index]
+        tuned: List[TunedPass] = []
+        total = 0.0
+        aborted = False
+        for position, (layer_name, pass_plan) in enumerate(pass_plans):
+            cfg = GeMMConfig(
+                shape=pass_plan.shape,
+                mesh=mesh,
+                dataflow=pass_plan.dataflow,
+                slices=1,
+                transposed=pass_plan.transposed,
+                abft=abft,
+                sdc_rate=sdc_rate,
+            )
+            slices, estimate = best_slice_count(cfg, hw, max_slices)
+            tunings += 1
+            tuned.append(
+                TunedPass(
+                    layer_name=layer_name,
+                    plan=pass_plan,
+                    slices=slices,
+                    estimate=estimate,
+                    abft=abft,
+                    sdc_rate=sdc_rate,
+                )
+            )
+            total += estimate.total
+            if best is not None and (
+                total > best.block_seconds
+                or (total >= best.block_seconds and index > best_index)
+            ):
+                # Pass costs are nonnegative: this candidate can no
+                # longer strictly beat the incumbent, and on an exact
+                # tie the cold search keeps the earlier index anyway.
+                prunes += passes_per_mesh - (position + 1)
+                aborted = True
+                break
+        if aborted:
+            continue
+        per_mesh[mesh.shape] = total
+        if (
+            best is None
+            or total < best.block_seconds
+            or (total == best.block_seconds and index < best_index)
+        ):
+            best = TuningResult(
+                mesh=mesh,
+                passes=tuple(tuned),
+                block_seconds=total,
+                per_mesh_seconds={},
+            )
+            best_index = index
+
+    reg = _metrics()
+    reg.inc("tuner.runs", labels={"model": model.name})
+    reg.inc("tuner.meshes_searched", float(len(candidates)))
+    reg.inc("service.warmstart.runs")
+    reg.inc("service.warmstart.pass_tunings", float(tunings))
+    reg.inc("service.warmstart.pass_prunes", float(prunes))
+    return dataclasses.replace(best, per_mesh_seconds=per_mesh)

@@ -22,12 +22,6 @@ from repro.sim.trace import (
     CommBreakdown,
     Trace,
     ascii_timeline,
-    busy_time,
-    comm_breakdown,
-    compute_time,
-    kind_durations,
-    to_chrome_trace,
-    write_chrome_trace,
 )
 
 __all__ = [
@@ -50,16 +44,10 @@ __all__ = [
     "Trace",
     "ZERO_BREAKDOWN",
     "ascii_timeline",
-    "busy_time",
-    "comm_breakdown",
     "combined_utilization",
-    "compute_time",
     "effective_gemm_seconds",
     "gemm_cost",
-    "kind_durations",
     "makespan",
     "simulate",
     "slice_cost",
-    "to_chrome_trace",
-    "write_chrome_trace",
 ]

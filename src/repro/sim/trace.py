@@ -7,18 +7,18 @@ busy time, an ASCII timeline renderer in the spirit of the paper's
 Figure 4, and Chrome/Perfetto trace export (span tracks plus derived
 per-resource occupancy counter tracks).
 
-The module-level delegates (:func:`comm_breakdown`, :func:`busy_time`,
-:func:`compute_time`, :func:`kind_durations`, :func:`to_chrome_trace`,
-:func:`write_chrome_trace`) are **deprecated** since 1.3 — call the
-:class:`Trace` methods instead (``Trace.from_spans(spans).breakdown()``
-and friends). :func:`ascii_timeline` remains supported as the one
-convenience renderer for bare span lists.
+The module-level delegates deprecated in 1.3 (``comm_breakdown``,
+``busy_time``, ``compute_time``, ``kind_durations``,
+``to_chrome_trace``, ``write_chrome_trace``) were **removed** in 1.6 —
+call the :class:`Trace` methods instead
+(``Trace.from_spans(spans).breakdown()`` and friends).
+:func:`ascii_timeline` remains supported as the one convenience
+renderer for bare span lists.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.sim.engine import CORE, LINK_H, LINK_V, Span, makespan
@@ -251,42 +251,6 @@ class Trace:
             json.dump(self.to_chrome(), handle)
 
 
-# ------------------------------------------- deprecated thin delegates
-
-
-def _warn_deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"repro.sim.trace.{name}() is deprecated; use "
-        f"Trace.from_spans(spans).{replacement}() instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def comm_breakdown(spans: Iterable[Span]) -> CommBreakdown:
-    """Deprecated delegate of :meth:`Trace.breakdown`."""
-    _warn_deprecated("comm_breakdown", "breakdown")
-    return Trace.from_spans(spans).breakdown()
-
-
-def busy_time(spans: Iterable[Span], resource: str) -> float:
-    """Deprecated delegate of :meth:`Trace.busy_time`."""
-    _warn_deprecated("busy_time", "busy_time")
-    return Trace.from_spans(spans).busy_time(resource)
-
-
-def compute_time(spans: Iterable[Span]) -> float:
-    """Deprecated delegate of :meth:`Trace.compute_time`."""
-    _warn_deprecated("compute_time", "compute_time")
-    return Trace.from_spans(spans).compute_time()
-
-
-def kind_durations(spans: Iterable[Span]) -> Dict[str, float]:
-    """Deprecated delegate of :meth:`Trace.kind_durations`."""
-    _warn_deprecated("kind_durations", "kind_durations")
-    return Trace.from_spans(spans).kind_durations()
-
-
 def ascii_timeline(
     spans: Sequence[Span],
     width: int = 100,
@@ -294,15 +258,3 @@ def ascii_timeline(
 ) -> str:
     """ASCII Gantt chart of a span list (:meth:`Trace.timeline`)."""
     return Trace.from_spans(spans).timeline(width=width, lanes=lanes)
-
-
-def to_chrome_trace(spans: Sequence[Span]) -> List[Dict[str, object]]:
-    """Deprecated delegate of :meth:`Trace.to_chrome`."""
-    _warn_deprecated("to_chrome_trace", "to_chrome")
-    return Trace.from_spans(spans).to_chrome()
-
-
-def write_chrome_trace(spans: Sequence[Span], path: str) -> None:
-    """Deprecated delegate of :meth:`Trace.write_chrome`."""
-    _warn_deprecated("write_chrome_trace", "write_chrome")
-    Trace.from_spans(spans).write_chrome(path)

@@ -17,7 +17,7 @@ SRC = str(Path(__file__).resolve().parent.parent / "src")
 #: A seeded robust-tune over a fault ensemble, metrics to stdout.
 FAULTS_SCRIPT = """
 import sys
-from repro import FaultSpec, TPUV4, robust_tune
+from repro import FaultSpec, TPUV4, TuneRequest, robust_tune
 from repro.models import get_model
 from repro.obs.export import collect_records, dumps_records
 
@@ -25,9 +25,10 @@ spec = FaultSpec(
     stragglers=1, straggler_slowdown=1.4, degraded_links=1,
     link_slowdown=1.5, launch_jitter=1e-6, outage_rate=0.05, seed=7,
 )
-result = robust_tune(
-    get_model("gpt3-175b"), 8, 16, TPUV4, spec=spec, ensemble=4
-)
+result = robust_tune(TuneRequest(
+    model=get_model("gpt3-175b"), batch=8, chips=16, hw=TPUV4,
+    mode="robust", spec=spec, ensemble=4,
+))
 sys.stdout.write(f"mesh={result.mesh.shape}\\n")
 sys.stdout.write(dumps_records(collect_records()))
 """
@@ -95,6 +96,36 @@ sys.stdout.write(dumps_records(collect_records(include_caches=False)))
 """
 
 
+#: Serve a query mix (with duplicates) through the tuning service into
+#: a plan store, then print every stored record's address and content
+#: hash. The store contract: the same canonical config produces the
+#: identical record bytes whatever the worker count, arrival order, or
+#: warm-start path that produced it.
+STORE_SCRIPT = """
+import hashlib
+import os
+import sys
+from repro import TPUV4, TuneRequest, TunerService
+from repro.models import get_model
+
+root, jobs = sys.argv[1], int(sys.argv[2])
+model = get_model("gpt3-175b")
+requests = [
+    TuneRequest(model=model, batch=8, chips=chips, hw=TPUV4)
+    for chips in (16, 32, 16, 32, 64)
+]
+with TunerService(root, workers=jobs) as svc:
+    svc.serve_many(requests)
+for dirpath, dirs, files in sorted(os.walk(root)):
+    dirs.sort()
+    for name in sorted(files):
+        path = os.path.join(dirpath, name)
+        with open(path, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        sys.stdout.write(f"{os.path.relpath(path, root)} {digest}\\n")
+"""
+
+
 def _run(script, *args, hashseed="0"):
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -144,6 +175,23 @@ class TestGridMapDeterminism:
         first = _run(GRID_SCRIPT, 4, hashseed="5")
         second = _run(GRID_SCRIPT, 4, hashseed="99")
         assert first == second
+
+
+class TestStoreByteDeterminism:
+    def test_identical_records_across_runs_and_workers(self, tmp_path):
+        """Same canonical configs -> identical stored record bytes.
+
+        Run one: a single worker serves the mix sequentially, so the
+        32- and 64-chip searches warm-start from stored neighbors.
+        Run two: four workers race, the duplicates coalesce in flight,
+        and the searches mostly run cold — under a different hash
+        seed. The stores must still match file for file, byte for
+        byte.
+        """
+        serial = _run(STORE_SCRIPT, tmp_path / "a", 1, hashseed="0")
+        parallel = _run(STORE_SCRIPT, tmp_path / "b", 4, hashseed="31337")
+        assert serial == parallel
+        assert len(serial.splitlines()) == 3  # one record per config
 
 
 class TestJsonlFileDeterminism:

@@ -100,76 +100,45 @@ class TestAsciiTimeline:
             ascii_timeline([span(0, "compute", 0, 1, exclusive=[CORE])])
 
 
-class TestDeprecatedDelegates:
-    """The six free-function delegates warn and still delegate."""
+class TestRemovedDelegates:
+    """The six 1.3-deprecated free functions are gone (removed in 1.6)."""
 
-    def _spans(self):
-        return [
+    REMOVED = (
+        "comm_breakdown",
+        "busy_time",
+        "compute_time",
+        "kind_durations",
+        "to_chrome_trace",
+        "write_chrome_trace",
+    )
+
+    def test_removed_from_trace_module(self):
+        import repro.sim.trace as trace_module
+
+        for name in self.REMOVED:
+            assert not hasattr(trace_module, name), name
+
+    def test_removed_from_repro_sim(self):
+        import repro.sim as sim
+
+        for name in self.REMOVED:
+            assert not hasattr(sim, name), name
+            assert name not in sim.__all__, name
+
+    def test_trace_methods_cover_the_removed_surface(self):
+        spans = [
             span(0, "compute", 0, 2, exclusive=[CORE]),
             span(
                 1, "comm", 0, 1, exclusive=[LINK_H],
                 meta={"launch": 0.1, "transfer": 0.7, "sync": 0.2},
             ),
         ]
-
-    def test_comm_breakdown_warns(self):
-        from repro.sim.trace import comm_breakdown
-
-        spans = self._spans()
-        with pytest.deprecated_call(match="comm_breakdown"):
-            assert comm_breakdown(spans) == Trace.from_spans(spans).breakdown()
-
-    def test_busy_time_warns(self):
-        from repro.sim.trace import busy_time
-
-        spans = self._spans()
-        with pytest.deprecated_call(match="busy_time"):
-            assert busy_time(spans, CORE) == pytest.approx(2.0)
-
-    def test_compute_time_warns(self):
-        from repro.sim.trace import compute_time
-
-        with pytest.deprecated_call(match="compute_time"):
-            assert compute_time(self._spans()) == pytest.approx(2.0)
-
-    def test_kind_durations_warns(self):
-        from repro.sim.trace import kind_durations
-
-        with pytest.deprecated_call(match="kind_durations"):
-            durations = kind_durations(self._spans())
-        assert durations == {"compute": 2.0, "comm": 1.0}
-
-    def test_to_chrome_trace_warns(self):
-        from repro.sim.trace import to_chrome_trace
-
-        spans = self._spans()
-        with pytest.deprecated_call(match="to_chrome_trace"):
-            events = to_chrome_trace(spans)
-        assert events == Trace.from_spans(spans).to_chrome()
-
-    def test_write_chrome_trace_warns(self, tmp_path):
-        import json
-
-        from repro.sim.trace import write_chrome_trace
-
-        spans = self._spans()
-        path = tmp_path / "trace.json"
-        with pytest.deprecated_call(match="write_chrome_trace"):
-            write_chrome_trace(spans, str(path))
-        events = json.loads(path.read_text())
-        assert json.dumps(events) == json.dumps(
-            Trace.from_spans(spans).to_chrome()
-        )
-
-    def test_still_importable_from_repro_sim(self):
-        from repro.sim import (  # noqa: F401
-            busy_time,
-            comm_breakdown,
-            compute_time,
-            kind_durations,
-            to_chrome_trace,
-            write_chrome_trace,
-        )
+        trace = Trace.from_spans(spans)
+        assert trace.busy_time(CORE) == pytest.approx(2.0)
+        assert trace.compute_time() == pytest.approx(2.0)
+        assert trace.kind_durations() == {"compute": 2.0, "comm": 1.0}
+        assert trace.breakdown().total == pytest.approx(1.0)
+        assert trace.to_chrome()
 
 
 class TestTraceClass:
