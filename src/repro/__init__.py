@@ -57,13 +57,16 @@ from repro.hw import (
 )
 from repro.mesh import Mesh2D, MeshExecutor, Ring1D, mesh_shapes
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Lazily-loaded stable API (PEP 562): name -> (module, attribute).
 #: Importing these eagerly would pull the whole timing plane (and the
 #: numpy functional checkers) into every ``import repro``.
 _LAZY_EXPORTS = {
     "ABFTReport": ("repro.abft", "ABFTReport"),
+    "CampaignRunner": ("repro.campaign", "CampaignRunner"),
+    "CampaignSpec": ("repro.campaign", "CampaignSpec"),
+    "CampaignStore": ("repro.campaign", "CampaignStore"),
     "CheckpointModel": ("repro.recovery", "CheckpointModel"),
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "FaultSpec": ("repro.faults", "FaultSpec"),
@@ -96,6 +99,9 @@ _LAZY_EXPORTS = {
 
 __all__ = [
     "ABFTReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStore",
     "CheckpointModel",
     "Dataflow",
     "FaultPlan",

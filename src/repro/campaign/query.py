@@ -1,0 +1,184 @@
+"""Queries over the campaign store: status, rows, reports, history.
+
+The store is the source of truth; this module derives everything the
+old monolithic experiment entry points printed — and the
+cross-campaign comparisons they could not — without re-running a
+single point:
+
+* :func:`status` — per-campaign record counts, failure keys, and the
+  set of code versions that produced the records;
+* :func:`rows` / :func:`report` — decode the stored result rows and
+  re-render the experiment's own table via its
+  :class:`~repro.campaign.spec.CampaignSpec`;
+* :func:`counter_history` / :func:`ratio_history` /
+  :func:`cross_campaign_totals` — trajectories of any stored metric
+  series (engine speed proxies like ``engine.events``, cache hit
+  ratios, ABFT verification counts) across a campaign's points or
+  across whole campaigns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.campaign.codec import decode_value
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+
+__all__ = [
+    "CampaignStatus",
+    "counter_history",
+    "cross_campaign_totals",
+    "ratio_history",
+    "records",
+    "report",
+    "rows",
+    "status",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignStatus:
+    """One campaign's stored state at a glance."""
+
+    campaign: str
+    stored: int
+    ok: int
+    failed: int
+    failed_keys: Tuple[str, ...]
+    versions: Tuple[str, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"campaign {self.campaign}: {self.stored} stored "
+            f"({self.ok} ok, {self.failed} failed)",
+        ]
+        if self.versions:
+            lines.append("versions: " + ", ".join(self.versions))
+        for key in self.failed_keys:
+            lines.append(f"failed: {key}")
+        return "\n".join(lines)
+
+
+def records(store: CampaignStore, name: str) -> List[Dict[str, Any]]:
+    """The campaign's records, last-wins per key, in append order."""
+    return list(store.load(name).values())
+
+
+def status(store: CampaignStore, name: str) -> CampaignStatus:
+    """Count what is stored, and name what failed."""
+    recs = records(store, name)
+    failed = tuple(r["key"] for r in recs if r["status"] == "failed")
+    versions = tuple(sorted({r["version"] for r in recs}))
+    return CampaignStatus(
+        campaign=name,
+        stored=len(recs),
+        ok=len(recs) - len(failed),
+        failed=len(failed),
+        failed_keys=failed,
+        versions=versions,
+    )
+
+
+def rows(
+    store: CampaignStore, name: str, spec: CampaignSpec
+) -> List[Any]:
+    """The decoded result rows of every ``ok`` record, in store order.
+
+    Failed records contribute nothing (their structured error lives in
+    :func:`status`); specs with ``flatten`` concatenate each point's
+    row list.
+    """
+    out: List[Any] = []
+    for record in records(store, name):
+        if record["status"] != "ok":
+            continue
+        decoded = decode_value(record["result"])
+        if spec.flatten:
+            out.extend(decoded)
+        else:
+            out.append(decoded)
+    return out
+
+
+def report(
+    store: CampaignStore, name: str, spec: CampaignSpec
+) -> str:
+    """The experiment's own rendered table, from the store alone."""
+    return spec.render(rows(store, name, spec))
+
+
+# ----------------------------------------------------- metric history
+
+
+def _counter_total(record: Dict[str, Any], counter: str) -> float:
+    total = 0.0
+    for metric in record.get("metrics", ()):
+        if metric.get("type") == "counter" and metric.get("name") == counter:
+            total += float(metric.get("value") or 0.0)
+    return total
+
+
+def counter_history(
+    store: CampaignStore, name: str, counter: str
+) -> List[Tuple[str, float]]:
+    """Per-point totals of one counter series, in store order.
+
+    Each entry is ``(point_key, total)`` over the record's stored
+    metrics delta — e.g. ``counter_history(store, "fig9",
+    "engine.events")`` is the engine-speed trajectory across the
+    sweep.
+    """
+    return [
+        (record["key"], _counter_total(record, counter))
+        for record in records(store, name)
+        if record["status"] == "ok"
+    ]
+
+
+def ratio_history(
+    store: CampaignStore,
+    name: str,
+    numerator: str,
+    denominator: str,
+) -> List[Tuple[str, float]]:
+    """Per-point ``numerator / (numerator + denominator)`` rates.
+
+    The hit-rate shape: ``ratio_history(store, name,
+    "service.store.hits", "service.store.misses")`` or any
+    hit/miss-style counter pair. Points where both totals are zero
+    yield 0.0.
+    """
+    out: List[Tuple[str, float]] = []
+    for record in records(store, name):
+        if record["status"] != "ok":
+            continue
+        hits = _counter_total(record, numerator)
+        misses = _counter_total(record, denominator)
+        total = hits + misses
+        out.append((record["key"], hits / total if total else 0.0))
+    return out
+
+
+def cross_campaign_totals(
+    store: CampaignStore,
+    counter: str,
+    names: Optional[List[str]] = None,
+) -> Dict[str, float]:
+    """One counter summed per campaign — the cross-campaign view.
+
+    ``names`` defaults to every campaign in the store, so e.g.
+    ``cross_campaign_totals(store, "sim.runs")`` compares how much
+    simulation each recorded sweep performed.
+    """
+    if names is None:
+        names = store.campaigns()
+    return {
+        name: sum(
+            _counter_total(record, counter)
+            for record in records(store, name)
+            if record["status"] == "ok"
+        )
+        for name in names
+    }

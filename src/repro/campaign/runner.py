@@ -1,0 +1,247 @@
+"""The resumable, fail-soft campaign runner.
+
+:class:`CampaignRunner` is the crash-tolerance layer over
+:func:`repro.experiments.common.grid_map`:
+
+* **Resume.** Before running it repairs the store (quarantining any
+  torn tail a kill left behind), loads the stored point keys, and
+  skips every point already recorded — a sweep killed at point 2500
+  of 5000 recomputes nothing on restart. Skips count under
+  ``campaign.points.skipped``; duplicate coordinates in the input
+  grid run once (``campaign.points.duplicate``).
+* **Retry.** Each point gets ``retries`` extra attempts with capped
+  exponential backoff (transient failures: flaky filesystems, pool
+  hiccups). Attempts count under ``campaign.retries``.
+* **Fail-soft.** A point that exhausts its attempts is recorded as a
+  structured ``failed`` record — error type and message, no result —
+  and the sweep continues (``grid_map(on_error="collect")``
+  underneath). Failed keys are terminal on resume unless
+  ``retry_failed`` is set, which appends a superseding record (and,
+  by appending rather than rewriting, trades away byte-identity with
+  an uninterrupted run — the one knob that does).
+
+**The determinism contract.** Records append in input-point order
+(``grid_map`` delivers in input order at any ``--jobs``), contain no
+wall-clock fields or attempt counts, and carry a metrics delta that
+is a pure function of the point: every attempt starts from cleared
+``repro.perf`` caches and a fresh registry snapshot, so a point
+computes the same delta whether it runs first or five-thousandth,
+serial or pooled, cold or resumed. The cost is real — cross-point
+cache warmth is deliberately given up (within-point memoization
+keeps working) — and is what makes ``completed-by-resume`` stores
+byte-identical to ``completed-cold`` ones, pinned by the subprocess
+kill/resume suite in ``tests/test_campaign_kill_resume.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.codec import point_key
+from repro.campaign.records import make_record, record_metrics
+from repro.campaign.store import CampaignStore
+from repro.experiments.common import GridPointError, grid_map
+from repro.obs.registry import MetricRecord, registry
+from repro.perf.cache import clear_caches
+
+__all__ = ["CampaignRunner", "CampaignSummary"]
+
+
+@dataclasses.dataclass(frozen=True)
+class _PointOutcome:
+    """What one point's (final) attempt produced, picklable."""
+
+    status: str  # "ok" | "failed"
+    result: Any
+    error: Optional[Tuple[str, str]]
+    metrics: Tuple[MetricRecord, ...]
+
+
+@dataclasses.dataclass
+class _CampaignWorker:
+    """Picklable per-point attempt loop: clear, snapshot, run, retry.
+
+    Catches every point failure itself and folds it into the returned
+    :class:`_PointOutcome`, so the grid under it never aborts and the
+    runner's ``progress`` callback sees exactly one outcome per point.
+    """
+
+    point_fn: Callable[[Any], Any]
+    retries: int = 2
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 2.0
+
+    def __call__(self, point: Any) -> _PointOutcome:
+        reg = registry()
+        last_error = ("Unknown", "no attempt ran")
+        for attempt in range(self.retries + 1):
+            if attempt:
+                reg.inc("campaign.retries")
+                delay = min(
+                    self.backoff_s * (2 ** (attempt - 1)),
+                    self.backoff_cap_s,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            # Every attempt starts from the same cache state so the
+            # point's metric delta is a pure function of the point —
+            # a retried success stores the same bytes as a first-try
+            # success, and point 500 the same as point 0.
+            clear_caches()
+            before = reg.snapshot()
+            try:
+                result = self.point_fn(point)
+            except Exception as exc:
+                last_error = (type(exc).__name__, str(exc))
+                continue
+            delta = tuple(reg.delta_since(before))
+            return _PointOutcome("ok", result, None, delta)
+        return _PointOutcome("failed", None, last_error, ())
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSummary:
+    """What one :meth:`CampaignRunner.run` call did."""
+
+    campaign: str
+    total: int
+    ran: int
+    ok: int
+    failed: int
+    skipped: int
+    duplicates: int
+    quarantined: int
+
+    @property
+    def complete(self) -> bool:
+        """Every input point now has a stored record."""
+        return self.ran + self.skipped == self.total - self.duplicates
+
+
+class CampaignRunner:
+    """Run one campaign's grid durably through a store.
+
+    Args:
+        store: The campaign store (or its root directory).
+        name: Campaign name — the store file and the key namespace.
+        point_fn: Picklable module-level function of one grid point.
+        retries: Extra attempts per point before it is recorded as
+            ``failed``.
+        backoff_s: First retry delay; doubles per attempt, capped at
+            ``backoff_cap_s``.
+        retry_failed: Re-run points whose stored record is ``failed``,
+            appending a superseding record. Off by default: failed is
+            a terminal, deterministic outcome.
+        jobs: Worker processes for the grid (``None`` defers to
+            ``--jobs``/``REPRO_JOBS`` resolution in ``grid_map``).
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        name: str,
+        point_fn: Callable[[Any], Any],
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        retry_failed: bool = False,
+        jobs: Optional[int] = None,
+    ):
+        if isinstance(store, str):
+            store = CampaignStore(store)
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff must be >= 0")
+        self.store: CampaignStore = store
+        self.name = name
+        self.point_fn = point_fn
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.retry_failed = retry_failed
+        self.jobs = jobs
+
+    def run(self, points: Sequence[Any]) -> CampaignSummary:
+        """Bring the store to one record per input point; summary back.
+
+        Idempotent: a second call with the same grid runs nothing and
+        skips everything. Safe to call after a kill: the torn tail (if
+        any) is repaired away first, then only unrecorded points run.
+        """
+        reg = registry()
+        repair = self.store.repair(self.name)
+        existing = self.store.load(self.name)
+        all_points = list(points)
+
+        seen: set = set()
+        todo: List[Tuple[str, Any]] = []
+        duplicates = 0
+        skipped = 0
+        for point in all_points:
+            key = point_key(self.name, point)
+            if key in seen:
+                duplicates += 1
+                reg.inc("campaign.points.duplicate")
+                continue
+            seen.add(key)
+            stored = existing.get(key)
+            if stored is not None and not (
+                self.retry_failed and stored["status"] == "failed"
+            ):
+                skipped += 1
+                reg.inc("campaign.points.skipped")
+                continue
+            todo.append((key, point))
+
+        counts = {"ok": 0, "failed": 0}
+
+        def _append(index: int, outcome: Any) -> None:
+            key, point = todo[index]
+            if isinstance(outcome, GridPointError):
+                # collect-mode backstop: the worker itself died (e.g.
+                # an unpicklable result), not the point function.
+                outcome = _PointOutcome(
+                    "failed",
+                    None,
+                    (type(outcome).__name__, str(outcome)),
+                    (),
+                )
+            record = make_record(
+                self.name,
+                key,
+                point,
+                outcome.status,
+                result=outcome.result,
+                error=outcome.error,
+                metrics=record_metrics(outcome.metrics),
+            )
+            self.store.append(self.name, record)
+            counts[outcome.status] += 1
+            reg.inc(f"campaign.points.{outcome.status}")
+
+        worker = _CampaignWorker(
+            self.point_fn,
+            retries=self.retries,
+            backoff_s=self.backoff_s,
+            backoff_cap_s=self.backoff_cap_s,
+        )
+        grid_map(
+            worker,
+            [point for _, point in todo],
+            jobs=self.jobs,
+            on_error="collect",
+            progress=_append,
+        )
+        return CampaignSummary(
+            campaign=self.name,
+            total=len(all_points),
+            ran=counts["ok"] + counts["failed"],
+            ok=counts["ok"],
+            failed=counts["failed"],
+            skipped=skipped,
+            duplicates=duplicates,
+            quarantined=repair.quarantined,
+        )

@@ -1,0 +1,210 @@
+"""Append-only JSONL store of campaign records.
+
+One campaign is one file, ``<root>/<name>.jsonl``, one record per
+line (see :mod:`repro.campaign.records`). The shape is chosen for the
+failure mode it must survive: a SIGKILL mid-sweep. Appends are
+single-``write`` whole lines, so a kill leaves at worst one torn
+final line; everything before it is intact and the resumed run
+continues appending after it.
+
+Corruption is never fatal, mirroring the ``PlanStore`` contract:
+
+* :meth:`load` skips undecodable or schema-invalid lines, counting
+  each under ``campaign.store.corrupt`` — a damaged line costs one
+  recomputed point, never a crashed sweep;
+* :meth:`repair` (run by the campaign runner before resuming)
+  atomically rewrites the file keeping only valid lines and moves the
+  invalid bytes to a ``<name>.quarantine`` sidecar for post-mortems,
+  counting ``campaign.store.repaired`` — so a resumed store never
+  carries a torn tail into its byte-determinism contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import tempfile
+from typing import Any, Dict, List, Tuple
+
+from repro.campaign.records import encode_record, validate_record
+from repro.obs.registry import registry as _metrics
+
+__all__ = ["CampaignStore", "RepairReport"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairReport:
+    """What one :meth:`CampaignStore.repair` pass did."""
+
+    kept: int
+    quarantined: int
+
+
+class CampaignStore:
+    """Durable per-campaign record files under one root directory."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ---------------------------------------------------------- addressing
+
+    def _check_name(self, name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid campaign name {name!r}")
+        return name
+
+    def path_for(self, name: str) -> str:
+        """The record file of one campaign."""
+        return os.path.join(self.root, f"{self._check_name(name)}.jsonl")
+
+    def quarantine_path(self, name: str) -> str:
+        """The sidecar invalid bytes are moved to by :meth:`repair`."""
+        return os.path.join(
+            self.root, f"{self._check_name(name)}.quarantine"
+        )
+
+    def campaigns(self) -> List[str]:
+        """Names of every campaign with a record file, sorted."""
+        try:
+            entries = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        return [
+            name[: -len(".jsonl")]
+            for name in entries
+            if name.endswith(".jsonl") and not name.startswith(".")
+        ]
+
+    # -------------------------------------------------------------- append
+
+    def append(self, name: str, record: Dict[str, Any]) -> None:
+        """Durably append one record line.
+
+        The line is written with a single ``write`` call and fsynced,
+        so concurrent readers and a killed writer both observe either
+        the whole line or (for the writer's very last moment) a torn
+        tail that :meth:`repair` will quarantine.
+        """
+        line = encode_record(record)
+        with open(self.path_for(name), "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _metrics().inc("campaign.store.appends")
+
+    # --------------------------------------------------------------- loads
+
+    def _chunks(self, name: str) -> List[Tuple[bytes, bool]]:
+        """Raw line chunks of one campaign file.
+
+        Each entry is ``(bytes_without_newline, had_newline)``; a
+        missing trailing newline marks a torn tail from a kill
+        mid-append.
+        """
+        try:
+            with open(self.path_for(name), "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return []
+        if not raw:
+            return []
+        parts = raw.split(b"\n")
+        terminated = [(part, True) for part in parts[:-1]]
+        if parts[-1]:
+            terminated.append((parts[-1], False))
+        return terminated
+
+    @staticmethod
+    def _decode(chunk: bytes) -> Dict[str, Any]:
+        """One line's record, or raise ``ValueError`` if invalid."""
+        try:
+            record = json.loads(chunk.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(str(exc)) from exc
+        return validate_record(record)
+
+    def load(self, name: str) -> Dict[str, Dict[str, Any]]:
+        """Every stored record by point key, corrupt lines skipped.
+
+        Later records for a key supersede earlier ones (``last wins``,
+        the ``retry_failed`` escape hatch), while key order remains
+        first-occurrence order — i.e. append order for a healthy
+        store. Invalid lines count under ``campaign.store.corrupt``
+        and are otherwise ignored; they are **never** fatal.
+        """
+        reg = _metrics()
+        records: Dict[str, Dict[str, Any]] = {}
+        for chunk, _terminated in self._chunks(name):
+            if not chunk:
+                continue
+            try:
+                record = self._decode(chunk)
+            except ValueError:
+                reg.inc("campaign.store.corrupt")
+                continue
+            # Re-assignment keeps first-occurrence order (dict
+            # insertion order) while the latest record wins.
+            records[record["key"]] = record
+        return records
+
+    def repair(self, name: str) -> RepairReport:
+        """Drop invalid bytes, atomically, before a resume.
+
+        Valid lines keep their exact original bytes and order; invalid
+        chunks (torn tails, bit rot, hand edits) move to the
+        quarantine sidecar. A healthy file is left untouched — no
+        rewrite, no mtime churn.
+        """
+        reg = _metrics()
+        kept: List[bytes] = []
+        quarantined: List[bytes] = []
+        clean = True  # file already == kept lines, each "\n"-terminated
+        for chunk, terminated in self._chunks(name):
+            if not chunk:
+                # A bare empty line is noise, not a record; dropping
+                # it keeps the byte-determinism diff clean.
+                clean = False
+                continue
+            try:
+                self._decode(chunk)
+            except ValueError:
+                quarantined.append(chunk)
+                clean = False
+                continue
+            kept.append(chunk)
+            if not terminated:
+                # Valid JSON but no newline: the kill landed between
+                # write and close. Keep the record; the rewrite below
+                # restores its terminator.
+                clean = False
+        if clean:
+            return RepairReport(kept=len(kept), quarantined=0)
+        path = self.path_for(name)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".jsonl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for chunk in kept:
+                    handle.write(chunk + b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if quarantined:
+            with open(self.quarantine_path(name), "ab") as handle:
+                for chunk in quarantined:
+                    handle.write(chunk + b"\n")
+            reg.inc("campaign.store.corrupt", len(quarantined))
+        reg.inc("campaign.store.repaired")
+        return RepairReport(kept=len(kept), quarantined=len(quarantined))

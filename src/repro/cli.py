@@ -15,6 +15,8 @@ Deployment planning and introspection::
     meshslice sdc --rate 1e-2 --mesh 4x4 --trials 8
     meshslice profile gpt3-175b --chips 16 --batch 8
     meshslice serve --store plans/ --replay queries.jsonl
+    meshslice campaign run fig13 --store sweeps/   # durable resumable sweep
+    meshslice campaign status --store sweeps/
     meshslice models                  # model zoo
     meshslice presets                 # hardware presets
 
@@ -40,7 +42,7 @@ from repro.experiments import EXPERIMENTS
 #: as an experiment name and routed through ``run`` (legacy alias).
 COMMANDS = (
     "run", "list", "tune", "faults", "recovery", "sdc", "profile",
-    "serve", "models", "presets",
+    "serve", "campaign", "models", "presets",
 )
 
 
@@ -303,8 +305,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable neighbor-seeded search (results are identical; "
              "only pruning changes)",
     )
+    serve.add_argument(
+        "--store-max-records", type=int, default=None, metavar="N",
+        help="bound the plan store to N records, evicting the "
+             "least-recently-used (default: unbounded)",
+    )
+    serve.add_argument(
+        "--store-max-bytes", type=int, default=None, metavar="B",
+        help="bound the plan store to B bytes of records, evicting the "
+             "least-recently-used (default: unbounded)",
+    )
     _add_metrics_argument(serve)
     _add_engine_argument(serve)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="durable, resumable experiment sweeps (crash-tolerant)",
+        description=(
+            "Run an experiment's grid as a campaign: every grid point "
+            "appends a durable record to an append-only JSONL store, so "
+            "a killed sweep resumes where it stopped, transient "
+            "failures retry with backoff, and permanent failures are "
+            "recorded instead of aborting the grid (docs/campaign.md)."
+        ),
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", metavar="action"
+    )
+    for action, blurb in (
+        ("run", "run a campaign (skips points already in the store)"),
+        ("resume", "continue an interrupted campaign (store must exist)"),
+    ):
+        action_parser = campaign_sub.add_parser(
+            action, help=blurb, description=blurb,
+        )
+        action_parser.add_argument(
+            "experiment", help="experiment name from 'list'",
+        )
+        action_parser.add_argument(
+            "--store", metavar="DIR", required=True,
+            help="campaign-store directory (created if missing)",
+        )
+        action_parser.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes for the grid "
+                 "(default: REPRO_JOBS env var, then the CPU count)",
+        )
+        action_parser.add_argument(
+            "--retries", type=int, default=2,
+            help="retry attempts per failing point (default: 2)",
+        )
+        action_parser.add_argument(
+            "--backoff", type=float, default=0.05,
+            help="base retry backoff, seconds; doubles per attempt "
+                 "(default: 0.05)",
+        )
+        action_parser.add_argument(
+            "--retry-failed", action="store_true",
+            help="re-run points whose stored record is 'failed' "
+                 "(appends superseding records)",
+        )
+        _add_metrics_argument(action_parser)
+        _add_engine_argument(action_parser)
+    status_parser = campaign_sub.add_parser(
+        "status",
+        help="summarize stored campaigns (ok/failed counts, versions)",
+    )
+    status_parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment name (default: every campaign in the store)",
+    )
+    status_parser.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="campaign-store directory",
+    )
+    report_parser = campaign_sub.add_parser(
+        "report",
+        help="render the experiment's table from its stored records",
+    )
+    report_parser.add_argument(
+        "experiment", help="experiment name from 'list'",
+    )
+    report_parser.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="campaign-store directory",
+    )
 
     sub.add_parser("models", help="list the model zoo")
     sub.add_parser("presets", help="list the hardware presets")
@@ -638,6 +723,9 @@ def _cmd_sdc(args: argparse.Namespace) -> int:
             ("--rate", rates,
              rates is None or all(0.0 <= r <= 1.0 for r in rates),
              "every rate must be in [0, 1]"),
+            ("--jobs", args.jobs,
+             args.jobs is None or args.jobs >= 1, "must be >= 1"),
+            ("--seed", args.seed, args.seed >= 0, "must be non-negative"),
         ],
     )
     if bad:
@@ -750,10 +838,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         [
             ("--workers", args.workers, args.workers >= 1, "must be >= 1"),
             ("--repeat", args.repeat, args.repeat >= 1, "must be >= 1"),
+            ("--store-max-records", args.store_max_records,
+             args.store_max_records is None or args.store_max_records >= 1,
+             "must be >= 1"),
+            ("--store-max-bytes", args.store_max_bytes,
+             args.store_max_bytes is None or args.store_max_bytes >= 1,
+             "must be >= 1"),
         ],
     )
     if bad:
         return bad
+    bounded = (
+        args.store_max_records is not None or args.store_max_bytes is not None
+    )
+    if bounded and args.store is None:
+        print(
+            "meshslice serve: --store-max-records/--store-max-bytes "
+            "require --store",
+            file=sys.stderr,
+        )
+        return 2
     import json
 
     from repro.service import TuneRequest, TunerService
@@ -784,8 +888,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not requests:
         print("meshslice serve: no queries", file=sys.stderr)
         return 2
+    store = args.store
+    if bounded:
+        from repro.service import PlanStore
+
+        store = PlanStore(
+            args.store,
+            max_records=args.store_max_records,
+            max_bytes=args.store_max_bytes,
+        )
     with TunerService(
-        args.store, workers=args.workers,
+        store, workers=args.workers,
         warm_start=not args.no_warm_start,
     ) as service:
         for _ in range(args.repeat):
@@ -807,6 +920,101 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"p50 {stats['latency_p50_ms']:.1f} ms, "
         f"p95 {stats['latency_p95_ms']:.1f} ms"
     )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
+    action = getattr(args, "campaign_command", None)
+    if action is None:
+        print(
+            "usage: meshslice campaign {run,resume,status,report} ...",
+            file=sys.stderr,
+        )
+        return 2
+    if action in ("run", "resume"):
+        bad = _check_flags(
+            f"campaign {action}",
+            [
+                ("--jobs", args.jobs,
+                 args.jobs is None or args.jobs >= 1, "must be >= 1"),
+                ("--retries", args.retries,
+                 args.retries >= 0, "must be non-negative"),
+                ("--backoff", args.backoff,
+                 args.backoff >= 0.0, "must be non-negative"),
+            ],
+        )
+        if bad:
+            return bad
+    from repro.campaign import (
+        CampaignRunner,
+        CampaignStore,
+        get_campaign,
+        report,
+        status,
+    )
+
+    try:
+        store = CampaignStore(args.store)
+    except (OSError, ValueError) as exc:
+        print(f"meshslice campaign: {exc}", file=sys.stderr)
+        return 2
+    name = getattr(args, "experiment", None)
+    spec = None
+    if name is not None:
+        try:
+            spec = get_campaign(name)
+        except KeyError as exc:
+            print(f"meshslice campaign: {exc.args[0]}", file=sys.stderr)
+            return 2
+    if action in ("resume", "status", "report"):
+        wanted = [name] if name is not None else store.campaigns()
+        if not wanted:
+            print(
+                f"meshslice campaign {action}: no campaigns in "
+                f"{args.store}",
+                file=sys.stderr,
+            )
+            return 2
+        if name is not None and not os.path.exists(store.path_for(name)):
+            print(
+                f"meshslice campaign {action}: no store file for "
+                f"{name!r} in {args.store}",
+                file=sys.stderr,
+            )
+            return 2
+    if action in ("run", "resume"):
+        runner = CampaignRunner(
+            store, name, spec.point,
+            retries=args.retries, backoff_s=args.backoff,
+            retry_failed=args.retry_failed, jobs=args.jobs,
+        )
+        summary = runner.run(spec.points())
+        print(
+            f"campaign {name}: {summary.total} point(s) "
+            f"({summary.skipped} already stored); ran {summary.ran}, "
+            f"ok {summary.ok}, failed {summary.failed}"
+        )
+        if summary.quarantined:
+            print(
+                f"quarantined {summary.quarantined} corrupt store "
+                f"chunk(s) (see {store.quarantine_path(name)})"
+            )
+        if not summary.complete:
+            print(
+                f"meshslice campaign {action}: {name} is incomplete",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if action == "status":
+        blocks = []
+        for campaign_name in wanted:
+            blocks.append(status(store, campaign_name).render())
+        print("\n\n".join(blocks))
+        return 0
+    print(report(store, name, spec))
     return 0
 
 
@@ -883,6 +1091,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         "sdc": lambda: _cmd_sdc(args),
         "profile": lambda: _cmd_profile(args),
         "serve": lambda: _cmd_serve(args),
+        "campaign": lambda: _cmd_campaign(args),
         "models": _cmd_models,
         "presets": _cmd_presets,
     }

@@ -22,10 +22,11 @@ Traffic models:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.algorithms.base import GeMMConfig, flow_ops, matrix_bytes
 from repro.autotuner.dataflow import choose_stationary, pass_plans
+from repro.campaign.spec import CampaignSpec
 from repro.core.gemm import GeMMShape
 from repro.experiments.common import render_table
 from repro.mesh.topology import Mesh2D, mesh_shapes
@@ -39,6 +40,14 @@ class TrafficRow:
     method: str
     topology: str
     per_chip_traffic_gb: float
+
+
+@dataclasses.dataclass(frozen=True)
+class TimedRow:
+    """Simulated makespans of both 3D methods (one campaign point)."""
+
+    t25_s: float
+    tdp_s: float
 
 
 def traffic_25d(shape: GeMMShape, base: int, copies: int) -> float:
@@ -149,21 +158,53 @@ def run_timed(
     return t25.makespan, tdp.makespan
 
 
-def main() -> str:
-    rows = run()
-    table = render_table(
+def _campaign_point(kind: str) -> list:
+    """One campaign point: the traffic rows or the timed comparison."""
+    if kind == "traffic":
+        return list(run())
+    if kind == "timed":
+        t25, tdp = run_timed()
+        return [TimedRow(t25_s=t25, tdp_s=tdp)]
+    raise ValueError(f"unknown ablation-2.5d point {kind!r}")
+
+
+def render(rows: Sequence) -> str:
+    traffic = [r for r in rows if isinstance(r, TrafficRow)]
+    timed = [r for r in rows if isinstance(r, TimedRow)]
+    out = render_table(
         ["method", "topology", "per-chip traffic (GB)"],
-        [(r.method, r.topology, r.per_chip_traffic_gb) for r in rows],
+        [(r.method, r.topology, r.per_chip_traffic_gb) for r in traffic],
     )
-    ratio = rows[0].per_chip_traffic_gb / rows[1].per_chip_traffic_gb
-    t25, tdp = run_timed()
-    return (
-        table
-        + f"\n\nMeshSlice+DP moves {ratio:.1f}x less data per chip "
-        "(paper: 1.6 GB vs 336 MB, ~4.8x)"
-        + f"\nsimulated execution: 2.5D {t25 * 1e3:.2f} ms vs "
-        f"MeshSlice+DP {tdp * 1e3:.2f} ms ({t25 / tdp:.1f}x faster)"
-    )
+    if len(traffic) >= 2:
+        ratio = traffic[0].per_chip_traffic_gb / traffic[1].per_chip_traffic_gb
+        out += (
+            f"\n\nMeshSlice+DP moves {ratio:.1f}x less data per chip "
+            "(paper: 1.6 GB vs 336 MB, ~4.8x)"
+        )
+    if timed:
+        t25, tdp = timed[0].t25_s, timed[0].tdp_s
+        out += (
+            f"\nsimulated execution: 2.5D {t25 * 1e3:.2f} ms vs "
+            f"MeshSlice+DP {tdp * 1e3:.2f} ms ({t25 / tdp:.1f}x faster)"
+        )
+    return out
+
+
+def main() -> str:
+    return render(_campaign_point("traffic") + _campaign_point("timed"))
+
+
+def _campaign_points() -> list:
+    return ["traffic", "timed"]
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-2.5d",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List
 
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import render_table
 from repro.hw.params import HardwareParams
 from repro.hw.presets import TPUV4
@@ -131,14 +132,22 @@ def paper_style_ratios(model: LLMConfig = GPT3_175B) -> tuple:
     )
 
 
-def main(hw: HardwareParams = TPUV4) -> str:
-    rows = run(hw=hw)
+def _campaign_point(kind: str) -> List[ThreeDRow]:
+    """The single campaign point: all three configuration rows."""
+    if kind != "rows":
+        raise ValueError(f"unknown ablation-3d point {kind!r}")
+    return run()
+
+
+def render(rows: List[ThreeDRow]) -> str:
     table = render_table(
         ["configuration", "layout", "chips", "DP traffic/chip (GB)",
          "bubble frac", "step (s)", "FLOP util"],
         [(r.label, r.config, r.chips, r.dp_traffic_gb, r.bubble_fraction,
           r.step_seconds, r.utilization) for r in rows],
     )
+    if len(rows) < 3:
+        return table
     scale_out, same_cluster = traffic_ratios(rows)
     p_scale_out, p_same_cluster = paper_style_ratios()
     return (
@@ -150,6 +159,23 @@ def main(hw: HardwareParams = TPUV4) -> str:
         + f"\n  ring all-reduce accounting:       {scale_out:.1f}x "
         f"scale-out, {same_cluster:.1f}x same-cluster"
     )
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_points() -> list:
+    return ["rows"]
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-3d",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

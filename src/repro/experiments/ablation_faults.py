@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import (
     best_block_run,
     grid_map,
@@ -147,8 +148,7 @@ def run(
     return [row for row in rows if row is not None]
 
 
-def main(hw: HardwareParams = TPUV4) -> str:
-    rows = run(hw=hw)
+def render(rows: Sequence[FaultRow]) -> str:
     table = render_table(
         ["algorithm", "mesh", "slowdown", "stragglers", "clean (ms)",
          "faulted (ms)", "inflation", "comm share", "comm share (faulted)"],
@@ -174,6 +174,36 @@ def main(hw: HardwareParams = TPUV4) -> str:
         "falling comm share shows the lost time is compute, not network)"
     )
     return "\n".join(lines)
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_point(args) -> List[FaultRow]:
+    """One durable campaign point; unsupported points store as []."""
+    row = _point(args)
+    return [] if row is None else [row]
+
+
+def _campaign_points() -> List[tuple]:
+    batch = weak_scaling_batch(DEFAULT_CHIPS)
+    return [
+        (algorithm, severity, stragglers, GPT3_175B, batch, DEFAULT_CHIPS,
+         TPUV4, DEFAULT_ENSEMBLE, DEFAULT_SEED)
+        for algorithm in ALGORITHMS
+        for severity in SEVERITIES
+        for stragglers in COUNTS
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-faults",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
 from repro.algorithms import GeMMConfig, get_algorithm
+from repro.campaign.spec import CampaignSpec
 from repro.core.dataflow import Dataflow
 from repro.experiments.common import candidate_meshes, render_table, tuned_slices
 from repro.hw.params import HardwareParams
@@ -45,6 +46,40 @@ class InferenceRow:
     latency_ms: Optional[float]
 
 
+def _phase_rows(point) -> List[InferenceRow]:
+    """All rows of one serving phase (one durable campaign point).
+
+    Whole-phase granularity keeps the row order of :func:`run` intact:
+    layers x algorithms within a phase stay contiguous in the store.
+    """
+    model, chips, batch, prompt_len, phase, algorithms, hw = point
+    rows: List[InferenceRow] = []
+    workload = InferenceWorkload(
+        model=model, batch=batch, prompt_len=prompt_len, phase=phase
+    )
+    for layer_name, shape in inference_gemms(workload):
+        for algorithm in algorithms:
+            best = _best_latency(algorithm, shape, chips, hw)
+            if best is None:
+                rows.append(
+                    InferenceRow(phase, layer_name, algorithm,
+                                 is_memory_bound(shape, hw), 1, None)
+                )
+                continue
+            latency, slices = best
+            rows.append(
+                InferenceRow(
+                    phase=phase,
+                    layer=layer_name,
+                    algorithm=algorithm,
+                    memory_bound=is_memory_bound(shape, hw),
+                    tuned_slices=slices,
+                    latency_ms=latency * 1e3,
+                )
+            )
+    return rows
+
+
 def run(
     model: LLMConfig = GPT3_175B,
     chips: int = 64,
@@ -56,29 +91,11 @@ def run(
     """Per-phase, per-layer inference latency rows."""
     rows: List[InferenceRow] = []
     for phase in ("prefill", "decode"):
-        workload = InferenceWorkload(
-            model=model, batch=batch, prompt_len=prompt_len, phase=phase
+        rows.extend(
+            _phase_rows(
+                (model, chips, batch, prompt_len, phase, tuple(algorithms), hw)
+            )
         )
-        for layer_name, shape in inference_gemms(workload):
-            for algorithm in algorithms:
-                best = _best_latency(algorithm, shape, chips, hw)
-                if best is None:
-                    rows.append(
-                        InferenceRow(phase, layer_name, algorithm,
-                                     is_memory_bound(shape, hw), 1, None)
-                    )
-                    continue
-                latency, slices = best
-                rows.append(
-                    InferenceRow(
-                        phase=phase,
-                        layer=layer_name,
-                        algorithm=algorithm,
-                        memory_bound=is_memory_bound(shape, hw),
-                        tuned_slices=slices,
-                        latency_ms=latency * 1e3,
-                    )
-                )
     return rows
 
 
@@ -112,21 +129,45 @@ def mean_tuned_slices(rows: Sequence[InferenceRow], phase: str) -> float:
     return sum(values) / len(values)
 
 
-def main(chips: int = 64) -> str:
-    rows = run(chips=chips)
+def render(rows: Sequence[InferenceRow]) -> str:
     table = render_table(
         ["phase", "layer", "algorithm", "memory-bound", "S", "latency (ms)"],
         [(r.phase, r.layer, r.algorithm, r.memory_bound, r.tuned_slices,
           r.latency_ms) for r in rows],
     )
-    prefill_s = mean_tuned_slices(rows, "prefill")
-    decode_s = mean_tuned_slices(rows, "decode")
+    try:
+        prefill_s = mean_tuned_slices(rows, "prefill")
+        decode_s = mean_tuned_slices(rows, "decode")
+    except ValueError:
+        # Partial campaign store: one of the phases is not in yet.
+        return table
     return (
         table
         + f"\n\nautotuned mean S: prefill {prefill_s:.1f}, decode "
         f"{decode_s:.1f} — the tuner backs off slicing for "
         "memory-bound decode GeMMs"
     )
+
+
+def main(chips: int = 64) -> str:
+    return render(run(chips=chips))
+
+
+def _campaign_points() -> List[tuple]:
+    return [
+        (GPT3_175B, 64, 32, 1024, phase,
+         ("collective", "wang", "meshslice"), TPUV4)
+        for phase in ("prefill", "decode")
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-inference",
+    points=_campaign_points,
+    point=_phase_rows,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.autotuner.dataflow import plan_model
 from repro.autotuner.search import tune_mesh
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import (
     best_block_run,
     render_table,
@@ -102,23 +103,62 @@ def cost_model_agreement(
     return best_est[0], best_sim[0]
 
 
-def main(chips: int = 64) -> str:
-    rows = run(chips=chips)
+@dataclasses.dataclass(frozen=True)
+class AgreementRow:
+    """Estimated vs simulated optimal mesh shape under NIC contention."""
+
+    estimated: Tuple[int, int]
+    simulated: Tuple[int, int]
+
+
+def _campaign_point(kind: str) -> list:
+    """One campaign point: a single algorithm's comparison row, or the
+    expensive full-grid cost-model agreement check."""
+    if kind == "agreement":
+        est, sim = cost_model_agreement()
+        return [AgreementRow(estimated=est, simulated=sim)]
+    return list(run(algorithms=(kind,)))
+
+
+def render(rows: Sequence) -> str:
+    algo = [r for r in rows if isinstance(r, LogicalMeshRow)]
     table = render_table(
         ["algorithm", "torus util", "logical-mesh util", "degradation"],
         [
             (r.algorithm, r.torus_utilization, r.logical_utilization,
              None if r.degradation is None else f"{r.degradation:.1%}")
-            for r in rows
+            for r in algo
         ],
     )
-    est, sim = cost_model_agreement(chips=chips)
+    agreement = [r for r in rows if isinstance(r, AgreementRow)]
+    if not agreement:
+        return table
+    est, sim = agreement[0].estimated, agreement[0].simulated
     agree = "agree" if est == sim else "DISAGREE"
     return (
         table
         + f"\n\ncontention-aware cost model optimum {est[0]}x{est[1]}, "
         f"simulated optimum {sim[0]}x{sim[1]} ({agree})"
     )
+
+
+def main(chips: int = 64) -> str:
+    rows = run(chips=chips)
+    est, sim = cost_model_agreement(chips=chips)
+    return render([*rows, AgreementRow(estimated=est, simulated=sim)])
+
+
+def _campaign_points() -> list:
+    return ["collective", "wang", "meshslice", "agreement"]
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-logical-mesh",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

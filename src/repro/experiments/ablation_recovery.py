@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import (
     best_block_run,
     end_to_end_step_seconds,
@@ -172,8 +173,7 @@ def run(
     return [row for row in rows if row is not None]
 
 
-def main(hw: HardwareParams = TPUV4) -> str:
-    rows = run(hw=hw)
+def render(rows: Sequence[RecoveryRow]) -> str:
     table = render_table(
         ["chips", "mesh", "degraded", "dropped", "step (ms)",
          "degraded step (ms)", "MTBF (h)", "ckpt interval (s)",
@@ -202,6 +202,34 @@ def main(hw: HardwareParams = TPUV4) -> str:
             "checkpoint-restart alone bleeds goodput)"
         )
     return "\n".join(lines)
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_point(args) -> List[RecoveryRow]:
+    """One durable campaign point; unsupported points store as []."""
+    row = _point(args)
+    return [] if row is None else [row]
+
+
+def _campaign_points() -> List[tuple]:
+    return [
+        (chips, GPT3_175B, TPUV4, DEFAULT_CHIP_MTBF_HOURS,
+         DEFAULT_REPAIR_MINUTES, DEFAULT_CHECKPOINT_SECONDS,
+         DEFAULT_RESTART_SECONDS)
+        for chips in CLUSTER_SIZES
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-recovery",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

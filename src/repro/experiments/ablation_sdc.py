@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.abft import abft_gemm
 from repro.algorithms import get_algorithm
+from repro.campaign.spec import CampaignSpec
 from repro.algorithms.base import GeMMConfig
 from repro.core.gemm import GeMMShape
 from repro.experiments.common import grid_map, render_table
@@ -187,8 +188,7 @@ def run(
     return [row for row in rows if row is not None]
 
 
-def main(hw: HardwareParams = TPUV4) -> str:
-    rows = run(hw=hw)
+def render(rows: Sequence[SDCRow]) -> str:
     table = render_table(
         ["rate", "mesh", "flips", "escapes (bare)", "escapes (abft)",
          "corrected", "recomputed", "abft overhead"],
@@ -212,6 +212,34 @@ def main(hw: HardwareParams = TPUV4) -> str:
         "error magnitude ~1e-15 — see docs/simulator.md)"
     )
     return "\n".join(lines)
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_point(args) -> List[SDCRow]:
+    """One durable campaign point; unsupported points store as []."""
+    row = _point(args)
+    return [] if row is None else [row]
+
+
+def _campaign_points() -> List[tuple]:
+    return [
+        ("meshslice", rate, mesh, DEFAULT_TRIALS, DEFAULT_SEED,
+         DEFAULT_SLICES, TPUV4)
+        for rate in RATES
+        for mesh in MESHES
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-sdc",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

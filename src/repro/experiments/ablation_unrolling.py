@@ -17,6 +17,7 @@ import dataclasses
 from typing import List, Sequence
 
 from repro.algorithms import GeMMConfig, get_algorithm
+from repro.campaign.spec import CampaignSpec
 from repro.core.dataflow import Dataflow
 from repro.core.gemm import GeMMShape
 from repro.experiments.common import render_table, tuned_slices
@@ -101,8 +102,7 @@ def unrolling_speedup(rows: Sequence[UnrollingRow], algorithm: str) -> float:
     return natural.makespan_ms / unrolled.makespan_ms - 1.0
 
 
-def main(hw: HardwareParams = TPUV4) -> str:
-    rows = run(hw=hw)
+def render(rows: Sequence[UnrollingRow]) -> str:
     table = render_table(
         ["algorithm", "variant", "iterations", "FLOP util", "time (ms)"],
         [(r.algorithm, r.variant, r.iterations, r.utilization, r.makespan_ms)
@@ -124,6 +124,28 @@ def main(hw: HardwareParams = TPUV4) -> str:
         "unrolling only merges its GeMM kernels)"
     )
     return "\n".join(lines)
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_point(algorithm: str) -> List[UnrollingRow]:
+    """One baseline algorithm's fine-vs-unrolled pair (one point)."""
+    return run(algorithms=(algorithm,))
+
+
+def _campaign_points() -> List[str]:
+    return ["summa", "wang"]
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-unrolling",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

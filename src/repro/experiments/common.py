@@ -444,10 +444,15 @@ class _GridWorker:
     delta home in a :class:`_MetricsEnvelope`, so pooled runs lose no
     counters. Serial calls never set it — their ``fn`` already writes
     the parent registry directly, and enveloping would double-count.
+
+    With ``on_error="collect"`` a failing point returns its
+    :class:`GridPointError` as the point's result instead of raising,
+    so one bad point cannot abort the grid.
     """
 
     fn: Callable
     collect_metrics: bool = False
+    on_error: str = "raise"
 
     def __call__(self, point):
         if not self.collect_metrics or not metrics_enabled():
@@ -460,59 +465,96 @@ class _GridWorker:
     def _run(self, point):
         try:
             return self.fn(point)
-        except GridPointError:
+        except GridPointError as exc:
+            if self.on_error == "collect":
+                return exc
             raise
         except Exception as exc:
-            raise GridPointError(
+            wrapped = GridPointError(
                 f"grid point {point!r} failed: "
                 f"{type(exc).__name__}: {exc}",
                 point,
-            ) from exc
+            )
+            if self.on_error == "collect":
+                return wrapped
+            raise wrapped from exc
 
 
 def grid_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     jobs: Optional[int] = None,
+    on_error: str = "raise",
+    progress: Optional[Callable[[int, object], None]] = None,
 ) -> List[_R]:
     """Map ``fn`` over independent grid points, in input order.
 
     With more than one worker the points run in a process pool (``fn``
     and the items must be picklable, i.e. module-level functions).
     Falls back to the serial map when worker processes cannot be
-    spawned (restricted sandboxes) or the pool breaks. An exception
-    raised by ``fn`` itself aborts the map with a
-    :class:`GridPointError` naming the failing point, in both modes.
+    spawned (restricted sandboxes) or the pool breaks, resuming from
+    the first point whose result has not been delivered yet.
+
+    ``on_error`` selects the failure semantics. ``"raise"`` (the
+    default) aborts the map on the first failing point with a
+    :class:`GridPointError` naming it. ``"collect"`` never aborts:
+    each failing point's :class:`GridPointError` takes its slot in the
+    returned list, so callers get every healthy result plus a
+    structured placeholder per failure (the campaign runner's
+    fail-soft substrate).
+
+    ``progress`` is called as ``progress(index, result)`` once per
+    point, in input order, as soon as that point's result (and, in
+    pooled mode, its metrics delta) has been folded into the parent
+    process — the streaming hook the campaign runner appends durable
+    records from. A kill mid-run therefore loses only the points whose
+    ``progress`` had not fired yet.
 
     Metrics survive the pool: each worker returns the registry delta
     its point produced and the parent folds the deltas back in *input
     order*, so the merged registry is byte-identical to a serial run
     regardless of pool scheduling (and of ``jobs``).
     """
+    if on_error not in ("raise", "collect"):
+        raise ValueError(f"unknown on_error mode {on_error!r}")
     points = list(items)
     workers = min(resolve_jobs(jobs), len(points))
-    worker = _GridWorker(fn)
+    results: List[_R] = []
+
+    def _deliver(result) -> None:
+        if progress is not None:
+            progress(len(results), result)
+        results.append(result)
+
+    def _serial_from(start: int) -> List[_R]:
+        worker = _GridWorker(fn, on_error=on_error)
+        for point in points[start:]:
+            _deliver(worker(point))
+        return results
+
     if workers <= 1:
-        return [worker(point) for point in points]
+        return _serial_from(0)
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
-    pooled = _GridWorker(fn, collect_metrics=metrics_enabled())
+    pooled = _GridWorker(
+        fn, collect_metrics=metrics_enabled(), on_error=on_error
+    )
+    reg = registry()
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            outputs = list(pool.map(pooled, points))
+            # pool.map yields in input order; envelopes merge and
+            # progress fires as each point streams home, so delivered
+            # prefixes stay valid even if the pool breaks later.
+            for out in pool.map(pooled, points):
+                if isinstance(out, _MetricsEnvelope):
+                    reg.merge_records(out.records)
+                    out = out.result
+                _deliver(out)
     except (OSError, PermissionError, BrokenProcessPool):
-        return [worker(point) for point in points]
-    if not pooled.collect_metrics:
-        return outputs
-    reg = registry()
-    results: List[_R] = []
-    for out in outputs:
-        if isinstance(out, _MetricsEnvelope):
-            reg.merge_records(out.records)
-            results.append(out.result)
-        else:  # the worker saw the kill switch set in its own env
-            results.append(out)
+        # Undelivered points rerun serially; delivered ones are kept
+        # (their metrics are already merged, their progress fired).
+        return _serial_from(len(results))
     return results
 
 

@@ -14,6 +14,7 @@ import dataclasses
 from typing import List, Sequence
 
 from repro.algorithms import GeMMConfig, get_algorithm
+from repro.campaign.spec import CampaignSpec
 from repro.core.dataflow import Dataflow
 from repro.core.gemm import GeMMShape
 from repro.experiments.common import tuned_slices
@@ -68,13 +69,36 @@ def run(
     return rows
 
 
-def ordering(rows: Sequence[TimelineRow]) -> List[str]:
+def ordering(rows: Sequence) -> List[str]:
     """Algorithms fastest-first."""
     return [r.algorithm for r in sorted(rows, key=lambda r: r.makespan_ms)]
 
 
-def main(hw: HardwareParams = TPUV4) -> str:
-    rows = run(hw=hw)
+@dataclasses.dataclass(frozen=True)
+class CampaignTimelineRow:
+    """The storable form of one timeline: text, not a ``SimResult``."""
+
+    algorithm: str
+    makespan_ms: float
+    utilization: float
+    timeline: str
+
+
+def _campaign_row(row: TimelineRow) -> CampaignTimelineRow:
+    return CampaignTimelineRow(
+        algorithm=row.algorithm,
+        makespan_ms=row.makespan_ms,
+        utilization=row.utilization,
+        timeline=ascii_timeline(row.result.spans, width=76),
+    )
+
+
+def _campaign_point(algorithm: str) -> List[CampaignTimelineRow]:
+    """One algorithm's timeline (empty if it cannot run the GeMM)."""
+    return [_campaign_row(r) for r in run(algorithms=(algorithm,))]
+
+
+def render(rows: Sequence[CampaignTimelineRow]) -> str:
     lines = []
     for row in rows:
         lines.append(
@@ -82,10 +106,27 @@ def main(hw: HardwareParams = TPUV4) -> str:
             f"{row.utilization:.1%} FLOP util "
             f"(compute '#', comm '=', slicing '.')"
         )
-        lines.append(ascii_timeline(row.result.spans, width=76))
+        lines.append(row.timeline)
         lines.append("")
     lines.append(f"fastest to slowest: {' > '.join(ordering(rows))}")
     return "\n".join(lines)
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    return render([_campaign_row(r) for r in run(hw=hw)])
+
+
+def _campaign_points() -> List[str]:
+    return list(ALGORITHMS)
+
+
+CAMPAIGN = CampaignSpec(
+    name="fig4",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence
 
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import (
     ALL_ALGORITHMS,
     best_block_run,
@@ -47,6 +48,38 @@ class BreakdownRow:
         return self.launch + self.transfer + self.sync
 
 
+def _point_rows(point) -> List[BreakdownRow]:
+    """All Figure 10 bars of one (model, chips) grid point.
+
+    Module-level so the campaign runner can run it as one durable,
+    picklable unit of work.
+    """
+    model, chips, algorithms, hw = point
+    batch = weak_scaling_batch(chips)
+    rows: List[BreakdownRow] = []
+    for algorithm in algorithms:
+        block = best_block_run(algorithm, model, batch, chips, hw)
+        if block is None:
+            rows.append(BreakdownRow(model.name, algorithm, None, None, None))
+            continue
+        comm = sum(
+            (r.trace.breakdown() for r in block.results),
+            start=ZERO_BREAKDOWN,
+        )
+        compute = sum(r.compute_seconds for r in block.results)
+        rel = comm.relative_to(compute)
+        rows.append(
+            BreakdownRow(
+                model=model.name,
+                algorithm=algorithm,
+                launch=rel.launch,
+                transfer=rel.transfer,
+                sync=rel.sync,
+            )
+        )
+    return rows
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     chips: int = 256,
@@ -56,36 +89,35 @@ def run(
     """Produce the Figure 10 bars."""
     rows: List[BreakdownRow] = []
     for model in models:
-        batch = weak_scaling_batch(chips)
-        for algorithm in algorithms:
-            block = best_block_run(algorithm, model, batch, chips, hw)
-            if block is None:
-                rows.append(BreakdownRow(model.name, algorithm, None, None, None))
-                continue
-            comm = sum(
-                (r.trace.breakdown() for r in block.results),
-                start=ZERO_BREAKDOWN,
-            )
-            compute = sum(r.compute_seconds for r in block.results)
-            rel = comm.relative_to(compute)
-            rows.append(
-                BreakdownRow(
-                    model=model.name,
-                    algorithm=algorithm,
-                    launch=rel.launch,
-                    transfer=rel.transfer,
-                    sync=rel.sync,
-                )
-            )
+        rows.extend(_point_rows((model, chips, tuple(algorithms), hw)))
     return rows
 
 
-def main(hw: HardwareParams = TPUV4, chips: int = 256) -> str:
-    rows = run(chips=chips, hw=hw)
+def render(rows: Sequence[BreakdownRow]) -> str:
     return render_table(
         ["model", "algorithm", "launch", "transfer", "sync", "total (rel. to compute)"],
         [(r.model, r.algorithm, r.launch, r.transfer, r.sync, r.total) for r in rows],
     )
+
+
+def main(hw: HardwareParams = TPUV4, chips: int = 256) -> str:
+    return render(run(chips=chips, hw=hw))
+
+
+def _campaign_points() -> List[tuple]:
+    return [
+        (model, 256, tuple(ALL_ALGORITHMS), TPUV4)
+        for model in (GPT3_175B, MEGATRON_NLG_530B)
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="fig10",
+    points=_campaign_points,
+    point=_point_rows,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

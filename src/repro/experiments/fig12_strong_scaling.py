@@ -15,6 +15,7 @@ import dataclasses
 from typing import List, Optional, Sequence
 
 from repro.autotuner.dataflow import plan_model
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import (
     CLUSTER_SIZES,
     best_block_run,
@@ -90,12 +91,32 @@ def run(
             for row in rows]
 
 
-def main(hw: HardwareParams = TPUV4, sizes: Sequence[int] = CLUSTER_SIZES) -> str:
-    rows = run(sizes=sizes, hw=hw)
+def render(rows: Sequence[StrongScalingRow]) -> str:
     return render_table(
         ["model", "chips", "algorithm", "mesh", "FLOP util"],
         [(r.model, r.chips, r.algorithm, r.mesh, r.utilization) for r in rows],
     )
+
+
+def main(hw: HardwareParams = TPUV4, sizes: Sequence[int] = CLUSTER_SIZES) -> str:
+    return render(run(sizes=sizes, hw=hw))
+
+
+def _campaign_points() -> List[tuple]:
+    return [
+        (model, chips, 32, tuple(STRONG_SCALING_ALGORITHMS), TPUV4)
+        for model in (GPT3_175B, MEGATRON_NLG_530B)
+        for chips in CLUSTER_SIZES
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="fig12",
+    points=_campaign_points,
+    point=_point_rows,
+    render=render,
+    flatten=True,
+)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.autotuner.dataflow import plan_model
 from repro.autotuner.search import tune_mesh
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import (
     grid_map,
     render_table,
@@ -93,8 +94,7 @@ def optimal_shapes(
     return est, sim
 
 
-def main(hw: HardwareParams = TPUV4, chips: int = 256) -> str:
-    rows = run(chips=chips, hw=hw)
+def render(rows: Sequence[MeshShapeRow]) -> str:
     table = render_table(
         ["model", "mesh", "estimated util", "simulated util"],
         [
@@ -112,6 +112,26 @@ def main(hw: HardwareParams = TPUV4, chips: int = 256) -> str:
             f"simulation picks {sim[0]}x{sim[1]} ({agree})"
         )
     return "\n".join(lines)
+
+
+def main(hw: HardwareParams = TPUV4, chips: int = 256) -> str:
+    return render(run(chips=chips, hw=hw))
+
+
+def _campaign_points() -> List[tuple]:
+    return [
+        (model, 256, mesh, TPUV4)
+        for model in (GPT3_175B, MEGATRON_NLG_530B)
+        for mesh in mesh_shapes(256, min_dim=2)
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="fig13",
+    points=_campaign_points,
+    point=_point_row,
+    render=render,
+)
 
 
 if __name__ == "__main__":

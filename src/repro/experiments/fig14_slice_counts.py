@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.algorithms import GeMMConfig, get_algorithm
 from repro.autotuner.costmodel import meshslice_estimate
 from repro.autotuner.dataflow import plan_model
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import render_table, weak_scaling_batch
 from repro.hw.params import HardwareParams
 from repro.hw.presets import TPUV4
@@ -37,6 +38,44 @@ class SliceCountRow:
     simulated_utilization: Optional[float]
 
 
+def _point_row(point) -> SliceCountRow:
+    """One Figure 14 (model, slice count) data point.
+
+    Module-level so the campaign runner can run it as one durable,
+    picklable unit of work; ``plan_model`` is memoized so points
+    sharing a process derive the plans once.
+    """
+    model, chips, mesh, slices, hw = point
+    alg = get_algorithm("meshslice")
+    tokens = model.tokens(weak_scaling_batch(chips))
+    plans = plan_model(model, tokens, optimize_dataflow=True)
+    est_seconds = sim_seconds = 0.0
+    flops_per_chip = 0.0
+    for plan in plans:
+        for pass_plan in plan.passes:
+            cfg = GeMMConfig(
+                shape=pass_plan.shape,
+                mesh=mesh,
+                dataflow=pass_plan.dataflow,
+                slices=slices,
+                transposed=pass_plan.transposed,
+            )
+            if not alg.supports(cfg):
+                return SliceCountRow(model.name, slices, None, None)
+            est_seconds += meshslice_estimate(cfg, hw).total
+            result = simulate(alg.build_program(cfg, hw), hw)
+            sim_seconds += result.makespan
+            flops_per_chip += result.flops_per_chip
+    return SliceCountRow(
+        model=model.name,
+        slices=slices,
+        estimated_utilization=flops_per_chip
+        / (est_seconds * hw.peak_flops),
+        simulated_utilization=flops_per_chip
+        / (sim_seconds * hw.peak_flops),
+    )
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     chips: int = 256,
@@ -45,47 +84,11 @@ def run(
     hw: HardwareParams = TPUV4,
 ) -> List[SliceCountRow]:
     """Produce the Figure 14 series."""
-    alg = get_algorithm("meshslice")
-    rows: List[SliceCountRow] = []
-    for model in models:
-        tokens = model.tokens(weak_scaling_batch(chips))
-        plans = plan_model(model, tokens, optimize_dataflow=True)
-        for slices in slice_counts:
-            est_seconds = sim_seconds = 0.0
-            flops_per_chip = 0.0
-            feasible = True
-            for plan in plans:
-                for pass_plan in plan.passes:
-                    cfg = GeMMConfig(
-                        shape=pass_plan.shape,
-                        mesh=mesh,
-                        dataflow=pass_plan.dataflow,
-                        slices=slices,
-                        transposed=pass_plan.transposed,
-                    )
-                    if not alg.supports(cfg):
-                        feasible = False
-                        break
-                    est_seconds += meshslice_estimate(cfg, hw).total
-                    result = simulate(alg.build_program(cfg, hw), hw)
-                    sim_seconds += result.makespan
-                    flops_per_chip += result.flops_per_chip
-                if not feasible:
-                    break
-            if not feasible:
-                rows.append(SliceCountRow(model.name, slices, None, None))
-                continue
-            rows.append(
-                SliceCountRow(
-                    model=model.name,
-                    slices=slices,
-                    estimated_utilization=flops_per_chip
-                    / (est_seconds * hw.peak_flops),
-                    simulated_utilization=flops_per_chip
-                    / (sim_seconds * hw.peak_flops),
-                )
-            )
-    return rows
+    return [
+        _point_row((model, chips, mesh, slices, hw))
+        for model in models
+        for slices in slice_counts
+    ]
 
 
 def optimal_slices(rows: Sequence[SliceCountRow], model: str) -> Tuple[int, int]:
@@ -100,8 +103,7 @@ def optimal_slices(rows: Sequence[SliceCountRow], model: str) -> Tuple[int, int]
     return est, sim
 
 
-def main(hw: HardwareParams = TPUV4) -> str:
-    rows = run(hw=hw)
+def render(rows: Sequence[SliceCountRow]) -> str:
     table = render_table(
         ["model", "S", "estimated util", "simulated util"],
         [
@@ -118,6 +120,26 @@ def main(hw: HardwareParams = TPUV4) -> str:
             f"({agree})"
         )
     return "\n".join(lines)
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_points() -> List[tuple]:
+    return [
+        (model, 256, Mesh2D(32, 8), slices, TPUV4)
+        for model in (GPT3_175B, MEGATRON_NLG_530B)
+        for slices in SLICE_COUNTS
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="fig14",
+    points=_campaign_points,
+    point=_point_row,
+    render=render,
+)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from typing import List, Sequence
 from repro.algorithms import GeMMConfig
 from repro.autotuner.costmodel import best_slice_count
 from repro.autotuner.dataflow import plan_model
+from repro.campaign.spec import CampaignSpec
 from repro.comm.cost import CommCostModel
 from repro.experiments.common import render_table
 from repro.hw.params import HardwareParams
@@ -116,38 +117,52 @@ def _measured_comm_seconds(cfg: GeMMConfig, hw: HardwareParams) -> float:
     return total
 
 
+def _point_row(point) -> CommAccuracyRow:
+    """One Figure 15 bar: a single FC layer's fwd+bwd comm accuracy.
+
+    Module-level so the campaign runner can run it as one durable,
+    picklable unit of work; ``plan_model`` is memoized so points
+    sharing a process derive the plans once.
+    """
+    model, batch_size, layer_name, hw = point
+    mesh = Mesh2D(4, 4)
+    tokens = model.tokens(batch_size)
+    plans = plan_model(model, tokens, optimize_dataflow=True)
+    plan = next(p for p in plans if p.layer.name == layer_name)
+    estimated = measured = 0.0
+    for pass_plan in plan.passes:
+        base = GeMMConfig(
+            shape=pass_plan.shape,
+            mesh=mesh,
+            dataflow=pass_plan.dataflow,
+            slices=1,
+            transposed=pass_plan.transposed,
+        )
+        slices, _est = best_slice_count(base, hw)
+        cfg = dataclasses.replace(base, slices=slices)
+        estimated += _estimated_comm_seconds(cfg, hw)
+        measured += _measured_comm_seconds(cfg, hw)
+    return CommAccuracyRow(
+        model=model.name,
+        layer=plan.layer.name,
+        estimated_ms=estimated * 1e3,
+        measured_ms=measured * 1e3,
+    )
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     batch_size: int = 8,
     hw: HardwareParams = TPUV4_CLOUD_4X4,
 ) -> List[CommAccuracyRow]:
     """Produce the Figure 15 bars (one per FC layer, fwd+bwd total)."""
-    mesh = Mesh2D(4, 4)
     rows: List[CommAccuracyRow] = []
     for model in models:
         tokens = model.tokens(batch_size)
         plans = plan_model(model, tokens, optimize_dataflow=True)
         for plan in plans:
-            estimated = measured = 0.0
-            for pass_plan in plan.passes:
-                base = GeMMConfig(
-                    shape=pass_plan.shape,
-                    mesh=mesh,
-                    dataflow=pass_plan.dataflow,
-                    slices=1,
-                    transposed=pass_plan.transposed,
-                )
-                slices, _est = best_slice_count(base, hw)
-                cfg = dataclasses.replace(base, slices=slices)
-                estimated += _estimated_comm_seconds(cfg, hw)
-                measured += _measured_comm_seconds(cfg, hw)
             rows.append(
-                CommAccuracyRow(
-                    model=model.name,
-                    layer=plan.layer.name,
-                    estimated_ms=estimated * 1e3,
-                    measured_ms=measured * 1e3,
-                )
+                _point_row((model, batch_size, plan.layer.name, hw))
             )
     return rows
 
@@ -158,8 +173,7 @@ def average_error(rows: Sequence[CommAccuracyRow]) -> float:
     return sum(r.error for r in rows) / len(rows)
 
 
-def main(hw: HardwareParams = TPUV4_CLOUD_4X4) -> str:
-    rows = run(hw=hw)
+def render(rows: Sequence[CommAccuracyRow]) -> str:
     table = render_table(
         ["model", "FC layer", "estimated (ms)", "measured (ms)", "error"],
         [
@@ -168,10 +182,33 @@ def main(hw: HardwareParams = TPUV4_CLOUD_4X4) -> str:
             for r in rows
         ],
     )
+    if not rows:
+        return table
     return (
         table
         + f"\n\naverage error: {average_error(rows) * 100:.1f}% (paper: 5.1%)"
     )
+
+
+def main(hw: HardwareParams = TPUV4_CLOUD_4X4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_points() -> List[tuple]:
+    points = []
+    for model in (GPT3_175B, MEGATRON_NLG_530B):
+        plans = plan_model(model, model.tokens(8), optimize_dataflow=True)
+        for plan in plans:
+            points.append((model, 8, plan.layer.name, TPUV4_CLOUD_4X4))
+    return points
+
+
+CAMPAIGN = CampaignSpec(
+    name="fig15",
+    points=_campaign_points,
+    point=_point_row,
+    render=render,
+)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Sequence
 
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import (
     best_block_run,
     render_table,
@@ -42,33 +43,37 @@ class DataflowRow:
         return self.not_optimized and (self.optimized / self.not_optimized - 1.0)
 
 
+def _point_row(point) -> DataflowRow:
+    """One Table 2 row: one model, both dataflow settings.
+
+    Module-level so the campaign runner can run it as one durable,
+    picklable unit of work.
+    """
+    model, chips, hw = point
+    batch = weak_scaling_batch(chips)
+    default = best_block_run(
+        "meshslice", model, batch, chips, hw, optimize_dataflow=False
+    )
+    optimized = best_block_run(
+        "meshslice", model, batch, chips, hw, optimize_dataflow=True
+    )
+    return DataflowRow(
+        model=model.name,
+        not_optimized=default.utilization(hw),
+        optimized=optimized.utilization(hw),
+    )
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     chips: int = 256,
     hw: HardwareParams = TPUV4,
 ) -> List[DataflowRow]:
     """Produce the Table 2 rows."""
-    rows: List[DataflowRow] = []
-    for model in models:
-        batch = weak_scaling_batch(chips)
-        default = best_block_run(
-            "meshslice", model, batch, chips, hw, optimize_dataflow=False
-        )
-        optimized = best_block_run(
-            "meshslice", model, batch, chips, hw, optimize_dataflow=True
-        )
-        rows.append(
-            DataflowRow(
-                model=model.name,
-                not_optimized=default.utilization(hw),
-                optimized=optimized.utilization(hw),
-            )
-        )
-    return rows
+    return [_point_row((model, chips, hw)) for model in models]
 
 
-def main(hw: HardwareParams = TPUV4, chips: int = 256) -> str:
-    rows = run(chips=chips, hw=hw)
+def render(rows: Sequence[DataflowRow]) -> str:
     body = []
     for r in rows:
         paper = PAPER_RESULTS.get(r.model, {})
@@ -84,6 +89,22 @@ def main(hw: HardwareParams = TPUV4, chips: int = 256) -> str:
     return render_table(
         ["model", "not optimized", "optimized", "speedup", "reference"], body
     )
+
+
+def main(hw: HardwareParams = TPUV4, chips: int = 256) -> str:
+    return render(run(chips=chips, hw=hw))
+
+
+def _campaign_points() -> List[tuple]:
+    return [(model, 256, TPUV4) for model in (GPT3_175B, MEGATRON_NLG_530B)]
+
+
+CAMPAIGN = CampaignSpec(
+    name="table2",
+    points=_campaign_points,
+    point=_point_row,
+    render=render,
+)
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ import dataclasses
 from typing import Dict, List, Sequence
 
 from repro.autotuner.dataflow import plan_model
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.common import render_table, run_block
 from repro.hw.params import HardwareParams
 from repro.hw.presets import TPUV4_CLOUD_4X4, TPUV4_CLOUD_4X4_OVERLAP
@@ -56,6 +57,34 @@ class RealHWRow:
         return self.collective / self.meshslice - 1.0
 
 
+def _point_row(point) -> RealHWRow:
+    """One Table 3 row: one model across all four columns.
+
+    Module-level so the campaign runner can run it as one durable,
+    picklable unit of work.
+    """
+    model, batch_size, hw, overlap_hw = point
+    mesh = Mesh2D(4, 4)
+    tokens = model.tokens(batch_size)
+    plans = plan_model(model, tokens, optimize_dataflow=True)
+    utils: Dict[str, float] = {}
+    for algorithm in ("collective", "wang", "meshslice"):
+        block = run_block(
+            algorithm, plans, mesh, hw, tuning_hw=overlap_hw
+        )
+        utils[algorithm] = block.utilization(hw)
+    overlap = run_block(
+        "meshslice", plans, mesh, overlap_hw, tuning_hw=overlap_hw
+    )
+    return RealHWRow(
+        model=model.name,
+        collective=utils["collective"],
+        wang=utils["wang"],
+        meshslice=utils["meshslice"],
+        meshslice_overlap=overlap.utilization(overlap_hw),
+    )
+
+
 def run(
     models: Sequence[LLMConfig] = (GPT3_175B, MEGATRON_NLG_530B),
     batch_size: int = 8,
@@ -63,34 +92,12 @@ def run(
     overlap_hw: HardwareParams = TPUV4_CLOUD_4X4_OVERLAP,
 ) -> List[RealHWRow]:
     """Produce the Table 3 rows on the fixed 4x4 cloud mesh."""
-    mesh = Mesh2D(4, 4)
-    rows: List[RealHWRow] = []
-    for model in models:
-        tokens = model.tokens(batch_size)
-        plans = plan_model(model, tokens, optimize_dataflow=True)
-        utils: Dict[str, float] = {}
-        for algorithm in ("collective", "wang", "meshslice"):
-            block = run_block(
-                algorithm, plans, mesh, hw, tuning_hw=overlap_hw
-            )
-            utils[algorithm] = block.utilization(hw)
-        overlap = run_block(
-            "meshslice", plans, mesh, overlap_hw, tuning_hw=overlap_hw
-        )
-        rows.append(
-            RealHWRow(
-                model=model.name,
-                collective=utils["collective"],
-                wang=utils["wang"],
-                meshslice=utils["meshslice"],
-                meshslice_overlap=overlap.utilization(overlap_hw),
-            )
-        )
-    return rows
+    return [
+        _point_row((model, batch_size, hw, overlap_hw)) for model in models
+    ]
 
 
-def main(hw: HardwareParams = TPUV4_CLOUD_4X4) -> str:
-    rows = run(hw=hw)
+def render(rows: Sequence[RealHWRow]) -> str:
     body = []
     for r in rows:
         paper = PAPER_RESULTS.get(r.model, {})
@@ -108,6 +115,25 @@ def main(hw: HardwareParams = TPUV4_CLOUD_4X4) -> str:
         ],
         body,
     )
+
+
+def main(hw: HardwareParams = TPUV4_CLOUD_4X4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_points() -> List[tuple]:
+    return [
+        (model, 8, TPUV4_CLOUD_4X4, TPUV4_CLOUD_4X4_OVERLAP)
+        for model in (GPT3_175B, MEGATRON_NLG_530B)
+    ]
+
+
+CAMPAIGN = CampaignSpec(
+    name="table3",
+    points=_campaign_points,
+    point=_point_row,
+    render=render,
+)
 
 
 if __name__ == "__main__":

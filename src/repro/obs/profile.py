@@ -43,6 +43,10 @@ class ProfileReport:
             in-flight coalescing, warm-start tunings vs prunes, queue
             depth, p50/p95 service latency), empty when no
             :class:`repro.service.TunerService` ran in this process.
+        campaign_stats: The campaign layer's cumulative ``campaign.*``
+            counters (store appends/corrupt/repairs, points ran vs
+            skipped vs failed, retries), empty when no
+            :class:`repro.campaign.CampaignRunner` ran in this process.
     """
 
     model: str
@@ -57,6 +61,7 @@ class ProfileReport:
     cache_hit_rates: Dict[str, float]
     compile_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
     service_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
+    campaign_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def render(self) -> str:
         """The ``meshslice profile`` text report."""
@@ -157,6 +162,21 @@ class ProfileReport:
                     ),
                 ]
             )
+        if self.campaign_stats:
+            lines.extend(
+                [
+                    "",
+                    render_table(
+                        ["campaign", "total"],
+                        [
+                            (name[len("campaign."):], f"{value:g}")
+                            for name, value in sorted(
+                                self.campaign_stats.items()
+                            )
+                        ],
+                    ),
+                ]
+            )
         return "\n".join(lines)
 
 
@@ -200,6 +220,7 @@ def profile_block(
     }
     compile_totals = _compile_counters()
     service_totals = _prefixed_totals("service.")
+    campaign_totals = _prefixed_totals("campaign.", counters_only=True)
     return ProfileReport(
         model=model.name,
         algorithm=algorithm,
@@ -213,6 +234,7 @@ def profile_block(
         cache_hit_rates=hit_rates,
         compile_stats=compile_totals,
         service_stats=service_totals,
+        campaign_stats=campaign_totals,
     )
 
 

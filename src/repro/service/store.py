@@ -76,10 +76,28 @@ class PlanStore:
     ``os.replace`` of an immutable record, concurrent writers of the
     same key write identical bytes, and readers only ever observe a
     complete record or none.
+
+    ``max_records`` / ``max_bytes`` bound the store: when a save pushes
+    it past either limit, the least-recently-used records (by file
+    mtime; loads refresh it) are deleted until the store fits again,
+    counted under ``service.store.evicted``. The just-written record is
+    never evicted, even when it alone exceeds ``max_bytes``. Unbounded
+    by default.
     """
 
-    def __init__(self, root: str):
+    def __init__(
+        self,
+        root: str,
+        max_records: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
         self.root = str(root)
+        self.max_records = max_records
+        self.max_bytes = max_bytes
         os.makedirs(self.root, exist_ok=True)
 
     # ---------------------------------------------------------- addressing
@@ -92,7 +110,15 @@ class PlanStore:
 
     def load(self, request: TuneRequest) -> Optional[object]:
         """The stored result of ``request``'s canonical form, if any."""
-        plan = self._read(request.cache_key())
+        key = request.cache_key()
+        plan = self._read(key)
+        if plan is not None and (
+            self.max_records is not None or self.max_bytes is not None
+        ):
+            try:
+                os.utime(self.path_for(key))
+            except OSError:
+                pass
         return plan.result if plan is not None else None
 
     def save(self, request: TuneRequest, result: object) -> str:
@@ -121,7 +147,46 @@ class PlanStore:
                 pass
             raise
         _metrics().inc("service.store.writes")
+        self._evict(protect=path)
         return path
+
+    def _evict(self, protect: str) -> None:
+        """Delete LRU records until the store is within its bounds."""
+        if self.max_records is None and self.max_bytes is None:
+            return
+        entries = []
+        for path in self._record_paths():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+        count = len(entries)
+        total = sum(size for _mtime, _path, size in entries)
+        # Oldest first; path breaks mtime ties deterministically. The
+        # protected (just-written) record is exempt, so a single
+        # oversized record cannot empty the store chasing max_bytes.
+        entries.sort()
+        for _mtime, path, size in entries:
+            over_records = (
+                self.max_records is not None and count > self.max_records
+            )
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not over_records and not over_bytes:
+                return
+            if path == protect:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            _metrics().inc("service.store.evicted")
+            try:
+                os.rmdir(os.path.dirname(path))
+            except OSError:
+                pass  # shard directory still holds other records
 
     def _read(self, key: str) -> Optional[StoredPlan]:
         path = self.path_for(key)

@@ -216,3 +216,116 @@ class TestSdcCommand:
         assert normalize_argv(["sdc", "--rate", "0.01"]) == [
             "sdc", "--rate", "0.01"
         ]
+
+
+class TestSdcFlagValidation:
+    @pytest.mark.parametrize("flag,value", [
+        ("--jobs", "0"),
+        ("--jobs", "-2"),
+        ("--seed", "-1"),
+    ])
+    def test_bad_flag_exits_2_naming_the_flag(self, capsys, flag, value):
+        assert main(["sdc", flag, value]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.count("\n") == 0, "diagnostic must be one line"
+        assert flag in err
+
+
+class TestServeFlagValidation:
+    @pytest.mark.parametrize("flag,value", [
+        ("--store-max-records", "0"),
+        ("--store-max-records", "-1"),
+        ("--store-max-bytes", "0"),
+        ("--workers", "0"),
+        ("--repeat", "0"),
+    ])
+    def test_bad_flag_exits_2_naming_the_flag(
+        self, capsys, tmp_path, flag, value
+    ):
+        assert main([
+            "serve", "--store", str(tmp_path / "plans"), flag, value,
+        ]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.count("\n") == 0, "diagnostic must be one line"
+        assert flag in err
+
+    def test_store_bounds_require_store(self, capsys):
+        assert main(["serve", "--store-max-records", "5"]) == 2
+        err = capsys.readouterr().err.strip()
+        assert "--store" in err
+
+
+class TestCampaignCommand:
+    def test_run_status_report_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "sweeps")
+        assert main([
+            "campaign", "run", "ablation-2.5d", "--store", store,
+            "--jobs", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign ablation-2.5d:" in out
+        assert "ran 2, ok 2, failed 0" in out
+
+        assert main(["campaign", "status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "campaign ablation-2.5d: 2 stored (2 ok, 0 failed)" in out
+        assert "versions:" in out
+
+        assert main([
+            "campaign", "report", "ablation-2.5d", "--store", store,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2.5D GeMM" in out
+
+        assert main([
+            "campaign", "resume", "ablation-2.5d", "--store", store,
+            "--jobs", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(2 already stored); ran 0" in out
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--jobs", "0"),
+        ("--jobs", "-1"),
+        ("--retries", "-1"),
+        ("--backoff", "-0.5"),
+    ])
+    def test_bad_flag_exits_2_naming_the_flag(
+        self, capsys, tmp_path, flag, value
+    ):
+        assert main([
+            "campaign", "run", "ablation-2.5d",
+            "--store", str(tmp_path / "sweeps"), flag, value,
+        ]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.count("\n") == 0, "diagnostic must be one line"
+        assert flag in err
+
+    def test_unknown_campaign_names_the_options(self, capsys, tmp_path):
+        assert main([
+            "campaign", "run", "nope", "--store", str(tmp_path / "s"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown campaign 'nope'" in err
+        assert "fig9" in err
+
+    def test_report_without_store_file(self, capsys, tmp_path):
+        assert main([
+            "campaign", "report", "fig9", "--store", str(tmp_path / "s"),
+        ]) == 2
+        assert "no store file for 'fig9'" in capsys.readouterr().err
+
+    def test_status_of_empty_store(self, capsys, tmp_path):
+        assert main([
+            "campaign", "status", "--store", str(tmp_path / "s"),
+        ]) == 2
+        assert "no campaigns in" in capsys.readouterr().err
+
+    def test_bare_campaign_prints_usage(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "usage: meshslice campaign" in capsys.readouterr().err
+
+    def test_normalize_keeps_campaign(self):
+        assert normalize_argv(["campaign", "status", "--store", "x"]) == [
+            "campaign", "status", "--store", "x"
+        ]

@@ -141,3 +141,37 @@ class TestGridMap:
             assert str(clone) == str(exc)
         else:
             pytest.fail("expected GridPointError")
+
+
+class TestGridMapCollect:
+    def test_collect_keeps_slot_order_serial(self):
+        out = grid_map(_fail_on_three, [1, 2, 3, 4], jobs=1,
+                       on_error="collect")
+        assert out[0:2] == [1, 2] and out[3] == 4
+        assert isinstance(out[2], GridPointError)
+        assert out[2].point == 3
+
+    def test_collect_keeps_slot_order_pooled(self):
+        out = grid_map(_fail_on_three, [1, 2, 3, 4, 5, 6], jobs=2,
+                       on_error="collect")
+        assert [r for r in out if not isinstance(r, GridPointError)] == [
+            1, 2, 4, 5, 6
+        ]
+        assert isinstance(out[2], GridPointError)
+        assert out[2].point == 3
+
+    def test_collect_delivers_errors_via_progress(self):
+        seen = []
+        grid_map(_fail_on_three, [3, 1], jobs=1, on_error="collect",
+                 progress=lambda i, r: seen.append((i, r)))
+        assert [i for i, _r in seen] == [0, 1]
+        assert isinstance(seen[0][1], GridPointError)
+        assert seen[1][1] == 1
+
+    def test_raise_mode_still_raises(self):
+        with pytest.raises(GridPointError):
+            grid_map(_fail_on_three, [3], jobs=1, on_error="raise")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            grid_map(_double, [1], jobs=1, on_error="ignore")

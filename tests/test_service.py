@@ -1,6 +1,7 @@
 """The tuning service: TuneRequest, PlanStore, warm start, serving."""
 
 import json
+import os
 import threading
 
 import pytest
@@ -264,6 +265,82 @@ class TestPlanStore:
         req = tiny_request(chips=16, abft=True)
         store.save(req, execute(req))
         assert store.nearest_neighbor(tiny_request(chips=32)) is None
+
+
+class TestPlanStoreEviction:
+    def _seed(self, root, chip_counts):
+        """Fill an unbounded store with one record per chip count,
+        mtimes forced to a known LRU order (oldest first)."""
+        store = PlanStore(root)
+        requests = []
+        for i, chips in enumerate(chip_counts):
+            req = tiny_request(chips=chips)
+            path = store.save(req, execute(req))
+            os.utime(path, (1000 + i, 1000 + i))
+            requests.append(req)
+        return requests
+
+    def test_max_records_evicts_lru(self, tmp_path):
+        requests = self._seed(str(tmp_path), (4, 8, 16))
+        before = registry().counter_value("service.store.evicted")
+        store = PlanStore(str(tmp_path), max_records=2)
+        newest = tiny_request(chips=32)
+        store.save(newest, execute(newest))
+        assert len(store) == 2
+        assert store.load(requests[0]) is None  # oldest out
+        assert store.load(requests[1]) is None
+        assert store.load(requests[2]) is not None
+        assert store.load(newest) is not None
+        assert registry().counter_value("service.store.evicted") == before + 2
+
+    def test_load_refreshes_recency(self, tmp_path):
+        requests = self._seed(str(tmp_path), (4, 8))
+        store = PlanStore(str(tmp_path), max_records=2)
+        assert store.load(requests[0]) is not None  # now most recent
+        newest = tiny_request(chips=16)
+        store.save(newest, execute(newest))
+        assert store.load(requests[0]) is not None
+        assert store.load(requests[1]) is None  # became the LRU
+        assert store.load(newest) is not None
+
+    def test_max_bytes_evicts_lru(self, tmp_path):
+        requests = self._seed(str(tmp_path), (4, 8))
+        unbounded = PlanStore(str(tmp_path))
+        sizes = [
+            os.path.getsize(unbounded.path_for(req.cache_key()))
+            for req in requests
+        ]
+        # Room for about two records: the third save pushes the
+        # oldest out.
+        store = PlanStore(str(tmp_path), max_bytes=2 * max(sizes) + 64)
+        newest = tiny_request(chips=16)
+        store.save(newest, execute(newest))
+        assert store.load(requests[0]) is None  # oldest out
+        assert store.load(requests[1]) is not None
+        assert store.load(newest) is not None
+        assert len(store) == 2
+
+    def test_just_written_record_is_never_evicted(self, tmp_path):
+        requests = self._seed(str(tmp_path), (4,))
+        store = PlanStore(str(tmp_path), max_bytes=1)
+        newest = tiny_request(chips=8)
+        store.save(newest, execute(newest))
+        assert store.load(requests[0]) is None
+        assert store.load(newest) is not None  # protected, though huge
+        assert len(store) == 1
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        self._seed(str(tmp_path), (4, 8, 16))
+        assert len(PlanStore(str(tmp_path))) == 3
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_records": 0},
+        {"max_bytes": 0},
+        {"max_records": -5},
+    ])
+    def test_invalid_bounds_rejected(self, tmp_path, kwargs):
+        with pytest.raises(ValueError):
+            PlanStore(str(tmp_path), **kwargs)
 
 
 class TestWarmTune:
