@@ -17,6 +17,8 @@ from repro.algorithms.cannon import CannonGeMM
 from repro.algorithms.collective import CollectiveGeMM
 from repro.algorithms.meshslice import MeshSliceGeMM
 from repro.algorithms.oned import FSDPGeMM, OneDTensorParallel
+from repro.algorithms.sfc import SFCGeMM
+from repro.algorithms.sliced import SlicedGeMM
 from repro.algorithms.stacked import (
     MeshSliceDPGeMM,
     StackedConfig,
@@ -27,6 +29,10 @@ from repro.algorithms.wang import WangGeMM
 
 #: Names of the 2D algorithms compared in the paper's Figures 9-12.
 TWO_D_ALGORITHMS = ("cannon", "summa", "collective", "wang", "meshslice")
+
+#: Names of the post-paper algorithm-zoo additions (ROADMAP item 3):
+#: one-sided sliced GeMM and space-filling-curve GeMM.
+ZOO_ALGORITHMS = ("sliced", "sfc")
 
 #: Names of the 1D baselines (Section 4.3).
 ONE_D_ALGORITHMS = ("1dtp", "fsdp")
@@ -41,11 +47,14 @@ __all__ = [
     "MeshSliceGeMM",
     "ONE_D_ALGORITHMS",
     "OneDTensorParallel",
+    "SFCGeMM",
+    "SlicedGeMM",
     "StackedConfig",
     "SummaGeMM",
     "TWO_D_ALGORITHMS",
     "TwoPointFiveDGeMM",
     "WangGeMM",
+    "ZOO_ALGORITHMS",
     "algorithm_names",
     "collective_local_dims",
     "effective_problem",

@@ -78,12 +78,24 @@ def make_record(
     point: Any,
     status: str,
     result: Any = None,
-    error: Optional[Tuple[str, str]] = None,
+    error: Optional[Tuple[str, ...]] = None,
     metrics: Sequence[Dict[str, Any]] = (),
 ) -> Dict[str, Any]:
-    """Build one schema-valid record dict for :func:`encode_record`."""
+    """Build one schema-valid record dict for :func:`encode_record`.
+
+    ``error`` is ``(type, message)`` with an optional third element
+    carrying the worker-side traceback string; the traceback lands in
+    the record's ``error["traceback"]`` so a collected failure still
+    says where it died (the original exception object never survives
+    the process-pool boundary).
+    """
     if status not in _STATUSES:
         raise ValueError(f"unknown record status {status!r}")
+    encoded_error: Optional[Dict[str, str]] = None
+    if error is not None:
+        encoded_error = {"type": error[0], "message": error[1]}
+        if len(error) > 2 and error[2] is not None:
+            encoded_error["traceback"] = error[2]
     record: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "campaign": campaign,
@@ -91,11 +103,7 @@ def make_record(
         "point": encode_value(point),
         "status": status,
         "result": encode_value(result) if status == "ok" else None,
-        "error": (
-            {"type": error[0], "message": error[1]}
-            if error is not None
-            else None
-        ),
+        "error": encoded_error,
         "metrics": list(metrics),
         "version": __version__,
     }
@@ -127,6 +135,7 @@ def validate_record(record: Any) -> Dict[str, Any]:
         not isinstance(error, dict)
         or not isinstance(error.get("type"), str)
         or not isinstance(error.get("message"), str)
+        or not isinstance(error.get("traceback", ""), str)
     ):
         raise ValueError("malformed error field")
     if record["status"] == "failed" and error is None:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.codec import point_key
@@ -94,7 +95,11 @@ class _CampaignWorker:
             try:
                 result = self.point_fn(point)
             except Exception as exc:
-                last_error = (type(exc).__name__, str(exc))
+                last_error = (
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                )
                 continue
             delta = tuple(reg.delta_since(before))
             return _PointOutcome("ok", result, None, delta)
@@ -206,7 +211,11 @@ class CampaignRunner:
                 outcome = _PointOutcome(
                     "failed",
                     None,
-                    (type(outcome).__name__, str(outcome)),
+                    (
+                        type(outcome).__name__,
+                        str(outcome),
+                        getattr(outcome, "traceback", None),
+                    ),
                     (),
                 )
             record = make_record(

@@ -1,6 +1,8 @@
 """Collective communication: functional ring collectives and cost models."""
 
 from repro.comm.cost import ZERO_COST, CommCost, CommCostModel
+from repro.comm import onesided
+from repro.comm.onesided import OneSidedCostModel, ring_hops
 from repro.comm.ops import (
     ring_allgather,
     ring_reducescatter,
@@ -21,7 +23,10 @@ __all__ = [
     "ring_reducescatter",
     "CommCost",
     "CommCostModel",
+    "OneSidedCostModel",
     "ZERO_COST",
+    "onesided",
+    "ring_hops",
     "ag_col",
     "ag_row",
     "bcast_col",

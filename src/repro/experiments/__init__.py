@@ -13,6 +13,7 @@ from repro.experiments import (
     ablation_recovery,
     ablation_sdc,
     ablation_unrolling,
+    ablation_zoo,
     fig04_timelines,
     fig09_weak_scaling,
     fig10_comm_breakdown,
@@ -60,6 +61,7 @@ EXPERIMENTS = {
     "ablation-recovery": ablation_recovery,
     "ablation-sdc": ablation_sdc,
     "ablation-unrolling": ablation_unrolling,
+    "ablation-zoo": ablation_zoo,
 }
 
 __all__ = [

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import traceback
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.algorithms import GeMMConfig, get_algorithm
@@ -128,10 +129,11 @@ def _base_pass_config(
     """The untuned (``slices=1``) configuration of one layer pass."""
     dataflow = pass_plan.dataflow
     transposed = pass_plan.transposed
-    if algorithm == "cannon":
+    if algorithm in ("cannon", "sfc"):
         # Cannon always computes output-stationary, whatever dataflow
         # the plan assigns (Section 7: PrimePar "only uses Cannon's OS
-        # algorithm").
+        # algorithm"). The space-filling-curve algorithm is likewise
+        # OS-only: the curve orders output tiles.
         dataflow, transposed = Dataflow.OS, False
     return GeMMConfig(
         shape=pass_plan.shape,
@@ -266,7 +268,10 @@ def _slices_for(
         return 1
     if algorithm == "cannon":
         return 1  # Cannon's iteration count is fixed by the mesh side.
-    # MeshSlice's autotuned S, shared with SUMMA/Wang/1D overlapping.
+    if algorithm == "sfc":
+        return 1  # One output tile per chip; slices is a tile multiplier.
+    # MeshSlice's autotuned S, shared with SUMMA/Wang/1D overlapping
+    # and the one-sided sliced family (same granularity semantics).
     return tuned_slices(base, hw, max_slices)
 
 
@@ -279,6 +284,10 @@ def candidate_meshes(algorithm: str, chips: int) -> List[Mesh2D]:
             return [square_mesh(chips)]
         except ValueError:
             return []
+    if algorithm == "sfc":
+        # The curve does not need a 2D mesh: degenerate 1 x chips
+        # layouts (prime chip counts included) are legal tile grids.
+        return mesh_shapes(chips, min_dim=1)
     return mesh_shapes(chips, min_dim=2)
 
 
@@ -415,16 +424,24 @@ class GridPointError(RuntimeError):
     (``pool.map`` reraises the first failure with no argument context),
     so :func:`grid_map` wraps worker exceptions in this type. The
     original exception is the ``__cause__`` in serial mode; across a
-    process pool only its rendering inside the message survives
-    pickling.
+    process pool only its rendering inside the message and the
+    ``traceback`` string survive pickling — ``traceback`` preserves
+    the worker-side stack that ``__cause__`` loses, so collected
+    records can still say *where* a point died.
     """
 
-    def __init__(self, message: str, point: object = None):
+    def __init__(
+        self,
+        message: str,
+        point: object = None,
+        traceback: Optional[str] = None,
+    ):
         super().__init__(message)
         self.point = point
+        self.traceback = traceback
 
     def __reduce__(self):
-        return (GridPointError, (self.args[0], self.point))
+        return (GridPointError, (self.args[0], self.point, self.traceback))
 
 
 @dataclasses.dataclass
@@ -474,6 +491,7 @@ class _GridWorker:
                 f"grid point {point!r} failed: "
                 f"{type(exc).__name__}: {exc}",
                 point,
+                traceback.format_exc(),
             )
             if self.on_error == "collect":
                 return wrapped

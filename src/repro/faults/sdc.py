@@ -41,8 +41,9 @@ from repro.obs.registry import registry as _metrics
 
 #: Hooked operations an :class:`SDCPlan` may corrupt: the output shards
 #: of the functional ring collectives (all-gathered operand copies,
-#: reduce-scattered partials, SUMMA's panel broadcasts/reduces) and the
-#: local partial-GeMM accumulate.
+#: reduce-scattered partials, SUMMA's panel broadcasts/reduces), the
+#: one-sided get/put/accumulate payloads of :mod:`repro.comm.onesided`,
+#: and the local partial-GeMM accumulate.
 SDC_OPS = (
     "ag_col",
     "ag_row",
@@ -52,6 +53,9 @@ SDC_OPS = (
     "bcast_row",
     "reduce_col",
     "reduce_row",
+    "onesided_get",
+    "onesided_put",
+    "onesided_acc",
     "gemm",
 )
 

@@ -11,12 +11,17 @@ from repro.mesh.sharding import (
 )
 from repro.mesh.executor import ChipRuntime, DeadlockError, MeshExecutor
 from repro.mesh.topology import (
+    LAYOUTS,
     Coord,
     Mesh2D,
     Ring1D,
+    curve_length,
     divisors,
     factor_pairs,
+    hilbert_order,
+    layout_names,
     mesh_shapes,
+    morton_order,
     square_mesh,
 )
 
@@ -24,14 +29,19 @@ __all__ = [
     "ChipRuntime",
     "Coord",
     "DeadlockError",
+    "LAYOUTS",
     "MeshExecutor",
     "Mesh2D",
     "Ring1D",
     "ShardedMatrix",
+    "curve_length",
     "divisors",
     "factor_pairs",
     "gather_matrix",
+    "hilbert_order",
+    "layout_names",
     "mesh_shapes",
+    "morton_order",
     "shard_cols",
     "shard_matrix",
     "shard_rows",

@@ -9,10 +9,22 @@ links. 1D baselines (1D TP, FSDP) run on a single ring.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import math
 from typing import Iterator, List, Tuple
 
 Coord = Tuple[int, int]
+
+#: Logical rank layouts a :class:`Mesh2D` can enumerate its chips in.
+#: ``row-major`` is the physical order; ``hilbert`` and ``morton`` are
+#: the space-filling-curve layouts the SFC GeMM algorithm uses to
+#: assign work with 2D locality (Georganas et al., PAPERS.md).
+LAYOUTS = ("row-major", "hilbert", "morton")
+
+
+def layout_names() -> Tuple[str, ...]:
+    """Names of the supported logical rank layouts."""
+    return LAYOUTS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -114,6 +126,43 @@ class Mesh2D:
     def up_neighbor(self, coord: Coord) -> Coord:
         i, j = self._check_coord(coord)
         return ((i - 1) % self.rows, j)
+
+    def layout(self, name: str = "row-major") -> Tuple[Coord, ...]:
+        """Rank-to-coordinate bijection of one logical layout.
+
+        ``layout(name)[p]`` is the physical coordinate of logical rank
+        ``p``. ``row-major`` reproduces :meth:`coords`; ``hilbert`` and
+        ``morton`` order the chips along a space-filling curve so that
+        consecutive ranks stay physically close — the property the SFC
+        GeMM algorithm exploits to keep a rank's tile neighbourhood on
+        nearby chips.
+        """
+        if name == "row-major":
+            return tuple(self.coords())
+        if name == "hilbert":
+            return hilbert_order(self.rows, self.cols)
+        if name == "morton":
+            return morton_order(self.rows, self.cols)
+        raise ValueError(
+            f"unknown layout {name!r}; known: {', '.join(LAYOUTS)}"
+        )
+
+    def rank_of(self, coord: Coord, layout: str = "row-major") -> int:
+        """Logical rank of ``coord`` under ``layout`` (inverse of it)."""
+        i, j = self._check_coord(coord)
+        if layout == "row-major":
+            return i * self.cols + j
+        return self.layout(layout).index((i, j))
+
+    def torus_distance(self, src: Coord, dst: Coord) -> int:
+        """Minimum hop count between any two chips of the torus.
+
+        Sum of the per-axis minimum wrap distances — the routing
+        distance a one-sided get/put between arbitrary chips pays.
+        """
+        (si, sj), (di, dj) = self._check_coord(src), self._check_coord(dst)
+        down, right = (di - si) % self.rows, (dj - sj) % self.cols
+        return min(down, self.rows - down) + min(right, self.cols - right)
 
     def ring_distance_row(self, src: Coord, dst: Coord) -> int:
         """Minimum hop count between two chips of the same row ring."""
@@ -224,6 +273,124 @@ def square_mesh(n: int) -> Mesh2D:
     if side * side != n:
         raise ValueError(f"Cannon's algorithm needs a square chip count, got {n}")
     return Mesh2D(side, side)
+
+
+@functools.lru_cache(maxsize=None)
+def hilbert_order(rows: int, cols: int) -> Tuple[Coord, ...]:
+    """Generalized Hilbert curve over an arbitrary ``rows x cols`` grid.
+
+    Visits every cell exactly once with unit steps (one diagonal step
+    when both dimensions are odd), recursing on halved rectangles the
+    way the classic Hilbert curve recurses on quadrants. Consecutive
+    curve positions are therefore physically adjacent, which is the
+    locality property the SFC GeMM's tile assignment relies on.
+    """
+    _check_grid(rows, cols)
+    # Walk the long dimension first so the halving recursion terminates
+    # on 1-wide strips instead of degenerating.
+    if cols >= rows:
+        walk = _gilbert(0, 0, 0, cols, rows, 0)
+    else:
+        walk = _gilbert(0, 0, rows, 0, 0, cols)
+    order = tuple(walk)
+    if len(order) != rows * cols:  # pragma: no cover - recursion invariant
+        raise AssertionError("hilbert curve missed cells")
+    return order
+
+
+def _gilbert(
+    i: int, j: int, ai: int, aj: int, bi: int, bj: int
+) -> Iterator[Coord]:
+    """One rectangle of the generalized Hilbert recursion.
+
+    ``(ai, aj)`` is the major axis vector (the direction walked first),
+    ``(bi, bj)`` the minor axis; ``(i, j)`` the rectangle's entry cell.
+    """
+    w, h = abs(ai + aj), abs(bi + bj)
+    dai, daj = _sign(ai), _sign(aj)
+    dbi, dbj = _sign(bi), _sign(bj)
+    if h == 1:
+        for _ in range(w):
+            yield (i, j)
+            i, j = i + dai, j + daj
+        return
+    if w == 1:
+        for _ in range(h):
+            yield (i, j)
+            i, j = i + dbi, j + dbj
+        return
+    ai2, aj2 = ai // 2, aj // 2
+    bi2, bj2 = bi // 2, bj // 2
+    w2, h2 = abs(ai2 + aj2), abs(bi2 + bj2)
+    if 2 * w > 3 * h:
+        # Wide rectangle: split along the major axis only (two halves
+        # walked head-to-tail); round the split to even for symmetry.
+        if w2 % 2 and w > 2:
+            ai2, aj2 = ai2 + dai, aj2 + daj
+        yield from _gilbert(i, j, ai2, aj2, bi, bj)
+        yield from _gilbert(i + ai2, j + aj2, ai - ai2, aj - aj2, bi, bj)
+        return
+    if h2 % 2 and h > 2:
+        bi2, bj2 = bi2 + dbi, bj2 + dbj
+    # Standard Hilbert U-shape: minor-axis strip up, major sweep
+    # across, minor-axis strip back down (axes swapped in the wings).
+    yield from _gilbert(i, j, bi2, bj2, ai2, aj2)
+    yield from _gilbert(i + bi2, j + bj2, ai, aj, bi - bi2, bj - bj2)
+    yield from _gilbert(
+        i + (ai - dai) + (bi2 - dbi),
+        j + (aj - daj) + (bj2 - dbj),
+        -bi2, -bj2, -(ai - ai2), -(aj - aj2),
+    )
+
+
+def _sign(x: int) -> int:
+    return (x > 0) - (x < 0)
+
+
+@functools.lru_cache(maxsize=None)
+def morton_order(rows: int, cols: int) -> Tuple[Coord, ...]:
+    """Morton (Z-order) curve over a ``rows x cols`` grid.
+
+    Cells sorted by their bit-interleaved coordinate code (column bit
+    low, matching row-major tie-breaking on 1-row grids), restricted to
+    in-bounds cells of the bounding power-of-two square. Cheaper to
+    compute than Hilbert and almost as local on power-of-two grids; on
+    ragged grids its quadrant seams cost longer jumps.
+    """
+    _check_grid(rows, cols)
+    return tuple(
+        sorted(
+            ((i, j) for i in range(rows) for j in range(cols)),
+            key=lambda c: _morton_code(c[0], c[1]),
+        )
+    )
+
+
+def _morton_code(i: int, j: int) -> int:
+    code, bit = 0, 0
+    while (i >> bit) or (j >> bit):
+        code |= ((j >> bit) & 1) << (2 * bit)
+        code |= ((i >> bit) & 1) << (2 * bit + 1)
+        bit += 1
+    return code
+
+
+def curve_length(order: Tuple[Coord, ...]) -> int:
+    """Total Manhattan distance walked along an ordering of grid cells.
+
+    The locality figure of merit of a rank layout: row-major pays a
+    full row width at every row seam, while a Hilbert order of the same
+    grid walks unit steps — ``len(order) - 1`` in total.
+    """
+    return sum(
+        abs(a[0] - b[0]) + abs(a[1] - b[1])
+        for a, b in zip(order, order[1:])
+    )
+
+
+def _check_grid(rows: int, cols: int) -> None:
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
 
 
 def divisors(n: int) -> List[int]:

@@ -15,7 +15,8 @@ def _cfg(shape, mesh, dataflow=Dataflow.OS, slices=1):
 class TestRegistry:
     def test_all_algorithms_registered(self):
         assert algorithm_names() == (
-            "1dtp", "cannon", "collective", "fsdp", "meshslice", "summa", "wang",
+            "1dtp", "cannon", "collective", "fsdp", "meshslice", "sfc",
+            "sliced", "summa", "wang",
         )
 
     def test_unknown_name_raises(self):

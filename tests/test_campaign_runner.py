@@ -86,6 +86,20 @@ class TestCampaignRunner:
         assert record["status"] == "failed" and record["result"] is None
         assert record["error"]["type"] == "ValueError"
         assert "boom on 3" in record["error"]["message"]
+        # The worker-side stack survives into the record: the original
+        # exception object dies at the pool boundary, but the record
+        # still says where the point failed.
+        assert "_fail_on_three" in record["error"]["traceback"]
+        assert "ValueError: boom on 3" in record["error"]["traceback"]
+
+    def test_failed_points_record_traceback_across_pool(self, tmp_path):
+        store = CampaignStore(str(tmp_path))
+        runner = CampaignRunner(
+            store, "demo", _fail_on_three, retries=0, jobs=2
+        )
+        runner.run([1, 2, 3, 4])
+        record = store.load("demo")[point_key("demo", 3)]
+        assert "_fail_on_three" in record["error"]["traceback"]
 
     def test_failed_points_are_terminal_on_resume(self, tmp_path):
         store = CampaignStore(str(tmp_path))

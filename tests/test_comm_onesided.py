@@ -1,0 +1,298 @@
+"""One-sided get/put communication: cost model and functional plane.
+
+Mirrors ``tests/test_comm_cost.py`` for the :class:`OneSidedCostModel`
+(the defining property under test: zero per-step synchronization, all
+sync concentrated in the epoch fence) and pins the functional plane's
+shard shape/dtype validation to the same name-the-offending-rank
+contract as :mod:`repro.comm.ops`.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import CommCostModel, OneSidedCostModel, ZERO_COST
+from repro.comm.onesided import (
+    accumulate,
+    gather_get,
+    get,
+    put,
+    ring_hops,
+)
+from repro.faults.sdc import SDCPlan, sdc_injection
+from repro.hw import HardwareParams
+from repro.mesh.sharding import shard_matrix
+from repro.mesh.topology import Mesh2D
+
+
+@pytest.fixture
+def model():
+    hw = HardwareParams(
+        link_bandwidth=100e9,
+        links_per_direction=1,
+        t_sync=1e-6,
+        t_launch=10e-6,
+    )
+    return OneSidedCostModel(hw)
+
+
+class TestRingHops:
+    def test_small_rings(self):
+        assert ring_hops(1) == 0
+        assert ring_hops(2) == 1
+        assert ring_hops(3) == 2
+        assert ring_hops(4) == 4
+        assert ring_hops(5) == 6
+
+    def test_rejects_bad_ring(self):
+        with pytest.raises(ValueError):
+            ring_hops(0)
+
+    def test_mean_ring_hops(self, model):
+        assert model.mean_ring_hops(1) == 0.0
+        assert model.mean_ring_hops(4) == pytest.approx(4 / 3)
+
+
+class TestGetPut:
+    def test_get_formula(self, model):
+        """cost = t_launch/4 + hops * bytes / bw — and zero sync."""
+        cost = model.get(1e6, hops=2)
+        hw = model.hw
+        expected = hw.t_launch * 0.25 + 2 * 1e6 / hw.ring_bandwidth
+        assert cost.total == pytest.approx(expected)
+        assert cost.sync == 0.0 and cost.syncs == 0
+
+    def test_put_matches_get(self, model):
+        assert model.put(1e6, hops=3) == model.get(1e6, hops=3)
+
+    def test_accumulate_extra_hbm(self, model):
+        acc = model.accumulate(1e6)
+        assert acc.total == pytest.approx(model.put(1e6).total)
+        assert acc.hbm_bytes == pytest.approx(1.5 * model.put(1e6).hbm_bytes)
+
+    def test_zero_message_free(self, model):
+        assert model.get(0.0) == ZERO_COST
+        assert model.get(1e6, hops=0) == ZERO_COST
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.get(-1.0)
+        with pytest.raises(ValueError):
+            model.put(1.0, hops=-1)
+
+
+class TestEpoch:
+    def test_epoch_formula(self, model):
+        """launch = (P-1) * t_post, transfer over min-wrap routes."""
+        cost = model.epoch(ring_size=8, shard_bytes=1e6)
+        hw = model.hw
+        assert cost.launch == pytest.approx(7 * hw.t_launch * 0.25)
+        assert cost.transfer == pytest.approx(
+            ring_hops(8) * 1e6 / hw.ring_bandwidth
+        )
+        assert cost.sync == 0.0 and cost.syncs == 0
+
+    def test_epoch_pays_no_per_step_sync(self, model):
+        """The defining difference from the ring collectives."""
+        two_sided = CommCostModel(model.hw).allgather(8, 1e6)
+        one_sided = model.epoch(8, 1e6)
+        assert two_sided.syncs == 7
+        assert one_sided.syncs == 0
+
+    def test_latency_bound_regime_favors_one_sided(self):
+        """Epoch + fence beats AllGather when t_sync dominates."""
+        hw = HardwareParams(t_sync=100e-6)
+        one_sided = OneSidedCostModel(hw)
+        total = (one_sided.epoch(16, 1e3) + one_sided.fence(16)).total
+        assert total < CommCostModel(hw).allgather(16, 1e3).total
+
+    def test_single_chip_is_free(self, model):
+        assert model.epoch(1, 1e9) == ZERO_COST
+        assert model.accumulate_epoch(1, 1e9) == ZERO_COST
+
+    def test_hbm_traffic(self, model):
+        assert model.epoch(5, 1e6).hbm_bytes == pytest.approx(2 * 4 * 1e6)
+        assert model.accumulate_epoch(5, 1e6).hbm_bytes == pytest.approx(
+            3 * 4 * 1e6
+        )
+
+    def test_bidirectional_rings_halve_transfer(self):
+        uni = OneSidedCostModel(HardwareParams(links_per_direction=1))
+        bi = OneSidedCostModel(HardwareParams(links_per_direction=2))
+        assert bi.epoch(4, 1e6).transfer == pytest.approx(
+            uni.epoch(4, 1e6).transfer / 2
+        )
+
+    @given(ring=st.integers(2, 64), bytes_=st.floats(1.0, 1e9))
+    @settings(max_examples=30, deadline=None)
+    def test_monotonic_in_ring_size(self, ring, bytes_):
+        fresh = OneSidedCostModel(HardwareParams())
+        assert (
+            fresh.epoch(ring + 1, bytes_).total > fresh.epoch(ring, bytes_).total
+        )
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.epoch(0, 1.0)
+        with pytest.raises(ValueError):
+            model.accumulate_epoch(4, -1.0)
+
+
+class TestFence:
+    def test_log_depth_rounds(self, model):
+        for participants, rounds in ((2, 1), (4, 2), (5, 3), (16, 4)):
+            cost = model.fence(participants)
+            assert cost.syncs == rounds == math.ceil(math.log2(participants))
+            assert cost.sync == pytest.approx(rounds * model.hw.t_sync)
+
+    def test_single_chip_is_free(self, model):
+        assert model.fence(1) == ZERO_COST
+
+    def test_rejects_bad_participants(self, model):
+        with pytest.raises(ValueError):
+            model.fence(0)
+
+
+class TestPanel:
+    def test_formula(self, model):
+        cost = model.panel(pieces=4, piece_bytes=1e6, mean_hops=1.5)
+        hw = model.hw
+        assert cost.launch == pytest.approx(4 * hw.t_launch * 0.25)
+        assert cost.transfer == pytest.approx(
+            4e6 * 1.5 / hw.ring_bandwidth
+        )
+        assert cost.syncs == 0
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.panel(0, 1.0)
+        with pytest.raises(ValueError):
+            model.panel(1, -1.0)
+        with pytest.raises(ValueError):
+            model.panel(1, 1.0, mean_hops=-0.5)
+
+
+class TestFlyweight:
+    def test_for_hw_is_shared(self):
+        hw = HardwareParams()
+        assert OneSidedCostModel.for_hw(hw) is OneSidedCostModel.for_hw(hw)
+
+
+# ------------------------------------------------------------- functional
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(2, 2)
+
+
+@pytest.fixture
+def shards(mesh):
+    rng = np.random.default_rng(7)
+    matrix = rng.standard_normal((8, 8))
+    return shard_matrix(matrix, mesh).shards
+
+
+class TestGetFunctional:
+    def test_full_shard_copy(self, shards, mesh):
+        window = get(shards, mesh, (0, 1))
+        assert np.array_equal(window, shards[(0, 1)])
+        window[0, 0] = 999.0  # reader owns its bytes
+        assert shards[(0, 1)][0, 0] != 999.0
+
+    def test_windowed_read(self, shards, mesh):
+        window = get(shards, mesh, (1, 0), rows=(1, 3), cols=(0, 2))
+        assert np.array_equal(window, shards[(1, 0)][1:3, 0:2])
+
+    def test_out_of_bounds_names_rank(self, shards, mesh):
+        with pytest.raises(ValueError, match=r"rank \(0, 1\)"):
+            get(shards, mesh, (0, 1), rows=(0, 99))
+
+    def test_unknown_rank(self, shards, mesh):
+        with pytest.raises(ValueError, match=r"rank \(5, 5\) not in mesh"):
+            get(shards, mesh, (5, 5))
+        with pytest.raises(ValueError, match=r"rank \(1, 1\) has no shard"):
+            get({k: v for k, v in shards.items() if k != (1, 1)}, mesh, (1, 1))
+
+
+class TestPutAccumulate:
+    def test_put_copy_on_write(self, shards, mesh):
+        payload = np.full((2, 2), 5.0)
+        out = put(shards, mesh, (0, 0), payload, row=1, col=1)
+        assert out is not shards
+        assert np.array_equal(out[(0, 0)][1:3, 1:3], payload)
+        assert not np.array_equal(shards[(0, 0)][1:3, 1:3], payload)
+        assert out[(1, 1)] is shards[(1, 1)]  # untouched entries alias
+
+    def test_accumulate_adds(self, shards, mesh):
+        payload = np.ones_like(shards[(1, 1)])
+        out = accumulate(shards, mesh, (1, 1), payload)
+        assert np.array_equal(out[(1, 1)], shards[(1, 1)] + 1.0)
+
+    def test_dtype_mismatch_names_rank(self, shards, mesh):
+        bad = np.ones((2, 2), dtype=np.float32)
+        with pytest.raises(
+            ValueError, match=r"disagrees with rank \(0, 0\) shard dtype"
+        ):
+            put(shards, mesh, (0, 0), bad)
+
+    def test_payload_overflow_names_rank(self, shards, mesh):
+        big = np.ones((9, 9))
+        with pytest.raises(
+            ValueError, match=r"does not fit rank \(0, 1\) shard"
+        ):
+            accumulate(shards, mesh, (0, 1), big)
+        with pytest.raises(ValueError, match="does not fit"):
+            put(shards, mesh, (0, 1), np.ones((2, 2)), row=3, col=3)
+
+
+class TestGatherGet:
+    def test_matches_concatenation(self, shards, mesh):
+        sources = ((0, 0), (1, 0))
+        gathered = gather_get(shards, mesh, sources, axis=0)
+        assert np.array_equal(
+            gathered, np.concatenate([shards[s] for s in sources], axis=0)
+        )
+
+    def test_mismatched_shard_names_rank(self, mesh):
+        bad = {
+            (0, 0): np.ones((4, 4)),
+            (1, 0): np.ones((4, 3)),
+        }
+        with pytest.raises(ValueError, match="gather_get: rank 1 shard"):
+            gather_get(bad, mesh, ((0, 0), (1, 0)), axis=0)
+
+    def test_empty_sources_rejected(self, shards, mesh):
+        with pytest.raises(ValueError, match="at least one source"):
+            gather_get(shards, mesh, (), axis=0)
+
+
+class TestSDCHooks:
+    def test_get_passes_sdc_hook(self, shards, mesh):
+        plan = SDCPlan(rate=1.0, ops=("onesided_get",), seed=3)
+        with sdc_injection(plan) as injector:
+            corrupted = get(shards, mesh, (0, 0))
+        assert injector.flips == 1
+        assert not np.array_equal(corrupted, shards[(0, 0)])
+        assert injector.events[0].op == "onesided_get"
+
+    def test_put_and_accumulate_hooks(self, shards, mesh):
+        payload = np.ones_like(shards[(0, 0)])
+        plan = SDCPlan(
+            rate=1.0, ops=("onesided_put", "onesided_acc"), seed=3
+        )
+        with sdc_injection(plan) as injector:
+            put(shards, mesh, (0, 0), payload)
+            accumulate(shards, mesh, (0, 0), payload)
+        assert [e.op for e in injector.events] == [
+            "onesided_put", "onesided_acc",
+        ]
+
+    def test_null_plan_is_bit_identical(self, shards, mesh):
+        bare = get(shards, mesh, (1, 0), rows=(0, 2))
+        with sdc_injection(SDCPlan()) as injector:
+            under_null = get(shards, mesh, (1, 0), rows=(0, 2))
+        assert injector.flips == 0
+        assert np.array_equal(bare, under_null)

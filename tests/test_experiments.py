@@ -12,6 +12,7 @@ from repro.experiments import (
     ablation_faults,
     ablation_recovery,
     ablation_sdc,
+    ablation_zoo,
     fig09_weak_scaling,
     fig10_comm_breakdown,
     fig11_matrix_shapes,
@@ -295,6 +296,43 @@ class TestMains:
         report = module.main(**kwargs)
         assert isinstance(report, str)
         assert len(report.splitlines()) > 2
+
+
+class TestAblationZoo:
+    """The algorithm-zoo comparison at a single reduced grid point."""
+
+    def _rows(self, **kwargs):
+        return ablation_zoo.run(
+            points=(("tiny", (512, 512, 512), 4),), jobs=1, **kwargs
+        )
+
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert EXPERIMENTS["ablation-zoo"] is ablation_zoo
+
+    def test_every_algorithm_gets_a_row(self):
+        from repro.algorithms import algorithm_names
+
+        rows = self._rows()
+        assert tuple(r.algorithm for r in rows) == algorithm_names()
+        for row in rows:
+            assert row.utilization is None or 0.0 < row.utilization < 1.0
+
+    def test_prime_chip_count_served_only_by_curve_and_1d(self):
+        rows = ablation_zoo.run(
+            points=(("prime", (448, 448, 448), 7),), jobs=1
+        )
+        served = {r.algorithm for r in rows if r.utilization is not None}
+        assert served == {"1dtp", "fsdp", "sfc"}
+
+    def test_render_footers_curve_lengths(self):
+        report = ablation_zoo.render(self._rows())
+        assert "8x8 rank-layout curve lengths: hilbert=63" in report
+        assert "morton=112, row-major=112" in report
+
+    def test_deterministic(self):
+        assert self._rows() == self._rows()
 
 
 class TestAblationRecovery:

@@ -1,0 +1,144 @@
+"""Property tests for the space-filling-curve rank layouts.
+
+The SFC GeMM's correctness rests on three layout properties, each
+pinned here over arbitrary mesh shapes: every layout is a bijection
+onto the grid, the curves beat (or tie) row-major's locality, and the
+layouts stay well-formed through ``without_row``/``without_col``
+degraded meshes. Shapes are bounded at 32 per axis — the range the
+curve generators have been exhaustively verified over.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.topology import (
+    LAYOUTS,
+    Mesh2D,
+    curve_length,
+    hilbert_order,
+    layout_names,
+    morton_order,
+)
+
+dims = st.integers(1, 32)
+
+
+def _row_major_length(rows: int, cols: int) -> int:
+    """Total Manhattan distance of the row-major walk (full-width seams)."""
+    return rows * (cols - 1) + (rows - 1) * cols
+
+
+class TestBijectivity:
+    @given(rows=dims, cols=dims, name=st.sampled_from(LAYOUTS))
+    @settings(max_examples=60, deadline=None)
+    def test_layout_is_a_bijection(self, rows, cols, name):
+        mesh = Mesh2D(rows, cols)
+        order = mesh.layout(name)
+        assert len(order) == mesh.size
+        assert set(order) == set(mesh.coords())
+
+    @given(rows=dims, cols=dims, name=st.sampled_from(LAYOUTS))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_of_inverts_layout(self, rows, cols, name):
+        mesh = Mesh2D(rows, cols)
+        order = mesh.layout(name)
+        for rank in range(0, mesh.size, max(1, mesh.size // 7)):
+            assert mesh.rank_of(order[rank], name) == rank
+
+    def test_row_major_matches_coords(self):
+        mesh = Mesh2D(3, 5)
+        assert mesh.layout("row-major") == tuple(mesh.coords())
+        assert mesh.rank_of((2, 4)) == 2 * 5 + 4
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            Mesh2D(2, 2).layout("diagonal")
+
+    def test_layout_names(self):
+        assert layout_names() == ("row-major", "hilbert", "morton")
+
+
+class TestLocality:
+    @given(rows=dims, cols=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_hilbert_steps_are_near_unit(self, rows, cols):
+        """Unit steps, except at most one distance-2 seam on ragged grids."""
+        order = hilbert_order(rows, cols)
+        steps = [
+            abs(a[0] - b[0]) + abs(a[1] - b[1])
+            for a, b in zip(order, order[1:])
+        ]
+        assert all(step <= 2 for step in steps)
+        assert sum(1 for step in steps if step > 1) <= 1
+
+    @given(rows=dims, cols=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_curves_beat_row_major(self, rows, cols):
+        bound = _row_major_length(rows, cols)
+        assert curve_length(hilbert_order(rows, cols)) <= bound
+        assert curve_length(morton_order(rows, cols)) <= bound
+
+    def test_hilbert_is_strictly_better_on_squares(self):
+        # On a power-of-two square the Hilbert walk is all unit steps.
+        assert curve_length(hilbert_order(8, 8)) == 63
+        assert curve_length(hilbert_order(8, 8)) < _row_major_length(8, 8)
+
+    @given(rows=dims, cols=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_torus_distance_bounds_curve_steps(self, rows, cols):
+        """Physical routing never exceeds the grid walk distance."""
+        mesh = Mesh2D(rows, cols)
+        order = mesh.layout("hilbert")
+        for a, b in zip(order, order[1:]):
+            walked = abs(a[0] - b[0]) + abs(a[1] - b[1])
+            assert mesh.torus_distance(a, b) <= walked
+
+
+class TestDegradedMeshes:
+    @given(
+        rows=st.integers(2, 16),
+        cols=st.integers(2, 16),
+        name=st.sampled_from(LAYOUTS),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_through_without_row(self, rows, cols, name):
+        """A degraded mesh's layout is a fresh bijection on its grid."""
+        degraded = Mesh2D(rows, cols).without_row(0)
+        order = degraded.layout(name)
+        assert set(order) == set(degraded.coords())
+        for rank, coord in enumerate(order):
+            assert degraded.rank_of(coord, name) == rank
+
+    @given(
+        rows=st.integers(2, 16),
+        cols=st.integers(2, 16),
+        name=st.sampled_from(LAYOUTS),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_through_without_col(self, rows, cols, name):
+        degraded = Mesh2D(rows, cols).without_col(cols - 1)
+        order = degraded.layout(name)
+        assert set(order) == set(degraded.coords())
+        assert curve_length(order) <= _row_major_length(
+            degraded.rows, degraded.cols
+        )
+
+
+class TestTorusDistance:
+    @given(rows=dims, cols=dims, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_metric_properties(self, rows, cols, data):
+        mesh = Mesh2D(rows, cols)
+        coord = st.tuples(
+            st.integers(0, rows - 1), st.integers(0, cols - 1)
+        )
+        a, b = data.draw(coord), data.draw(coord)
+        d = mesh.torus_distance(a, b)
+        assert d == mesh.torus_distance(b, a)
+        assert (d == 0) == (a == b)
+        assert d <= rows // 2 + cols // 2
+
+    def test_wraparound(self):
+        mesh = Mesh2D(4, 8)
+        assert mesh.torus_distance((0, 0), (3, 7)) == 2  # 1 up + 1 left
+        assert mesh.torus_distance((0, 0), (2, 4)) == 6  # no shortcut
