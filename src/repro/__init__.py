@@ -57,7 +57,7 @@ from repro.hw import (
 )
 from repro.mesh import Mesh2D, MeshExecutor, Ring1D, mesh_shapes
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: Lazily-loaded stable API (PEP 562): name -> (module, attribute).
 #: Importing these eagerly would pull the whole timing plane (and the
@@ -71,11 +71,16 @@ _LAZY_EXPORTS = {
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "FaultSpec": ("repro.faults", "FaultSpec"),
     "HardFault": ("repro.faults", "HardFault"),
+    "LifetimeResult": ("repro.recovery", "LifetimeResult"),
+    "LifetimeSpec": ("repro.recovery", "LifetimeSpec"),
     "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
     "NULL_PLAN": ("repro.faults", "NULL_PLAN"),
     "NULL_SDC_PLAN": ("repro.faults", "NULL_SDC_PLAN"),
     "PlanStore": ("repro.service", "PlanStore"),
+    "ReshardPlan": ("repro.recovery", "ReshardPlan"),
     "SDCPlan": ("repro.faults", "SDCPlan"),
+    "TableElasticPlanner": ("repro.recovery", "TableElasticPlanner"),
+    "TunedElasticPlanner": ("repro.recovery", "TunedElasticPlanner"),
     "abft_gemm": ("repro.abft", "abft_gemm"),
     "sdc_injection": ("repro.faults", "sdc_injection"),
     "ProfileReport": ("repro.obs", "ProfileReport"),
@@ -91,9 +96,11 @@ _LAZY_EXPORTS = {
     "get_algorithm": ("repro.algorithms", "get_algorithm"),
     "link_down": ("repro.faults", "link_down"),
     "profile_block": ("repro.obs", "profile_block"),
+    "migration_seconds": ("repro.recovery", "migration_seconds"),
     "retune_degraded": ("repro.recovery", "retune_degraded"),
     "robust_tune": ("repro.autotuner", "robust_tune"),
     "simulate": ("repro.sim.cluster", "simulate"),
+    "simulate_lifetime": ("repro.recovery", "simulate_lifetime"),
     "tune": ("repro.autotuner", "tune"),
 }
 
@@ -110,13 +117,18 @@ __all__ = [
     "GeMMShape",
     "HardFault",
     "HardwareParams",
+    "LifetimeResult",
+    "LifetimeSpec",
     "Mesh2D",
     "MeshExecutor",
     "MetricsRegistry",
     "NULL_PLAN",
     "NULL_SDC_PLAN",
     "PlanStore",
+    "ReshardPlan",
     "SDCPlan",
+    "TableElasticPlanner",
+    "TunedElasticPlanner",
     "ProfileReport",
     "RetryPolicy",
     "Ring1D",
@@ -136,6 +148,7 @@ __all__ = [
     "link_down",
     "mesh_shapes",
     "meshslice_gemm",
+    "migration_seconds",
     "meshslice_ls",
     "meshslice_os",
     "meshslice_rs",
@@ -144,6 +157,7 @@ __all__ = [
     "robust_tune",
     "sdc_injection",
     "simulate",
+    "simulate_lifetime",
     "slice_col",
     "slice_row",
     "tune",

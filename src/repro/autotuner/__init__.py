@@ -3,8 +3,10 @@
 from repro.autotuner.costmodel import (
     CostEstimate,
     best_slice_count,
+    best_sliced_slice_count,
     collective_estimate,
     meshslice_estimate,
+    sliced_estimate,
     valid_slice_counts_for,
 )
 from repro.autotuner.dataflow import (
@@ -38,6 +40,7 @@ __all__ = [
     "TunedPass",
     "TuningResult",
     "best_slice_count",
+    "best_sliced_slice_count",
     "choose_stationary",
     "collective_estimate",
     "meshslice_estimate",
@@ -46,6 +49,7 @@ __all__ = [
     "plan_model",
     "robust_tune",
     "robust_tune_model",
+    "sliced_estimate",
     "tune",
     "tune_mesh",
     "tune_model",

@@ -36,6 +36,7 @@ from repro.algorithms.base import (
     sliced_local_dims,
 )
 from repro.comm.cost import CommCostModel
+from repro.comm.onesided import OneSidedCostModel
 from repro.core.dataflow import sliced_extent
 from repro.hw.params import HardwareParams
 from repro.mesh.topology import divisors
@@ -179,6 +180,121 @@ def meshslice_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
     search both re-request identical estimates many times per sweep.
     """
     return _meshslice_estimate(cfg, hw)
+
+
+@memoize("sliced_estimate")
+def _sliced_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
+    if cfg.abft:
+        raise ValueError(
+            "one-sided sliced GeMM does not support ABFT configurations"
+        )
+    costs = OneSidedCostModel.for_hw(hw)
+    chips = cfg.mesh.size
+    slices = cfg.slices
+    (col_op, col_mat), (row_op, row_mat) = flow_ops(cfg.dataflow, cfg.transposed)
+    directions = [
+        (col_op, col_mat, cfg.mesh.cols),
+        (row_op, row_mat, cfg.mesh.rows),
+    ]
+
+    ag_costs = []
+    rds_costs = []
+    comm_hbm_bytes = 0.0
+    comm_transfer = 0.0
+    for op, mat, ring in directions:
+        if ring <= 1:
+            continue
+        sub_bytes = matrix_bytes(cfg.shape, mat) / (chips * slices)
+        if op == "ag":
+            cost = costs.epoch(ring, sub_bytes) + costs.fence(ring)
+            ag_costs.append(cost)
+        else:
+            cost = costs.accumulate_epoch(ring, sub_bytes) + costs.fence(ring)
+            rds_costs.append(cost)
+        comm_hbm_bytes += cost.hbm_bytes
+        comm_transfer += cost.transfer
+
+    def contended_total(cost) -> float:
+        """Epoch duration with the logical-mesh NIC bound (Section 6)."""
+        if not hw.has_shared_nic:
+            return cost.total
+        contended = max(
+            cost.transfer,
+            comm_transfer * hw.ring_bandwidth / hw.nic_bandwidth,
+        )
+        return cost.launch + cost.sync + contended
+
+    ag_times = [contended_total(c) for c in ag_costs]
+    rds_times = [contended_total(c) for c in rds_costs]
+
+    # Window addressing replaces MeshSlice's local slicing copies, so
+    # there is no per-slice core extra — the iteration's core time is
+    # the partial GeMM alone.
+    m, n, k = sliced_local_dims(cfg, slices)
+    gemm = gemm_cost(m, n, k, hw)
+    core_iter = gemm.seconds
+
+    if hw.overlap_collectives:
+        prologue = max(ag_times, default=0.0)
+        hbm_iter = (gemm.hbm_bytes + comm_hbm_bytes) / hw.hbm_bandwidth
+        steady = max([core_iter, hbm_iter] + ag_times + rds_times)
+        epilogue = core_iter + sum(rds_times)
+    else:
+        iteration = sum(ag_times) + core_iter + sum(rds_times)
+        prologue = 0.0
+        steady = iteration
+        epilogue = iteration
+    return CostEstimate(
+        prologue=prologue,
+        steady=steady,
+        epilogue=epilogue,
+        slices=slices,
+        flops_per_chip=cfg.shape.flops / chips,
+    )
+
+
+def sliced_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:
+    """Estimate the one-sided sliced program of ``cfg`` analytically.
+
+    The one-sided analogue of :func:`meshslice_estimate`, mirroring
+    ``SlicedGeMM.build_program``: each flowing input's per-slice
+    AllGather becomes a get epoch plus an epoch-closing fence, each
+    ReduceScatter an accumulate epoch plus fence, and the local slicing
+    copies disappear (the get window *is* the slice). The sync
+    economics therefore differ structurally from the ring collectives —
+    ``ceil(log2 P)`` fence rounds per slice instead of ``P - 1`` ring
+    steps — which is why the one-sided slice-count optimum diverges
+    from MeshSlice's in latency-bound regimes. Memoized on
+    ``(cfg, hw)`` like the MeshSlice estimate.
+    """
+    return _sliced_estimate(cfg, hw)
+
+
+@memoize("best_sliced_slice_count")
+def _best_sliced_slice_count(
+    cfg: GeMMConfig, hw: HardwareParams, max_slices: int
+) -> Tuple[int, CostEstimate]:
+    best: Tuple[int, CostEstimate] = (1, None)
+    for s in valid_slice_counts_for(cfg, max_slices):
+        candidate = dataclasses.replace(cfg, slices=s)
+        estimate = sliced_estimate(candidate, hw)
+        if best[1] is None or estimate.total < best[1].total:
+            best = (s, estimate)
+    return best
+
+
+def best_sliced_slice_count(
+    cfg: GeMMConfig, hw: HardwareParams, max_slices: int = 64
+) -> Tuple[int, CostEstimate]:
+    """Pick the S minimizing the *one-sided* analytical estimate.
+
+    The ``sliced`` algorithm's own granularity tuner: fences amortize
+    differently from ring synchronization, so borrowing MeshSlice's S
+    (the pre-elastic behaviour) systematically under-slices one-sided
+    programs on latency-bound hardware. Memoized like
+    :func:`best_slice_count`.
+    """
+    return _best_sliced_slice_count(cfg, hw, max_slices)
 
 
 def collective_estimate(cfg: GeMMConfig, hw: HardwareParams) -> CostEstimate:

@@ -12,6 +12,7 @@ Deployment planning and introspection::
     meshslice tune gpt3-175b --chips 256 --batch 128 [--hw tpuv4-sim]
     meshslice faults gpt3-175b --chips 256 --stragglers 2
     meshslice recovery gpt3-175b --chips 256 --chip-mtbf-hours 2000
+    meshslice elastic gpt3-175b --mesh 4x4 --policy replace --spares 2
     meshslice sdc --rate 1e-2 --mesh 4x4 --trials 8
     meshslice profile gpt3-175b --chips 16 --batch 8
     meshslice serve --store plans/ --replay queries.jsonl
@@ -41,8 +42,8 @@ from repro.experiments import EXPERIMENTS
 #: The real subcommands; anything else in command position is treated
 #: as an experiment name and routed through ``run`` (legacy alias).
 COMMANDS = (
-    "run", "list", "tune", "faults", "recovery", "sdc", "profile",
-    "serve", "campaign", "models", "presets",
+    "run", "list", "tune", "faults", "recovery", "elastic", "sdc",
+    "profile", "serve", "campaign", "models", "presets",
 )
 
 
@@ -209,6 +210,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="recovery policy to evaluate (default: both)",
     )
     _add_metrics_argument(recovery)
+
+    elastic = sub.add_parser(
+        "elastic",
+        help="seeded multi-failure lifetime simulation of elastic policies",
+        description=(
+            "Simulate a multi-day training run under chip failures: "
+            "tune the model on the full torus, then replay a seeded "
+            "failure/repair history under restart, degrade, "
+            "replace-from-spares, or reshape policies — charging "
+            "checkpoint rollback and the simulated reshard-migration "
+            "program for every reconfiguration — and compare the "
+            "simulated goodput against the closed-form policy math."
+        ),
+    )
+    elastic.add_argument(
+        "model", nargs="?", default=None,
+        help="model name (see 'models')",
+    )
+    elastic.add_argument(
+        "--mesh", default="4x4", metavar="RxC",
+        help="full torus shape, e.g. 4x4 (default: 4x4)",
+    )
+    elastic.add_argument(
+        "--batch", type=int, default=None,
+        help="global batch (default: chips / 2)",
+    )
+    elastic.add_argument(
+        "--hw", default="tpuv4-sim",
+        help="hardware preset name (see 'presets')",
+    )
+    elastic.add_argument(
+        "--policy",
+        choices=("restart", "degrade", "replace", "reshape", "all"),
+        default="all",
+        help="elastic policy to simulate (default: all)",
+    )
+    elastic.add_argument(
+        "--spares", type=int, default=0,
+        help="spare chips in the replacement pool (default: 0)",
+    )
+    elastic.add_argument(
+        "--duration-days", type=float, default=30.0,
+        help="simulated horizon in days (default: 30)",
+    )
+    elastic.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the failure-arrival process (default: 0)",
+    )
+    elastic.add_argument(
+        "--chip-mtbf-hours", type=float, default=2000.0,
+        help="per-chip mean time between failures, hours (default: 2000)",
+    )
+    elastic.add_argument(
+        "--repair-minutes", type=float, default=60.0,
+        help="chip repair/replacement time, minutes (default: 60)",
+    )
+    elastic.add_argument(
+        "--checkpoint-seconds", type=float, default=60.0,
+        help="checkpoint write cost, seconds (default: 60)",
+    )
+    elastic.add_argument(
+        "--restart-seconds", type=float, default=180.0,
+        help="restart (reload + reschedule) cost, seconds (default: 180)",
+    )
+    elastic.add_argument(
+        "--plane", choices=("onesided", "collective"), default="onesided",
+        help="comm plane of the reshard migrations (default: onesided)",
+    )
+    elastic.add_argument(
+        "--events", metavar="PATH", default=None,
+        help=(
+            "write the structured JSONL event log (requires a single "
+            "--policy, not 'all')"
+        ),
+    )
+    _add_metrics_argument(elastic)
+    _add_engine_argument(elastic)
 
     sdc = sub.add_parser(
         "sdc",
@@ -703,6 +781,128 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_elastic(args: argparse.Namespace) -> int:
+    bad = _check_flags(
+        "elastic",
+        [
+            ("--spares", args.spares, args.spares >= 0,
+             "must be non-negative"),
+            ("--duration-days", args.duration_days,
+             args.duration_days > 0.0, "must be positive"),
+            ("--seed", args.seed, args.seed >= 0, "must be non-negative"),
+            ("--chip-mtbf-hours", args.chip_mtbf_hours,
+             args.chip_mtbf_hours > 0.0, "must be positive"),
+            ("--repair-minutes", args.repair_minutes,
+             args.repair_minutes >= 0.0, "must be non-negative"),
+            ("--checkpoint-seconds", args.checkpoint_seconds,
+             args.checkpoint_seconds > 0.0, "must be positive"),
+            ("--restart-seconds", args.restart_seconds,
+             args.restart_seconds >= 0.0, "must be non-negative"),
+            ("--events", args.events,
+             args.events is None or args.policy != "all",
+             "needs a single --policy, not 'all'"),
+        ],
+    )
+    if bad:
+        return bad
+    if args.model is None:
+        print(
+            "usage: meshslice elastic <model> [--mesh RxC] [--batch B] "
+            "[--hw P] [--policy NAME]",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.hw import get_preset
+    from repro.models import get_model
+
+    try:
+        model = get_model(args.model)
+        hw = get_preset(args.hw)
+        (shape,) = _parse_mesh_shapes([args.mesh])
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    from repro.experiments.common import render_table
+    from repro.mesh import Mesh2D
+    from repro.recovery import (
+        POLICIES,
+        ClusterReliability,
+        LifetimeSpec,
+        TunedElasticPlanner,
+        simulate_lifetime,
+    )
+
+    mesh = Mesh2D(*shape)
+    batch = args.batch if args.batch is not None else max(1, mesh.size // 2)
+    if mesh.size < 4:
+        return _bad_flag(
+            "elastic", "--mesh", args.mesh,
+            "need at least a 2x2 mesh to survive a dead chip",
+        )
+    planner = TunedElasticPlanner(
+        model, batch, hw, mesh, plane=args.plane, engine=args.engine
+    )
+    try:
+        full_mesh, step = planner.full()
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    reliability = ClusterReliability(
+        chip_mtbf=args.chip_mtbf_hours * 3600.0,
+        chips=full_mesh.size,
+        repair_seconds=args.repair_minutes * 60.0,
+    )
+    policies = POLICIES if args.policy == "all" else (args.policy,)
+    print(
+        f"{model.name}: {full_mesh.rows}x{full_mesh.cols} ({hw.name}), "
+        f"batch {batch}, block {step * 1e3:.1f} ms\n"
+        f"cluster MTBF {reliability.mtbf / 3600.0:.1f} h "
+        f"(chip MTBF {args.chip_mtbf_hours:g} h), repair "
+        f"{args.repair_minutes:g} min, checkpoint "
+        f"{args.checkpoint_seconds:g} s + restart {args.restart_seconds:g} s\n"
+        f"{args.duration_days:g} simulated days, seed {args.seed}, "
+        f"{args.plane} migrations\n"
+    )
+    rows = []
+    results = {}
+    for policy in policies:
+        result = simulate_lifetime(
+            planner,
+            reliability,
+            LifetimeSpec(
+                policy=policy,
+                duration_days=args.duration_days,
+                spares=args.spares,
+                seed=args.seed,
+            ),
+            args.checkpoint_seconds,
+            args.restart_seconds,
+        )
+        results[policy] = result
+        rows.append(
+            (policy, f"{result.goodput * 100:.2f}%", result.failures,
+             result.transitions, result.spares_consumed,
+             result.exhaustions, result.min_running,
+             f"{result.idle_seconds / 3600.0:.1f}")
+        )
+    print(
+        render_table(
+            ["policy", "goodput", "failures", "transitions", "spares used",
+             "exhausted", "min chips", "idle (h)"],
+            rows,
+        )
+    )
+    if len(results) > 1:
+        best = max(results, key=lambda name: results[name].goodput)
+        print(f"\nbest policy: {best}")
+    if args.events:
+        result = results[policies[0]]
+        with open(args.events, "w") as handle:
+            handle.write(result.event_log_jsonl())
+        print(f"\nwrote {len(result.events)} events to {args.events}")
+    return 0
+
+
 def _parse_mesh_shapes(specs) -> List:
     """Parse repeatable ``RxC`` mesh flags into shape tuples."""
     shapes = []
@@ -1088,6 +1288,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         "tune": lambda: _cmd_tune(args),
         "faults": lambda: _cmd_faults(args),
         "recovery": lambda: _cmd_recovery(args),
+        "elastic": lambda: _cmd_elastic(args),
         "sdc": lambda: _cmd_sdc(args),
         "profile": lambda: _cmd_profile(args),
         "serve": lambda: _cmd_serve(args),

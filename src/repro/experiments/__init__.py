@@ -7,6 +7,7 @@ rows and ``main()`` rendering a text table with paper reference points.
 from repro.experiments import (
     ablation_25d,
     ablation_3d,
+    ablation_elastic,
     ablation_faults,
     ablation_inference,
     ablation_logical_mesh,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "table3": table3_real_hw,
     "ablation-2.5d": ablation_25d,
     "ablation-3d": ablation_3d,
+    "ablation-elastic": ablation_elastic,
     "ablation-faults": ablation_faults,
     "ablation-inference": ablation_inference,
     "ablation-logical-mesh": ablation_logical_mesh,

@@ -1,0 +1,297 @@
+"""Elastic ablation: simulated lifetimes vs closed-form policy math.
+
+The recovery ablation (:mod:`~repro.experiments.ablation_recovery`)
+prices one failure per repair cycle with renewal algebra. This grid
+runs the real thing: for each chip MTBF x spare-pool size x policy it
+simulates a seeded multi-failure lifetime
+(:func:`repro.recovery.simulate_lifetime`) on the tuned 4x4 torus —
+failure clustering, chained degradations, repair queues, spare
+exhaustion, and every reconfiguration charged its simulated reshard
+migration — and reports the simulated goodput next to the matching
+closed form, so the table shows exactly where (and by how much) the
+single-cycle approximation breaks down as failures get frequent.
+
+Spare counts only matter to the ``replace`` policy (the others never
+consult the pool), so the grid sweeps the pool on ``replace`` and pins
+it to zero elsewhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.common import (
+    grid_map,
+    render_table,
+    weak_scaling_batch,
+)
+from repro.hw.params import HardwareParams
+from repro.hw.presets import TPUV4
+from repro.mesh.topology import Mesh2D
+from repro.models import GPT3_175B
+from repro.models.config import LLMConfig
+from repro.recovery import (
+    POLICIES,
+    ClusterReliability,
+    LifetimeSpec,
+    TunedElasticPlanner,
+    degrade_goodput,
+    replace_goodput,
+    reshape_goodput,
+    restart_goodput,
+    simulate_lifetime,
+)
+
+#: Per-chip MTBFs swept (hours): a flaky fleet, the recovery
+#: ablation's TPU-class default, and a reliable one.
+CHIP_MTBF_HOURS = (500.0, 2000.0, 8000.0)
+
+#: Spare-pool sizes swept for the replace policy.
+SPARE_COUNTS = (0, 2)
+
+#: The full torus every lifetime starts from.
+MESH_SHAPE = (4, 4)
+
+#: Simulated horizon and failure-arrival seed.
+DEFAULT_DURATION_DAYS = 90.0
+DEFAULT_SEED = 0
+
+#: Repair / checkpoint constants (matching the recovery ablation).
+DEFAULT_REPAIR_MINUTES = 60.0
+DEFAULT_CHECKPOINT_SECONDS = 60.0
+DEFAULT_RESTART_SECONDS = 180.0
+
+#: Migration plane charged for every transition.
+DEFAULT_PLANE = "onesided"
+
+
+@dataclasses.dataclass(frozen=True)
+class ElasticRow:
+    """One (MTBF, spares, policy) cell of the lifetime grid."""
+
+    policy: str
+    chip_mtbf_hours: float
+    spares: int
+    mesh: Tuple[int, int]
+    cluster_mtbf_hours: float
+    migration_seconds: float
+    simulated_goodput: float
+    closed_form_goodput: float
+    failures: int
+    transitions: int
+    spares_consumed: int
+    exhaustions: int
+    min_running: int
+
+    @property
+    def gap(self) -> float:
+        """Simulated minus closed-form goodput (negative = closed form
+        too optimistic)."""
+        return self.simulated_goodput - self.closed_form_goodput
+
+
+def _closed_form(
+    policy: str,
+    planner: TunedElasticPlanner,
+    reliability: ClusterReliability,
+    checkpoint_seconds: float,
+    restart_seconds: float,
+) -> Tuple[float, float]:
+    """(closed-form goodput, per-transition migration seconds)."""
+    full_mesh, step = planner.full()
+    if policy == "restart":
+        est = restart_goodput(
+            step, reliability, checkpoint_seconds, restart_seconds
+        )
+        return est.goodput, 0.0
+    if policy == "degrade":
+        degraded = planner.degraded(1)
+        if degraded is None:
+            return 0.0, 0.0
+        migration = planner.migration(full_mesh, degraded[0])
+        est = degrade_goodput(
+            step, degraded[1], reliability, checkpoint_seconds,
+            restart_seconds,
+        )
+        return est.goodput, migration
+    if policy == "replace":
+        migration = planner.migration(full_mesh, full_mesh)
+        est = replace_goodput(
+            step, reliability, checkpoint_seconds, restart_seconds,
+            migration,
+        )
+        return est.goodput, migration
+    reshaped = planner.reshaped(full_mesh.size - 1)
+    if reshaped is None:
+        return 0.0, 0.0
+    migration = planner.migration(full_mesh, reshaped[0])
+    est = reshape_goodput(
+        step, reshaped[1], reliability, checkpoint_seconds,
+        restart_seconds, migration,
+    )
+    return est.goodput, migration
+
+
+def _point(
+    args: Tuple[
+        str, float, int, LLMConfig, HardwareParams, float, float, float,
+        float, int,
+    ],
+) -> Optional[ElasticRow]:
+    """One grid cell, shaped for :func:`grid_map` (picklable)."""
+    (policy, chip_mtbf_hours, spares, model, hw, repair_minutes,
+     checkpoint_seconds, restart_seconds, duration_days, seed) = args
+    mesh = Mesh2D(*MESH_SHAPE)
+    batch = weak_scaling_batch(mesh.size)
+    planner = TunedElasticPlanner(
+        model, batch, hw, mesh, plane=DEFAULT_PLANE
+    )
+    try:
+        full_mesh, _ = planner.full()
+    except ValueError:
+        return None
+    reliability = ClusterReliability(
+        chip_mtbf=chip_mtbf_hours * 3600.0,
+        chips=full_mesh.size,
+        repair_seconds=repair_minutes * 60.0,
+    )
+    closed, migration = _closed_form(
+        policy, planner, reliability, checkpoint_seconds, restart_seconds
+    )
+    result = simulate_lifetime(
+        planner,
+        reliability,
+        LifetimeSpec(
+            policy=policy, duration_days=duration_days, spares=spares,
+            seed=seed,
+        ),
+        checkpoint_seconds,
+        restart_seconds,
+    )
+    return ElasticRow(
+        policy=policy,
+        chip_mtbf_hours=chip_mtbf_hours,
+        spares=spares,
+        mesh=full_mesh.shape,
+        cluster_mtbf_hours=reliability.mtbf / 3600.0,
+        migration_seconds=migration,
+        simulated_goodput=result.goodput,
+        closed_form_goodput=closed,
+        failures=result.failures,
+        transitions=result.transitions,
+        spares_consumed=result.spares_consumed,
+        exhaustions=result.exhaustions,
+        min_running=result.min_running,
+    )
+
+
+def _grid_points(
+    model: LLMConfig,
+    hw: HardwareParams,
+    mtbf_hours: Sequence[float],
+    spare_counts: Sequence[int],
+    repair_minutes: float,
+    checkpoint_seconds: float,
+    restart_seconds: float,
+    duration_days: float,
+    seed: int,
+) -> List[tuple]:
+    points = []
+    for mtbf in mtbf_hours:
+        for policy in POLICIES:
+            pools = spare_counts if policy == "replace" else (0,)
+            for spares in pools:
+                points.append(
+                    (policy, mtbf, spares, model, hw, repair_minutes,
+                     checkpoint_seconds, restart_seconds, duration_days,
+                     seed)
+                )
+    return points
+
+
+def run(
+    model: LLMConfig = GPT3_175B,
+    hw: HardwareParams = TPUV4,
+    mtbf_hours: Sequence[float] = CHIP_MTBF_HOURS,
+    spare_counts: Sequence[int] = SPARE_COUNTS,
+    repair_minutes: float = DEFAULT_REPAIR_MINUTES,
+    checkpoint_seconds: float = DEFAULT_CHECKPOINT_SECONDS,
+    restart_seconds: float = DEFAULT_RESTART_SECONDS,
+    duration_days: float = DEFAULT_DURATION_DAYS,
+    seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
+) -> List[ElasticRow]:
+    """Simulated lifetime goodput across the MTBF x spares x policy grid."""
+    points = _grid_points(
+        model, hw, mtbf_hours, spare_counts, repair_minutes,
+        checkpoint_seconds, restart_seconds, duration_days, seed,
+    )
+    rows = grid_map(_point, points, jobs=jobs)
+    return [row for row in rows if row is not None]
+
+
+def render(rows: Sequence[ElasticRow]) -> str:
+    table = render_table(
+        ["MTBF (h)", "policy", "spares", "mesh", "migration (s)",
+         "sim goodput", "closed form", "gap", "failures", "transitions",
+         "exhausted", "min chips"],
+        [(f"{r.chip_mtbf_hours:.0f}", r.policy, r.spares,
+          f"{r.mesh[0]}x{r.mesh[1]}", f"{r.migration_seconds:.1f}",
+          f"{r.simulated_goodput * 100:.2f}%",
+          f"{r.closed_form_goodput * 100:.2f}%",
+          f"{r.gap * 100:+.2f}pp", r.failures, r.transitions,
+          r.exhaustions, r.min_running)
+         for r in rows],
+    )
+    lines = [table, ""]
+    if rows:
+        flaky = [r for r in rows if r.chip_mtbf_hours == min(
+            row.chip_mtbf_hours for row in rows
+        )]
+        best = max(flaky, key=lambda r: r.simulated_goodput)
+        worst_gap = min(flaky, key=lambda r: r.gap)
+        lines.append(
+            f"at the flakiest fleet ({best.chip_mtbf_hours:.0f}h per chip) "
+            f"the best policy is {best.policy} (spares={best.spares}) at "
+            f"{best.simulated_goodput * 100:.2f}% simulated goodput"
+        )
+        lines.append(
+            f"largest closed-form optimism: {worst_gap.policy} at "
+            f"{worst_gap.gap * 100:+.2f}pp — overlapping failures, repair "
+            "queues, and migration charges the single-cycle algebra "
+            "cannot see"
+        )
+    return "\n".join(lines)
+
+
+def main(hw: HardwareParams = TPUV4) -> str:
+    return render(run(hw=hw))
+
+
+def _campaign_point(args) -> List[ElasticRow]:
+    """One durable campaign point; unsupported points store as []."""
+    row = _point(args)
+    return [] if row is None else [row]
+
+
+def _campaign_points() -> List[tuple]:
+    return _grid_points(
+        GPT3_175B, TPUV4, CHIP_MTBF_HOURS, SPARE_COUNTS,
+        DEFAULT_REPAIR_MINUTES, DEFAULT_CHECKPOINT_SECONDS,
+        DEFAULT_RESTART_SECONDS, DEFAULT_DURATION_DAYS, DEFAULT_SEED,
+    )
+
+
+CAMPAIGN = CampaignSpec(
+    name="ablation-elastic",
+    points=_campaign_points,
+    point=_campaign_point,
+    render=render,
+    flatten=True,
+)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -45,7 +45,11 @@ import traceback
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.algorithms import GeMMConfig, get_algorithm
-from repro.autotuner.costmodel import best_slice_count, meshslice_estimate
+from repro.autotuner.costmodel import (
+    best_slice_count,
+    best_sliced_slice_count,
+    meshslice_estimate,
+)
 from repro.core.dataflow import Dataflow
 from repro.autotuner.dataflow import LayerPlan, PassPlan, plan_model
 from repro.hw.params import HardwareParams
@@ -270,8 +274,16 @@ def _slices_for(
         return 1  # Cannon's iteration count is fixed by the mesh side.
     if algorithm == "sfc":
         return 1  # One output tile per chip; slices is a tile multiplier.
+    if algorithm == "sliced":
+        # Fences amortize differently from ring syncs (log2(P) rounds
+        # per slice vs P - 1 steps), so one-sided slicing tunes S
+        # against its own cost model instead of borrowing MeshSlice's.
+        slices, _estimate = best_sliced_slice_count(
+            base, hw, max_slices=max_slices
+        )
+        return slices
     # MeshSlice's autotuned S, shared with SUMMA/Wang/1D overlapping
-    # and the one-sided sliced family (same granularity semantics).
+    # (same granularity semantics over ring collectives).
     return tuned_slices(base, hw, max_slices)
 
 

@@ -89,6 +89,54 @@ class Mesh2D:
             raise ValueError(f"cannot drop the only column of {self}")
         return Mesh2D(self.rows, self.cols - 1)
 
+    def with_replacement(self, dead: Coord, spare: int = 0) -> "Mesh2D":
+        """The mesh after a spare chip takes over ``dead``'s position.
+
+        Spare-pool repair: the failed chip is swapped for spare number
+        ``spare`` (0-based index into the pool) which assumes the dead
+        chip's logical coordinate, so the torus keeps its full
+        ``rows x cols`` shape — only the dead chip's shards must be
+        refilled onto the spare (a timed migration program, see
+        :mod:`repro.recovery.elastic`), not the whole layout.
+        """
+        self._check_coord(dead)
+        if spare < 0:
+            raise ValueError(f"spare index must be non-negative, got {spare}")
+        return Mesh2D(self.rows, self.cols)
+
+    def reshape(self, rows: int, cols: int) -> "Mesh2D":
+        """A shape-changing reconfiguration of this torus.
+
+        Unlike :meth:`without_row`/:meth:`without_col` — which can only
+        drain a full line — a reshape re-forms the torus on *any*
+        target shape (chips are drawn from or returned to the spare
+        pool as the sizes differ): the elastic transition that keeps
+        ``P - 1`` chips training after one death by re-forming e.g. a
+        4x4 into a 3x5. Every chip's shards move to their new owners
+        under the target layout, which is what the reshard migration
+        programs in :mod:`repro.recovery.elastic` charge for.
+        """
+        if rows < 1 or cols < 1:
+            raise ValueError(
+                f"cannot reshape {self} to {rows}x{cols}: "
+                "both dimensions must be at least 1"
+            )
+        return Mesh2D(rows, cols)
+
+    def mean_torus_distance(self) -> float:
+        """Mean min-wrap hop count between two uniformly random chips.
+
+        The expected routing distance of one shard move in a reshard
+        migration, where source and destination owners are effectively
+        uncorrelated. Per-axis mean of ``min(d, n - d)`` over all
+        offsets ``d``, summed over the two axes.
+        """
+
+        def axis_mean(n: int) -> float:
+            return sum(min(d, n - d) for d in range(n)) / n
+
+        return axis_mean(self.rows) + axis_mean(self.cols)
+
     def coords(self) -> Iterator[Coord]:
         """Iterate over all chip coordinates in row-major order."""
         for i in range(self.rows):

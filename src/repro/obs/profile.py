@@ -47,6 +47,11 @@ class ProfileReport:
             counters (store appends/corrupt/repairs, points ran vs
             skipped vs failed, retries), empty when no
             :class:`repro.campaign.CampaignRunner` ran in this process.
+        elastic_stats: The elastic-recovery layer's cumulative
+            ``elastic.*`` counters (lifetimes simulated, failures,
+            repairs, transitions per policy, spares consumed,
+            exhaustions, migrations built per plane), empty when no
+            lifetime or migration simulation ran in this process.
     """
 
     model: str
@@ -62,6 +67,7 @@ class ProfileReport:
     compile_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
     service_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
     campaign_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
+    elastic_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def render(self) -> str:
         """The ``meshslice profile`` text report."""
@@ -177,6 +183,21 @@ class ProfileReport:
                     ),
                 ]
             )
+        if self.elastic_stats:
+            lines.extend(
+                [
+                    "",
+                    render_table(
+                        ["elastic recovery", "total"],
+                        [
+                            (name[len("elastic."):], f"{value:g}")
+                            for name, value in sorted(
+                                self.elastic_stats.items()
+                            )
+                        ],
+                    ),
+                ]
+            )
         return "\n".join(lines)
 
 
@@ -221,6 +242,7 @@ def profile_block(
     compile_totals = _compile_counters()
     service_totals = _prefixed_totals("service.")
     campaign_totals = _prefixed_totals("campaign.", counters_only=True)
+    elastic_totals = _prefixed_totals("elastic.", counters_only=True)
     return ProfileReport(
         model=model.name,
         algorithm=algorithm,
@@ -235,6 +257,7 @@ def profile_block(
         compile_stats=compile_totals,
         service_stats=service_totals,
         campaign_stats=campaign_totals,
+        elastic_stats=elastic_totals,
     )
 
 

@@ -21,7 +21,13 @@ Design constraints, in order:
 * **Mergeability.** Every series is a sum (histograms carry bucket
   *counts*, not min/max), so deltas from worker processes can be added
   back into the parent registry in input order — see
-  ``repro.experiments.common.grid_map``.
+  ``repro.experiments.common.grid_map``. Histogram *totals* are
+  accumulated in exact fixed-point arithmetic (every finite double is
+  an integer multiple of 2^-1074) and records carry the exact value
+  alongside the rounded float, so a total assembled from worker deltas
+  is bit-identical to one observed serially — float addition is not
+  associative, and ulp drift between pooled and serial runs would
+  break the byte-determinism contract the exporters promise.
 """
 
 from __future__ import annotations
@@ -80,6 +86,45 @@ def _labels_key(labels: Optional[Mapping[str, object]]) -> Labels:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+#: Fixed-point scale for exact histogram totals: 2^1074 is the
+#: reciprocal of the smallest subnormal double, so every finite float
+#: is an exact integer multiple of the unit and integer addition is
+#: associative where float addition is not.
+_FIXED_SHIFT = 1074
+_FIXED_ONE = 1 << _FIXED_SHIFT
+
+
+def _to_fixed(value: float) -> int:
+    """A finite float as an exact multiple of 2^-1074."""
+    num, den = value.as_integer_ratio()  # den is a power of two
+    return num << (_FIXED_SHIFT - (den.bit_length() - 1))
+
+
+def _fixed_to_float(fixed: int, nonfinite: float) -> float:
+    """Round an exact total back to the nearest double.
+
+    ``int / int`` is correctly rounded, so the result depends only on
+    the exact sum, not on the grouping that produced it. Any inf/nan
+    observations ride in the separate float term.
+    """
+    try:
+        base = fixed / _FIXED_ONE
+    except OverflowError:  # pragma: no cover - needs a ~1e308 total
+        base = float("inf") if fixed > 0 else float("-inf")
+    return base + nonfinite
+
+
+def _record_exact(rec: "MetricRecord") -> Tuple[int, float]:
+    """A histogram record's exact total, deriving it for hand-built
+    records whose float total is itself exactly representable."""
+    if rec.exact_total is not None:
+        return rec.exact_total
+    total = rec.total or 0.0
+    if total - total == 0.0:
+        return _to_fixed(total), 0.0
+    return 0, total
+
+
 @dataclasses.dataclass(frozen=True)
 class MetricRecord:
     """One exported series: the unit the JSONL schema serializes.
@@ -96,6 +141,11 @@ class MetricRecord:
     count: Optional[int] = None
     total: Optional[float] = None
     buckets: Optional[Tuple[Tuple[str, int], ...]] = None
+    #: Exact histogram total as ``(fixed, nonfinite)`` — the 2^-1074
+    #: fixed-point sum plus any inf/nan term. Never serialized (the
+    #: JSONL schema carries only the rounded ``total``); it exists so
+    #: merges of worker deltas stay exact instead of re-rounding.
+    exact_total: Optional[Tuple[int, float]] = None
 
     def to_record(self) -> Dict[str, object]:
         """The JSON-able dict of one JSONL line (see the schema docs)."""
@@ -127,13 +177,18 @@ class _Histogram:
     histograms merge by plain addition.
     """
 
-    __slots__ = ("bounds", "counts", "count", "total")
+    __slots__ = ("bounds", "counts", "count", "total_fixed", "nonfinite")
 
     def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)
         self.count = 0
-        self.total = 0.0
+        self.total_fixed = 0
+        self.nonfinite = 0.0
+
+    @property
+    def total(self) -> float:
+        return _fixed_to_float(self.total_fixed, self.nonfinite)
 
     def observe(self, value: float) -> None:
         lo, hi = 0, len(self.bounds)
@@ -145,7 +200,10 @@ class _Histogram:
                 lo = mid + 1
         self.counts[lo] += 1
         self.count += 1
-        self.total += value
+        if value - value == 0.0:  # finite (inf/nan fail this)
+            self.total_fixed += _to_fixed(value)
+        else:
+            self.nonfinite += value
 
     def bucket_items(self) -> Tuple[Tuple[str, int], ...]:
         """Non-empty buckets as ``(upper_bound_repr, count)`` pairs."""
@@ -230,6 +288,7 @@ class MetricsRegistry:
                     count=hist.count,
                     total=hist.total,
                     buckets=hist.bucket_items(),
+                    exact_total=(hist.total_fixed, hist.nonfinite),
                 )
                 for (name, labels), hist in self._histograms.items()
             )
@@ -280,25 +339,34 @@ class MetricsRegistry:
                         )
                         hist.counts[index] += n
                     hist.count += rec.count or 0
-                    hist.total += rec.total or 0.0
+                    fixed, nonfinite = _record_exact(rec)
+                    hist.total_fixed += fixed
+                    hist.nonfinite += nonfinite
 
     def delta_since(self, before: List[MetricRecord]) -> List[MetricRecord]:
         """The change in every series since an earlier snapshot.
 
         Counters and histograms subtract; gauges are included at their
         current level whenever they changed (or are new). Series absent
-        from ``before`` pass through whole. Used by worker processes to
-        report only the metrics their task produced.
+        from ``before`` subtract against zero — in particular a counter
+        *created* with a zero increment is omitted exactly like an
+        existing counter that did not move, so a delta is a pure
+        function of the work done since ``before``, not of which
+        process's registry happened to see the series first. Used by
+        worker processes to report only the metrics their task
+        produced.
         """
         old = {(r.type, r.name, r.labels): r for r in before}
         delta: List[MetricRecord] = []
         for rec in self.snapshot():
             prior = old.get((rec.type, rec.name, rec.labels))
-            if prior is None:
+            if prior is None and rec.type != "counter":
                 delta.append(rec)
                 continue
             if rec.type == "counter":
-                change = (rec.value or 0.0) - (prior.value or 0.0)
+                change = (rec.value or 0.0) - (
+                    (prior.value or 0.0) if prior is not None else 0.0
+                )
                 if change:
                     delta.append(
                         dataclasses.replace(rec, value=change)
@@ -316,12 +384,16 @@ class MetricsRegistry:
                     for bound, n in rec.buckets or ()
                     if n - prior_buckets.get(bound, 0)
                 )
+                cur_fixed, cur_bad = _record_exact(rec)
+                prior_fixed, prior_bad = _record_exact(prior)
+                exact = (cur_fixed - prior_fixed, cur_bad - prior_bad)
                 delta.append(
                     dataclasses.replace(
                         rec,
                         count=count,
-                        total=(rec.total or 0.0) - (prior.total or 0.0),
+                        total=_fixed_to_float(*exact),
                         buckets=buckets,
+                        exact_total=exact,
                     )
                 )
         return delta

@@ -8,30 +8,57 @@ the three time scales a real training system operates on:
   (replacing the flat ``link_retry_timeout`` penalty); an exhausted
   budget declares the link dead and the engine surfaces a structured
   ``SimFailure``;
-* **minutes** — :func:`retune_degraded`, degraded-mesh
-  reconfiguration: drain the dead chip's row or column, re-form the
-  torus on the shrunk shape, and re-run the autotuner's exhaustive
-  shape/slice search on the surviving candidates;
+* **minutes** — elastic reconfiguration: :func:`retune_degraded`
+  drains the dead chip's row or column and re-tunes the shrunk torus;
+  :mod:`~repro.recovery.elastic` prices the transition itself, timing
+  the reshard migration (every chip's shards moving to the new
+  layout) as a real program over the collective or one-sided comm
+  plane — including same-shape spare replacement and shape-changing
+  reshapes (``4x4 -> 3x5``);
 * **days** — :class:`CheckpointModel`, the analytical Young/Daly
-  checkpoint-restart model, and the :mod:`~repro.recovery.policy`
-  goodput estimates comparing restart-and-wait against
-  degrade-and-continue for multi-day runs.
+  checkpoint-restart model; the :mod:`~repro.recovery.policy` goodput
+  closed forms comparing restart / degrade / replace / reshape; and
+  :func:`simulate_lifetime`, a seeded renewal simulation of the whole
+  multi-day run that prices what the closed forms cannot — failure
+  clustering, repair queues, chained degradations, and spare-pool
+  exhaustion — with a structured JSONL event log.
 
 Surfaces: the memoized ``degraded_retune`` stage in ``repro.perf``,
-the ``ablation-recovery`` experiment grid, and the
-``meshslice recovery`` CLI subcommand.
+the ``ablation-recovery`` and ``ablation-elastic`` experiment grids,
+and the ``meshslice recovery`` / ``meshslice elastic`` CLI
+subcommands.
 """
 
 from repro.recovery.checkpoint import CheckpointModel, cluster_mtbf
 from repro.recovery.degraded import (
     DegradedRetune,
+    NoSurvivingMeshError,
     degraded_meshes,
     retune_degraded,
+)
+from repro.recovery.elastic import (
+    MIGRATION_PLANES,
+    ReshardPlan,
+    build_migration_program,
+    migration_payload_bytes,
+    migration_seconds,
+    overlap_pieces,
+)
+from repro.recovery.lifetime import (
+    POLICIES,
+    LifetimeEvent,
+    LifetimeResult,
+    LifetimeSpec,
+    TableElasticPlanner,
+    TunedElasticPlanner,
+    simulate_lifetime,
 )
 from repro.recovery.policy import (
     ClusterReliability,
     GoodputEstimate,
     degrade_goodput,
+    replace_goodput,
+    reshape_goodput,
     restart_goodput,
 )
 from repro.recovery.retry import RetryEpisode, RetryPolicy
@@ -41,11 +68,27 @@ __all__ = [
     "ClusterReliability",
     "DegradedRetune",
     "GoodputEstimate",
+    "LifetimeEvent",
+    "LifetimeResult",
+    "LifetimeSpec",
+    "MIGRATION_PLANES",
+    "NoSurvivingMeshError",
+    "POLICIES",
+    "ReshardPlan",
     "RetryEpisode",
     "RetryPolicy",
+    "TableElasticPlanner",
+    "TunedElasticPlanner",
+    "build_migration_program",
     "cluster_mtbf",
     "degrade_goodput",
     "degraded_meshes",
+    "migration_payload_bytes",
+    "migration_seconds",
+    "overlap_pieces",
+    "replace_goodput",
+    "reshape_goodput",
     "restart_goodput",
     "retune_degraded",
+    "simulate_lifetime",
 ]

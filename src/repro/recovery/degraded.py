@@ -30,12 +30,25 @@ from repro.models.config import LLMConfig
 from repro.obs.registry import registry as _metrics
 
 
+class NoSurvivingMeshError(ValueError):
+    """A degraded retune was asked for a mesh with no survivor shape.
+
+    Raised by :func:`retune_degraded` when :func:`degraded_meshes`
+    returns no candidates (a 1x1 mesh losing its only chip). Callers
+    that can fall back — e.g. the lifetime simulator idling until a
+    repair — catch this by name instead of pattern-matching a generic
+    ``ValueError`` from deep inside the tuner.
+    """
+
+
 def degraded_meshes(mesh: Mesh2D, dead: Coord) -> Tuple[Mesh2D, ...]:
     """The valid shrunk tori after chip ``dead`` dies on ``mesh``.
 
     Returns the drop-row and drop-column candidates (one of the two
-    when the mesh has a single row or column; a 1x1 mesh has no
-    survivors and raises).
+    when the mesh has a single row or column). A 1x1 mesh has no
+    survivors: the result is the *empty* tuple — a structured "no
+    candidates" the caller can branch on — not an error. Only an
+    off-mesh ``dead`` coordinate raises.
     """
     if not mesh.contains(dead):
         raise ValueError(f"dead chip {dead} is not on mesh {mesh}")
@@ -44,8 +57,6 @@ def degraded_meshes(mesh: Mesh2D, dead: Coord) -> Tuple[Mesh2D, ...]:
         candidates.append(mesh.without_row(dead[0]))
     if mesh.cols > 1:
         candidates.append(mesh.without_col(dead[1]))
-    if not candidates:
-        raise ValueError(f"mesh {mesh} has no surviving configuration")
     return tuple(candidates)
 
 
@@ -95,8 +106,17 @@ def retune_degraded(
     column) and picks the faster tuned configuration — exactly the
     search the healthy mesh was tuned with, restricted to the shrunk
     candidates.
+
+    Raises:
+        NoSurvivingMeshError: When no shrunk candidate exists (a 1x1
+            mesh); ``ValueError`` when ``dead`` is not on ``mesh``.
     """
     candidates = degraded_meshes(mesh, dead)
+    if not candidates:
+        raise NoSurvivingMeshError(
+            f"mesh {mesh} has no surviving configuration after "
+            f"chip {dead} dies"
+        )
     _metrics().inc(
         "recovery.degraded_retunes",
         labels={"mesh": f"{mesh.rows}x{mesh.cols}"},

@@ -17,13 +17,26 @@ failure-free full-mesh throughput — for the two recovery policies the
   repair window produces work at ``step_full / step_degraded`` of the
   full rate instead of none; both transitions cost a restart (reload
   from checkpoint on the new shape).
+* **replace**: a spare chip adopts the dead coordinate immediately;
+  the only downtime per failure is the reconfiguration itself —
+  checkpoint reload plus the simulated replacement migration
+  (:mod:`repro.recovery.elastic`). The closed form assumes the spare
+  pool never runs dry; finite pools are what the lifetime simulator
+  (:mod:`repro.recovery.lifetime`) prices.
+* **reshape**: re-factor the surviving ``P - 1`` chips into the best
+  torus (e.g. ``4x4 -> 3x5``) for the repair window — the same cycle
+  algebra as degrade, but the shrunk rate keeps every healthy chip
+  and both transitions additionally pay the simulated reshard
+  migration.
 
-Both policies model failures as a renewal process: exponential
+All policies model failures as a renewal process: exponential
 failures at the cluster MTBF ``M``, deterministic repair time ``rho``,
-so a mean cycle is ``M + rho`` seconds of wall clock. Within the *up*
-portion the checkpoint model accounts for rollback losses; the
-degraded portion is treated as failure-free (a second failure inside
-one repair window is second-order at realistic MTBFs).
+so a mean cycle is ``M + rho`` seconds of wall clock (``M`` plus the
+swap time for replace). Within the *up* portion the checkpoint model
+accounts for rollback losses; the shrunk portion is treated as
+failure-free (a second failure inside one repair window is
+second-order at realistic MTBFs — the lifetime simulator drops that
+approximation).
 """
 
 from __future__ import annotations
@@ -70,7 +83,8 @@ class GoodputEstimate:
     """End-to-end goodput of one recovery policy on one cluster.
 
     Attributes:
-        policy: ``"restart"`` or ``"degrade"``.
+        policy: ``"restart"``, ``"degrade"``, ``"replace"``, or
+            ``"reshape"``.
         goodput: Useful kept work per wall-clock second, as a fraction
             of the ideal failure-free full-mesh rate (in ``(0, 1]``).
         checkpoint_interval: The Young/Daly-optimal interval used
@@ -78,8 +92,11 @@ class GoodputEstimate:
         checkpoint_goodput: The checkpoint-restart factor alone
             (rollback + checkpoint-write overhead, no repair idling).
         step_seconds: Full-mesh step time the estimate is relative to.
-        degraded_step_seconds: Degraded-mesh step time (``None`` for
-            the restart policy).
+        degraded_step_seconds: Shrunk-mesh step time (``None`` for the
+            restart and replace policies).
+        migration_seconds: Simulated reshard-migration charge per
+            transition (``None`` for the policies that predate
+            elastic migration).
     """
 
     policy: str
@@ -88,6 +105,7 @@ class GoodputEstimate:
     checkpoint_goodput: float
     step_seconds: float
     degraded_step_seconds: Optional[float] = None
+    migration_seconds: Optional[float] = None
 
     @property
     def effective_step_seconds(self) -> float:
@@ -169,4 +187,92 @@ def degrade_goodput(
         checkpoint_goodput=ckpt,
         step_seconds=step_seconds,
         degraded_step_seconds=degraded_step_seconds,
+    )
+
+
+def replace_goodput(
+    step_seconds: float,
+    reliability: ClusterReliability,
+    checkpoint_seconds: float,
+    restart_seconds: float = 0.0,
+    migration_seconds: float = 0.0,
+) -> GoodputEstimate:
+    """Goodput of spare-pool replacement with an inexhaustible pool.
+
+    Each failure costs only the swap: a checkpoint reload plus the
+    simulated replacement migration (the spare fetching the dead
+    chip's shard; see :mod:`repro.recovery.elastic`). The mean cycle
+    is ``M`` up-seconds banking at the checkpoint goodput plus the
+    swap downtime — the repair shop refills the pool off the critical
+    path, so ``repair_seconds`` never appears. Finite pools (and
+    exhaustion under failure bursts) are the lifetime simulator's
+    territory.
+    """
+    if step_seconds <= 0.0:
+        raise ValueError("step_seconds must be positive")
+    if migration_seconds < 0.0:
+        raise ValueError("migration_seconds must be non-negative")
+    model = CheckpointModel(
+        mtbf=reliability.mtbf,
+        checkpoint_seconds=checkpoint_seconds,
+        restart_seconds=restart_seconds,
+    )
+    interval, ckpt = _checkpointing(model)
+    M = reliability.mtbf
+    swap = restart_seconds + migration_seconds
+    return GoodputEstimate(
+        policy="replace",
+        goodput=ckpt * M / (M + swap),
+        checkpoint_interval=interval,
+        checkpoint_goodput=ckpt,
+        step_seconds=step_seconds,
+        migration_seconds=migration_seconds,
+    )
+
+
+def reshape_goodput(
+    step_seconds: float,
+    reshaped_step_seconds: float,
+    reliability: ClusterReliability,
+    checkpoint_seconds: float,
+    restart_seconds: float = 0.0,
+    migration_seconds: float = 0.0,
+) -> GoodputEstimate:
+    """Goodput of reshaping onto the surviving chips' best torus.
+
+    The degrade cycle algebra with two differences: the repair window
+    runs at the *reshaped* rate (every healthy chip keeps working —
+    ``P - 1`` chips instead of a drained line), and each of the two
+    transitions pays the simulated reshard migration on top of the
+    checkpoint reload.
+    """
+    if step_seconds <= 0.0:
+        raise ValueError("step_seconds must be positive")
+    if reshaped_step_seconds < step_seconds:
+        raise ValueError(
+            "reshaped_step_seconds cannot beat the full mesh "
+            f"({reshaped_step_seconds} < {step_seconds})"
+        )
+    if migration_seconds < 0.0:
+        raise ValueError("migration_seconds must be non-negative")
+    model = CheckpointModel(
+        mtbf=reliability.mtbf,
+        checkpoint_seconds=checkpoint_seconds,
+        restart_seconds=restart_seconds,
+    )
+    interval, ckpt = _checkpointing(model)
+    M = reliability.mtbf
+    rho = reliability.repair_seconds
+    relative_rate = step_seconds / reshaped_step_seconds
+    transition = restart_seconds + migration_seconds
+    banked = M * ckpt + rho * relative_rate - 2.0 * transition
+    goodput = max(0.0, banked) / (M + rho)
+    return GoodputEstimate(
+        policy="reshape",
+        goodput=min(1.0, goodput),
+        checkpoint_interval=interval,
+        checkpoint_goodput=ckpt,
+        step_seconds=step_seconds,
+        degraded_step_seconds=reshaped_step_seconds,
+        migration_seconds=migration_seconds,
     )

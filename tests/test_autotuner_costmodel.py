@@ -7,8 +7,10 @@ import pytest
 from repro.algorithms import GeMMConfig, get_algorithm
 from repro.autotuner import (
     best_slice_count,
+    best_sliced_slice_count,
     collective_estimate,
     meshslice_estimate,
+    sliced_estimate,
     valid_slice_counts_for,
 )
 from repro.core import Dataflow, GeMMShape
@@ -127,3 +129,64 @@ class TestBestSliceCount:
         cfg = GeMMConfig(BIG, Mesh2D(4, 4), Dataflow.OS, slices=1)
         best_s, _ = best_slice_count(cfg, TPUV4_CLOUD_4X4)
         assert best_s == 1
+
+
+class TestSlicedEstimate:
+    def test_total_formula(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=8)
+        est = sliced_estimate(cfg, TPUV4)
+        assert est.total == pytest.approx(
+            est.prologue + 7 * est.steady + est.epilogue
+        )
+
+    def test_tracks_simulation_within_tolerance(self):
+        """Close enough to the one-sided program to rank slice counts."""
+        alg = get_algorithm("sliced")
+        for slices in (2, 8, 32):
+            cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=slices)
+            est = sliced_estimate(cfg, TPUV4).total
+            sim = simulate(alg.build_program(cfg, TPUV4), TPUV4).makespan
+            assert est == pytest.approx(sim, rel=0.30)
+
+    def test_abft_rejected(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=8, abft=True)
+        with pytest.raises(ValueError, match="ABFT"):
+            sliced_estimate(cfg, TPUV4)
+
+    def test_no_overlap_mode_serializes(self):
+        cfg = GeMMConfig(BIG, Mesh2D(4, 4), Dataflow.OS, slices=4)
+        overlapped = sliced_estimate(cfg, TPUV4.with_overrides(
+            links_per_direction=1))
+        serial = sliced_estimate(cfg, TPUV4.with_overrides(
+            links_per_direction=1, overlap_collectives=False))
+        assert serial.total > overlapped.total
+
+
+class TestBestSlicedSliceCount:
+    def test_returns_argmin_of_estimate(self):
+        cfg = GeMMConfig(BIG, Mesh2D(32, 8), Dataflow.OS, slices=1)
+        _best_s, best_est = best_sliced_slice_count(cfg, TPUV4)
+        for s in valid_slice_counts_for(cfg):
+            est = sliced_estimate(
+                dataclasses.replace(cfg, slices=s), TPUV4
+            )
+            assert best_est.total <= est.total + 1e-12
+
+    def test_latency_bound_divergence(self):
+        """One-sided slicing out-slices MeshSlice when syncs dominate.
+
+        Pinned regime: a comm-heavy GeMM on a 16x16 torus with 10x the
+        TPU sync latency. Each extra slice costs a ring collective
+        ``P - 1 = 15`` sync steps per direction but a fence only
+        ``ceil(log2 256) = 8`` rounds total, so the one-sided optimum
+        sits strictly above MeshSlice's. Guards against regressing to
+        the pre-elastic behaviour of borrowing MeshSlice's S for the
+        sliced candidate.
+        """
+        hw = TPUV4.with_overrides(t_sync=4e-5)
+        cfg = GeMMConfig(BIG, Mesh2D(16, 16), Dataflow.OS, slices=1)
+        ms_s, _ = best_slice_count(cfg, hw)
+        os_s, _ = best_sliced_slice_count(cfg, hw)
+        assert ms_s == 3
+        assert os_s == 6
+        assert os_s > ms_s

@@ -1,0 +1,174 @@
+"""Tests for elastic reshard migrations (repro.recovery.elastic)."""
+
+import pytest
+
+from repro.hw import TPUV4
+from repro.mesh import Mesh2D
+from repro.models import GPT3_175B
+from repro.recovery import (
+    MIGRATION_PLANES,
+    ReshardPlan,
+    build_migration_program,
+    migration_payload_bytes,
+    migration_seconds,
+    overlap_pieces,
+)
+from repro.sim import simulate
+
+PAYLOAD = 64e9
+
+
+class TestOverlapPieces:
+    def test_coarsening_touches_ratio_plus_one(self):
+        # 12 source intervals re-blocked into 5: each new interval
+        # spans at most floor(12/5) + 1 = 3 old ones.
+        assert overlap_pieces(12, 5) == 3
+
+    def test_refining_touches_at_most_two(self):
+        # A finer target interval crosses at most one old boundary.
+        assert overlap_pieces(3, 8) == 1
+        assert overlap_pieces(5, 4) == 2
+
+    def test_never_exceeds_source_owners(self):
+        assert overlap_pieces(4, 1) == 4
+        for src in range(1, 20):
+            for dst in range(1, 20):
+                assert 1 <= overlap_pieces(src, dst) <= src
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overlap_pieces(0, 4)
+        with pytest.raises(ValueError):
+            overlap_pieces(4, 0)
+
+
+class TestReshardPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), payload_bytes=-1.0)
+        with pytest.raises(ValueError):
+            ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD, plane="rdma")
+
+    def test_replacement_detection(self):
+        assert ReshardPlan(Mesh2D(4, 4), Mesh2D(4, 4), PAYLOAD).is_replacement
+        assert not ReshardPlan(
+            Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD
+        ).is_replacement
+
+    def test_shard_bytes(self):
+        plan = ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD)
+        assert plan.source_shard_bytes == pytest.approx(PAYLOAD / 16)
+        assert plan.target_shard_bytes == pytest.approx(PAYLOAD / 15)
+
+    def test_reshape_pieces_multiply_per_axis(self):
+        plan = ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD)
+        expected = overlap_pieces(4, 3) * overlap_pieces(4, 5)
+        assert plan.pieces == expected
+
+    def test_replacement_pieces_come_from_the_stripe_ring(self):
+        # Replacement refills the dead shard from its row-ring peers.
+        plan = ReshardPlan(Mesh2D(4, 4), Mesh2D(4, 4), PAYLOAD)
+        assert plan.pieces == 3
+        column = ReshardPlan(Mesh2D(4, 1), Mesh2D(4, 1), PAYLOAD)
+        assert column.pieces == 3
+
+
+class TestMigrationPrograms:
+    def test_onesided_reshape_structure(self):
+        plan = ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD)
+        program = build_migration_program(plan, TPUV4)
+        names = [a.label for a in program.activities]
+        assert "reshard/get-h" in names
+        assert "reshard/get-v" in names
+        assert "reshard/writeback" in names
+        assert "reshard/fence" in names
+        assert program.meta["plane"] == "onesided"
+        assert program.meta["kind"] == "reshard"
+
+    def test_collective_reshape_gathers_each_changed_axis(self):
+        plan = ReshardPlan(
+            Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD, plane="collective"
+        )
+        names = [a.label for a in build_migration_program(plan, TPUV4).activities]
+        assert any(n.startswith("reshard/ag-row") for n in names)
+        assert any(n.startswith("reshard/ag-col") for n in names)
+
+    def test_collective_replacement_gathers_one_stripe(self):
+        plan = ReshardPlan(
+            Mesh2D(4, 4), Mesh2D(4, 4), PAYLOAD, plane="collective"
+        )
+        names = [a.label for a in build_migration_program(plan, TPUV4).activities]
+        assert any(n.startswith("reshard/ag-stripe") for n in names)
+        assert not any(n.startswith("reshard/ag-row") for n in names)
+
+    def test_unchanged_row_axis_skips_the_column_gather(self):
+        plan = ReshardPlan(
+            Mesh2D(4, 4), Mesh2D(4, 2), PAYLOAD, plane="collective"
+        )
+        names = [a.label for a in build_migration_program(plan, TPUV4).activities]
+        assert any(n.startswith("reshard/ag-row") for n in names)
+        assert not any(n.startswith("reshard/ag-col") for n in names)
+
+    def test_every_plane_simulates_to_positive_makespan(self):
+        for plane in MIGRATION_PLANES:
+            for target in (Mesh2D(4, 4), Mesh2D(3, 5), Mesh2D(4, 3)):
+                plan = ReshardPlan(Mesh2D(4, 4), target, PAYLOAD, plane)
+                result = simulate(build_migration_program(plan, TPUV4), TPUV4)
+                assert result.failure is None
+                assert result.makespan > 0.0
+
+
+class TestMigrationSeconds:
+    def test_matches_direct_simulation(self):
+        plan = ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD)
+        direct = simulate(build_migration_program(plan, TPUV4), TPUV4).makespan
+        assert migration_seconds(plan, TPUV4) == pytest.approx(direct)
+
+    def test_memoized_revisit_is_identical(self):
+        plan = ReshardPlan(Mesh2D(4, 4), Mesh2D(4, 4), PAYLOAD)
+        assert migration_seconds(plan, TPUV4) == migration_seconds(plan, TPUV4)
+
+    def test_onesided_avoids_collective_replication(self):
+        """A shape change replicates blocks on the collective plane but
+        moves only changed bytes one-sided, so one-sided must win."""
+        onesided = migration_seconds(
+            ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD), TPUV4
+        )
+        collective = migration_seconds(
+            ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD, "collective"),
+            TPUV4,
+        )
+        assert onesided < collective
+
+    def test_collective_replacement_cheaper_than_reshape(self):
+        """Gathering one stripe beats replicating blocks on both axes.
+
+        (Only claimed on the collective plane: one-sided reshapes
+        split their wire time across both link directions, so the
+        single-ring replacement fetch is not strictly cheaper there.)
+        """
+        replace = migration_seconds(
+            ReshardPlan(Mesh2D(4, 4), Mesh2D(4, 4), PAYLOAD, "collective"),
+            TPUV4,
+        )
+        reshape = migration_seconds(
+            ReshardPlan(Mesh2D(4, 4), Mesh2D(3, 5), PAYLOAD, "collective"),
+            TPUV4,
+        )
+        assert replace < reshape
+
+
+class TestMigrationPayload:
+    def test_includes_weights_optimizer_and_activations(self):
+        payload = migration_payload_bytes(GPT3_175B, 16, TPUV4)
+        weights_floor = GPT3_175B.approx_params * TPUV4.dtype_bytes
+        assert payload > weights_floor
+
+    def test_scales_with_batch(self):
+        small = migration_payload_bytes(GPT3_175B, 1, TPUV4)
+        large = migration_payload_bytes(GPT3_175B, 64, TPUV4)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            migration_payload_bytes(GPT3_175B, 0, TPUV4)

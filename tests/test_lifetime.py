@@ -1,0 +1,238 @@
+"""Tests for the seeded lifetime simulator (repro.recovery.lifetime)."""
+
+import json
+
+import pytest
+
+from repro.mesh import Mesh2D
+from repro.recovery import (
+    ClusterReliability,
+    LifetimeSpec,
+    POLICIES,
+    TableElasticPlanner,
+    degrade_goodput,
+    replace_goodput,
+    restart_goodput,
+    simulate_lifetime,
+)
+
+#: A long-horizon, large-MTBF regime where the renewal process has
+#: many cycles and the closed forms' single-failure-per-cycle
+#: assumption holds almost surely.
+CONVERGENCE = ClusterReliability(
+    chip_mtbf=500_000.0 * 16, chips=16, repair_seconds=600.0
+)
+CKPT = 60.0
+RESTART = 30.0
+
+
+def planner(migration: float = 0.0) -> TableElasticPlanner:
+    full = Mesh2D(4, 4)
+    return TableElasticPlanner(
+        full,
+        step_seconds=1.0,
+        degraded={1: (Mesh2D(3, 4), 1.5), 2: (Mesh2D(3, 3), 2.0)},
+        reshaped={15: (Mesh2D(3, 5), 1.4), 14: (Mesh2D(2, 7), 1.9)},
+        migration_seconds=migration,
+    )
+
+
+class TestClosedFormConvergence:
+    """The tentpole acceptance criterion: at large MTBF with zero
+    spares the simulated goodput converges to the closed forms."""
+
+    def test_restart_converges(self):
+        result = simulate_lifetime(
+            planner(),
+            CONVERGENCE,
+            LifetimeSpec(policy="restart", duration_days=2000.0, seed=7),
+            CKPT,
+            RESTART,
+        )
+        closed = restart_goodput(1.0, CONVERGENCE, CKPT, RESTART).goodput
+        assert result.goodput == pytest.approx(closed, abs=5e-3)
+
+    def test_degrade_converges(self):
+        result = simulate_lifetime(
+            planner(),
+            CONVERGENCE,
+            LifetimeSpec(policy="degrade", duration_days=2000.0, seed=7),
+            CKPT,
+            RESTART,
+        )
+        closed = degrade_goodput(1.0, 1.5, CONVERGENCE, CKPT, RESTART).goodput
+        assert result.goodput == pytest.approx(closed, abs=5e-3)
+
+    def test_replace_with_deep_pool_converges(self):
+        """An effectively infinite pool reproduces the replace closed
+        form (which assumes the spare shop never runs dry)."""
+        result = simulate_lifetime(
+            planner(),
+            CONVERGENCE,
+            LifetimeSpec(
+                policy="replace", duration_days=2000.0, spares=10_000, seed=7
+            ),
+            CKPT,
+            RESTART,
+        )
+        closed = replace_goodput(1.0, CONVERGENCE, CKPT, RESTART, 0.0).goodput
+        assert result.goodput == pytest.approx(closed, abs=5e-3)
+
+
+class TestPolicyDynamics:
+    #: Flaky fleet: failures arrive hourly, repairs take a day.
+    FLAKY = ClusterReliability(
+        chip_mtbf=3600.0 * 16, chips=16, repair_seconds=86400.0
+    )
+
+    def _run(self, policy: str, spares: int = 0) -> "LifetimeResult":
+        return simulate_lifetime(
+            planner(migration=5.0),
+            self.FLAKY,
+            LifetimeSpec(
+                policy=policy, duration_days=3.0, spares=spares, seed=3
+            ),
+            CKPT,
+            RESTART,
+        )
+
+    def test_degrade_chains_through_multiple_failures(self):
+        result = self._run("degrade")
+        meshes = {e.mesh for e in result.events if e.mesh}
+        assert "3x4" in meshes  # one outstanding failure
+        assert result.min_running < 16
+
+    def test_degrade_idles_past_the_table(self):
+        """Three outstanding failures exceed the planner's table, so
+        the cluster idles instead of crashing."""
+        result = self._run("degrade")
+        idle = [e for e in result.events if e.action == "idle"]
+        assert idle  # day-long repairs stack 3+ holes within hours
+        assert all(e.mesh is None and e.rate == 0.0 for e in idle)
+        assert result.idle_seconds > 0.0
+
+    def test_replace_consumes_and_refills_spares(self):
+        result = self._run("replace", spares=2)
+        assert result.spares_consumed >= 1
+        assert result.min_running == 16 or result.exhaustions > 0
+
+    def test_replace_exhaustion_idles_until_repair(self):
+        result = self._run("replace", spares=0)
+        assert result.exhaustions == result.failures
+        assert result.idle_seconds > 0.0
+        kinds = [e.kind for e in result.events]
+        assert "spare-exhausted" in kinds
+
+    def test_spares_strictly_help(self):
+        assert self._run("replace", spares=4).goodput > self._run(
+            "replace", spares=0
+        ).goodput
+
+    def test_restart_idles_through_repairs(self):
+        result = self._run("restart")
+        assert result.idle_seconds > 0.0
+        assert result.min_running == 16  # never trains shrunk
+
+    def test_reshape_keeps_more_chips_than_degrade(self):
+        reshape = self._run("reshape")
+        degrade = self._run("degrade")
+        # 4x4 -> 3x5 keeps 15 chips where degrade drains a line to 12.
+        assert reshape.min_running >= degrade.min_running
+
+    def test_goodput_is_banked_over_wall(self):
+        result = self._run("degrade")
+        assert result.goodput == pytest.approx(
+            result.banked_seconds / result.wall_seconds
+        )
+        assert 0.0 <= result.goodput <= 1.0
+
+
+class TestDeterminismAndLog:
+    def test_same_seed_is_byte_identical(self):
+        runs = [
+            simulate_lifetime(
+                planner(migration=5.0),
+                TestPolicyDynamics.FLAKY,
+                LifetimeSpec(policy="degrade", duration_days=3.0, seed=11),
+                CKPT,
+                RESTART,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].event_log_jsonl() == runs[1].event_log_jsonl()
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self):
+        results = {
+            simulate_lifetime(
+                planner(),
+                TestPolicyDynamics.FLAKY,
+                LifetimeSpec(policy="restart", duration_days=3.0, seed=s),
+                CKPT,
+                RESTART,
+            ).goodput
+            for s in range(8)
+        }
+        assert len(results) > 1
+
+    def test_event_log_is_canonical_jsonl(self):
+        result = simulate_lifetime(
+            planner(),
+            TestPolicyDynamics.FLAKY,
+            LifetimeSpec(policy="replace", duration_days=2.0, spares=1, seed=5),
+            CKPT,
+            RESTART,
+        )
+        lines = result.event_log_jsonl().splitlines()
+        assert lines  # begins with the initial transition event
+        for line in lines:
+            event = json.loads(line)
+            assert json.dumps(
+                event, sort_keys=True, separators=(",", ":")
+            ) == line
+        seqs = [json.loads(line)["seq"] for line in lines]
+        assert seqs == list(range(len(lines)))
+        assert json.loads(lines[-1])["kind"] == "end"
+
+    def test_trajectory_starts_at_full_rate(self):
+        result = simulate_lifetime(
+            planner(),
+            TestPolicyDynamics.FLAKY,
+            LifetimeSpec(policy="degrade", duration_days=3.0, seed=3),
+            CKPT,
+            RESTART,
+        )
+        t0, rate0 = result.trajectory[0]
+        assert t0 == 0.0
+        assert 0.0 < rate0 <= 1.0
+
+
+class TestValidation:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LifetimeSpec(policy="panic", duration_days=1.0)
+        with pytest.raises(ValueError):
+            LifetimeSpec(policy="restart", duration_days=0.0)
+        with pytest.raises(ValueError):
+            LifetimeSpec(policy="restart", duration_days=1.0, spares=-1)
+
+    def test_policies_tuple(self):
+        assert POLICIES == ("restart", "degrade", "replace", "reshape")
+
+    def test_chip_count_mismatch_rejected(self):
+        bad = ClusterReliability(chip_mtbf=3600.0, chips=9)
+        with pytest.raises(ValueError, match="does not match"):
+            simulate_lifetime(
+                planner(),
+                bad,
+                LifetimeSpec(policy="restart", duration_days=1.0),
+                CKPT,
+            )
+
+    def test_table_planner_validation(self):
+        with pytest.raises(ValueError):
+            TableElasticPlanner(Mesh2D(4, 4), step_seconds=0.0)
+        with pytest.raises(ValueError):
+            TableElasticPlanner(
+                Mesh2D(4, 4), step_seconds=1.0, migration_seconds=-1.0
+            )

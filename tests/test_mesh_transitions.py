@@ -1,0 +1,155 @@
+"""Property-based tests of elastic mesh transitions.
+
+Every elastic transition (:meth:`Mesh2D.without_row` /
+:meth:`~Mesh2D.without_col` / :meth:`~Mesh2D.with_replacement` /
+:meth:`~Mesh2D.reshape`) must hand back a mesh the rest of the stack
+can immediately run on: all rank layouts stay bijections between
+logical ranks and physical coordinates, ``rank_of`` inverts them, and
+the torus metric keeps its metric-space properties. These invariants
+are what the reshard-migration programs and the lifetime simulator
+lean on when they re-tune onto a transition's result.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh import Mesh2D
+from repro.mesh.topology import layout_names
+
+dims = st.integers(1, 32)
+
+#: Dimensions small enough to enumerate every coordinate pair.
+small_dims = st.integers(1, 8)
+
+
+@st.composite
+def meshes(draw, dim=dims):
+    return Mesh2D(draw(dim), draw(dim))
+
+
+@st.composite
+def meshes_with_coord(draw, dim=dims):
+    mesh = draw(meshes(dim))
+    i = draw(st.integers(0, mesh.rows - 1))
+    j = draw(st.integers(0, mesh.cols - 1))
+    return mesh, (i, j)
+
+
+def assert_layouts_bijective(mesh: Mesh2D) -> None:
+    """Every layout is a rank -> coord bijection inverted by rank_of."""
+    coords = set(mesh.coords())
+    for name in layout_names():
+        order = mesh.layout(name)
+        assert len(order) == mesh.size
+        assert set(order) == coords
+        for rank, coord in enumerate(order):
+            assert mesh.rank_of(coord, name) == rank
+
+
+class TestTransitionsPreserveLayouts:
+    @settings(max_examples=60, deadline=None)
+    @given(meshes_with_coord())
+    def test_without_row(self, mesh_coord):
+        mesh, (i, _j) = mesh_coord
+        if mesh.rows == 1:
+            with pytest.raises(ValueError):
+                mesh.without_row(i)
+            return
+        survivor = mesh.without_row(i)
+        assert survivor.shape == (mesh.rows - 1, mesh.cols)
+        assert_layouts_bijective(survivor)
+
+    @settings(max_examples=60, deadline=None)
+    @given(meshes_with_coord())
+    def test_without_col(self, mesh_coord):
+        mesh, (_i, j) = mesh_coord
+        if mesh.cols == 1:
+            with pytest.raises(ValueError):
+                mesh.without_col(j)
+            return
+        survivor = mesh.without_col(j)
+        assert survivor.shape == (mesh.rows, mesh.cols - 1)
+        assert_layouts_bijective(survivor)
+
+    @settings(max_examples=60, deadline=None)
+    @given(meshes_with_coord(), st.integers(0, 4))
+    def test_with_replacement(self, mesh_coord, spare):
+        mesh, dead = mesh_coord
+        replaced = mesh.with_replacement(dead, spare)
+        # Spare swap-in keeps the full torus shape.
+        assert replaced.shape == mesh.shape
+        assert_layouts_bijective(replaced)
+
+    @settings(max_examples=60, deadline=None)
+    @given(meshes(), dims, dims)
+    def test_reshape(self, mesh, rows, cols):
+        reshaped = mesh.reshape(rows, cols)
+        assert reshaped.shape == (rows, cols)
+        assert_layouts_bijective(reshaped)
+
+    @settings(max_examples=60, deadline=None)
+    @given(meshes_with_coord())
+    def test_invalid_transitions_rejected(self, mesh_coord):
+        mesh, dead = mesh_coord
+        with pytest.raises(IndexError):
+            mesh.with_replacement((mesh.rows, 0))
+        with pytest.raises(ValueError):
+            mesh.with_replacement(dead, spare=-1)
+        with pytest.raises(ValueError):
+            mesh.reshape(0, 1)
+        with pytest.raises(ValueError):
+            mesh.reshape(1, 0)
+
+
+class TestTorusMetric:
+    @settings(max_examples=60, deadline=None)
+    @given(meshes(small_dims))
+    def test_metric_space(self, mesh):
+        """Identity, symmetry, and the unit bound per axis step."""
+        coords = list(mesh.coords())
+        for a in coords:
+            assert mesh.torus_distance(a, a) == 0
+            for b in coords:
+                d = mesh.torus_distance(a, b)
+                assert d == mesh.torus_distance(b, a)
+                assert 0 <= d <= mesh.rows // 2 + mesh.cols // 2
+                assert (d == 0) == (a == b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(meshes(small_dims))
+    def test_neighbors_are_one_hop(self, mesh):
+        for coord in mesh.coords():
+            for neighbor in (
+                mesh.right_neighbor(coord),
+                mesh.left_neighbor(coord),
+                mesh.down_neighbor(coord),
+                mesh.up_neighbor(coord),
+            ):
+                expected = 0 if neighbor == coord else 1
+                assert mesh.torus_distance(coord, neighbor) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(meshes(small_dims))
+    def test_mean_torus_distance_matches_enumeration(self, mesh):
+        """The closed form equals the brute-force all-pairs mean."""
+        coords = list(mesh.coords())
+        total = sum(
+            mesh.torus_distance(a, b) for a in coords for b in coords
+        )
+        mean = total / (len(coords) ** 2)
+        assert mesh.mean_torus_distance() == pytest.approx(mean)
+
+    @settings(max_examples=60, deadline=None)
+    @given(meshes_with_coord(small_dims))
+    def test_metric_survives_transitions(self, mesh_coord):
+        """Transition results keep the metric's identity property."""
+        mesh, dead = mesh_coord
+        survivors = [mesh.with_replacement(dead)]
+        if mesh.rows > 1:
+            survivors.append(mesh.without_row(dead[0]))
+        if mesh.cols > 1:
+            survivors.append(mesh.without_col(dead[1]))
+        survivors.append(mesh.reshape(mesh.cols, mesh.rows))
+        for survivor in survivors:
+            for coord in survivor.coords():
+                assert survivor.torus_distance(coord, coord) == 0

@@ -10,6 +10,7 @@ from repro.models import GPT3_175B
 from repro.recovery import (
     CheckpointModel,
     ClusterReliability,
+    NoSurvivingMeshError,
     RetryPolicy,
     cluster_mtbf,
     degrade_goodput,
@@ -113,10 +114,20 @@ class TestDegradedMeshes:
     def test_degenerate_meshes(self):
         assert degraded_meshes(Mesh2D(1, 4), (0, 2)) == (Mesh2D(1, 3),)
         assert degraded_meshes(Mesh2D(4, 1), (2, 0)) == (Mesh2D(3, 1),)
-        with pytest.raises(ValueError):
-            degraded_meshes(Mesh2D(1, 1), (0, 0))
+        # No survivors is a structured empty result, not an error.
+        assert degraded_meshes(Mesh2D(1, 1), (0, 0)) == ()
         with pytest.raises(ValueError):
             degraded_meshes(Mesh2D(4, 4), (5, 0))
+
+    def test_no_surviving_mesh_raises_named_error(self):
+        with pytest.raises(NoSurvivingMeshError):
+            retune_degraded(GPT3_175B, 16, Mesh2D(1, 1), (0, 0), TPUV4)
+        # The named error is still a ValueError for legacy callers.
+        assert issubclass(NoSurvivingMeshError, ValueError)
+        # An off-mesh coordinate is an argument error, not exhaustion.
+        with pytest.raises(ValueError) as err:
+            retune_degraded(GPT3_175B, 16, Mesh2D(4, 4), (5, 0), TPUV4)
+        assert not isinstance(err.value, NoSurvivingMeshError)
 
     def test_without_row_col_validation(self):
         mesh = Mesh2D(3, 4)
